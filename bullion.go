@@ -1,0 +1,344 @@
+// Package bullion is a columnar storage library for machine-learning
+// workloads, implementing the design of "Bullion: A Column Store for
+// Machine Learning" (CIDR 2025):
+//
+//   - a cascading encoding framework with the full Table 2 catalog and a
+//     sampling-based selector (§2.6)
+//   - deletion compliance at three levels, including in-place physical
+//     erasure with Merkle-tree checksum maintenance (§2.1, Figure 2)
+//   - sliding-window delta encoding for long-sequence sparse features
+//     such as clk_seq_cids (§2.2, Figures 3-4)
+//   - a compact binary footer read without deserialization, keeping
+//     wide-table projection flat in the number of columns (§2.3, Figure 5)
+//   - storage quantization: FP16 / BF16 / TF32 / FP8 and the dual-column
+//     FP32 decomposition (§2.4, Figure 6)
+//   - quality-aware row organization for multimodal training data (§2.5,
+//     Figure 7)
+//
+// Quickstart:
+//
+//	schema, _ := bullion.NewSchema(
+//	    bullion.Field{Name: "uid", Type: bullion.Type{Kind: bullion.Int64}},
+//	    bullion.Field{Name: "clk_seq_cids",
+//	        Type:   bullion.Type{Kind: bullion.List, Elem: bullion.Int64},
+//	        Sparse: true},
+//	)
+//	w, _ := bullion.Create("ads.bln", schema, nil)
+//	_ = w.Write(batch)
+//	_ = w.Close()
+//
+//	f, _ := bullion.OpenPath("ads.bln")
+//	defer f.Close()
+//	cols, _ := f.Project("clk_seq_cids")
+package bullion
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"bullion/internal/core"
+	"bullion/internal/enc"
+	"bullion/internal/quant"
+	"bullion/internal/sparse"
+)
+
+// Schema, fields, and column containers re-exported from the core format.
+type (
+	// Schema is an ordered set of fields.
+	Schema = core.Schema
+	// Field is one column definition.
+	Field = core.Field
+	// Type is a column's logical type.
+	Type = core.Type
+	// Kind is a physical type family.
+	Kind = core.Kind
+	// Batch is a set of aligned column slices.
+	Batch = core.Batch
+	// ColumnData is a typed in-memory column.
+	ColumnData = core.ColumnData
+
+	// Int64Data is a non-null int64 column.
+	Int64Data = core.Int64Data
+	// NullableInt64Data is an int64 column with a validity mask.
+	NullableInt64Data = core.NullableInt64Data
+	// Float64Data is a float64 column.
+	Float64Data = core.Float64Data
+	// Float32Data is a float32 column (stored per the field's Quant format).
+	Float32Data = core.Float32Data
+	// BoolData is a boolean column.
+	BoolData = core.BoolData
+	// BytesData is a binary/string column.
+	BytesData = core.BytesData
+	// ListInt64Data is a list<int64> column.
+	ListInt64Data = core.ListInt64Data
+	// ListFloat32Data is a list<float> column.
+	ListFloat32Data = core.ListFloat32Data
+	// ListFloat64Data is a list<double> column.
+	ListFloat64Data = core.ListFloat64Data
+	// ListBytesData is a list<binary> column.
+	ListBytesData = core.ListBytesData
+	// ListListInt64Data is a list<list<int64>> column.
+	ListListInt64Data = core.ListListInt64Data
+
+	// Options configures the writer.
+	Options = core.Options
+	// Level is a deletion-compliance level (§2.1).
+	Level = core.Level
+	// EncodingOptions steers the §2.6 cascade selector.
+	EncodingOptions = enc.Options
+	// SparseOptions configures the §2.2 sliding-window codec.
+	SparseOptions = sparse.Options
+	// QuantFormat is a §2.4 storage float format.
+	QuantFormat = quant.Format
+)
+
+// Column kinds.
+const (
+	Int64    = core.Int64
+	Int32    = core.Int32
+	Float64  = core.Float64
+	Float32  = core.Float32
+	Bool     = core.Bool
+	Binary   = core.Binary
+	String   = core.String
+	List     = core.List
+	ListList = core.ListList
+)
+
+// Deletion-compliance levels (§2.1): Level0 behaves like legacy Parquet,
+// Level1 maintains a deletion vector, Level2 adds in-place physical
+// erasure.
+const (
+	Level0 = core.Level0
+	Level1 = core.Level1
+	Level2 = core.Level2
+)
+
+// Storage quantization formats (§2.4, Figure 6).
+const (
+	FP32    = quant.FP32
+	FP64    = quant.FP64
+	TF32    = quant.TF32
+	FP16    = quant.FP16
+	BF16    = quant.BF16
+	FP8E4M3 = quant.FP8E4M3
+	FP8E5M2 = quant.FP8E5M2
+)
+
+// NewSchema validates and constructs a schema.
+func NewSchema(fields ...Field) (*Schema, error) { return core.NewSchema(fields...) }
+
+// NewBatch validates column/shape agreement against the schema.
+func NewBatch(schema *Schema, columns []ColumnData) (*Batch, error) {
+	return core.NewBatch(schema, columns)
+}
+
+// DefaultOptions returns the writer defaults: 1024-row pages, 64Ki-row
+// groups, compliance Level 2, the default cascade.
+func DefaultOptions() *Options { return core.DefaultOptions() }
+
+// DefaultEncodingOptions returns the default cascade selector settings.
+func DefaultEncodingOptions() *EncodingOptions { return enc.DefaultOptions() }
+
+// Writer streams batches into a Bullion file.
+type Writer struct {
+	cw   *core.Writer
+	file *os.File // non-nil when created via Create
+}
+
+// NewWriter writes a Bullion file to any io.Writer.
+func NewWriter(w io.Writer, schema *Schema, opts *Options) (*Writer, error) {
+	cw, err := core.NewWriter(w, schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{cw: cw}, nil
+}
+
+// Create creates (or truncates) a file at path and returns a writer to it.
+func Create(path string, schema *Schema, opts *Options) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	cw, err := core.NewWriter(f, schema, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{cw: cw, file: f}, nil
+}
+
+// Write appends a batch.
+func (w *Writer) Write(batch *Batch) error { return w.cw.Write(batch) }
+
+// Close flushes buffered rows, writes the footer, and closes the file when
+// the writer owns one.
+func (w *Writer) Close() error {
+	err := w.cw.Close()
+	if w.file != nil {
+		if cerr := w.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// File is a read (and, for deletion, write) handle over a Bullion file.
+type File struct {
+	cf   *core.File
+	file *os.File // non-nil when opened via OpenPath
+}
+
+// Open reads the footer from an io.ReaderAt.
+func Open(r io.ReaderAt, size int64) (*File, error) {
+	cf, err := core.Open(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return &File{cf: cf}, nil
+}
+
+// OpenPath opens a Bullion file on disk read-write (read-write so that
+// DeleteRows can erase in place; the file is never modified otherwise).
+func OpenPath(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	cf, err := core.Open(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &File{cf: cf, file: f}, nil
+}
+
+// Close releases the underlying file handle, if owned.
+func (f *File) Close() error {
+	if f.file != nil {
+		return f.file.Close()
+	}
+	return nil
+}
+
+// NumRows returns the logical row count (including deleted rows).
+func (f *File) NumRows() uint64 { return f.cf.NumRows() }
+
+// NumLiveRows returns rows not marked deleted.
+func (f *File) NumLiveRows() uint64 { return f.cf.NumLiveRows() }
+
+// NumColumns returns the column count.
+func (f *File) NumColumns() int { return f.cf.NumColumns() }
+
+// Compliance returns the file's deletion-compliance level.
+func (f *File) Compliance() Level { return f.cf.Compliance() }
+
+// Schema materializes the full schema (O(columns); projections should use
+// LookupColumn instead).
+func (f *File) Schema() *Schema { return f.cf.Schema() }
+
+// LookupColumn resolves a column name via the footer's hash index.
+func (f *File) LookupColumn(name string) (int, bool) { return f.cf.LookupColumn(name) }
+
+// FieldByIndex returns the schema field of column c.
+func (f *File) FieldByIndex(c int) Field { return f.cf.FieldByIndex(c) }
+
+// ReadColumn reads a full column by name (live rows only).
+func (f *File) ReadColumn(name string) (ColumnData, error) { return f.cf.ReadColumn(name) }
+
+// ReadColumnByIndex reads a full column by index (live rows only).
+func (f *File) ReadColumnByIndex(c int) (ColumnData, error) { return f.cf.ReadColumnByIndex(c) }
+
+// ReadRows reads global rows [lo, hi) of column c, touching only the
+// overlapping pages.
+func (f *File) ReadRows(c int, lo, hi uint64) (ColumnData, error) { return f.cf.ReadRows(c, lo, hi) }
+
+// Project reads the named columns — the §2.3 feature-projection path.
+func (f *File) Project(names ...string) (*Batch, error) { return f.cf.Project(names...) }
+
+// ProjectCoalesced reads the named columns, bundling physically adjacent
+// column chunks into single reads of up to core.CoalesceLimit bytes — the
+// §2.5 column-reordering + coalesced-read path for hot feature sets.
+func (f *File) ProjectCoalesced(names ...string) (*Batch, error) {
+	return f.cf.ProjectCoalesced(names...)
+}
+
+// ReorderFields moves the named hot columns to the front of the schema so
+// their chunks are written adjacent within every row group (§2.5 column
+// reordering). The returned permutation reorders batch columns to match.
+func ReorderFields(schema *Schema, hot []string) (*Schema, []int, error) {
+	return core.ReorderFields(schema, hot)
+}
+
+// ReorderBatchColumns applies a ReorderFields permutation to batch columns.
+func ReorderBatchColumns(cols []ColumnData, perm []int) []ColumnData {
+	return core.ReorderBatchColumns(cols, perm)
+}
+
+// ProjectEvolved reads the requested fields, materializing default values
+// for fields the file predates — the read side of additive schema
+// evolution for feature churn (§1).
+func (f *File) ProjectEvolved(fields []Field) (*Batch, error) {
+	return f.cf.ProjectEvolved(fields)
+}
+
+// VerifyChecksums re-hashes every page against the footer's Merkle tree.
+func (f *File) VerifyChecksums() error { return f.cf.VerifyChecksums() }
+
+// FileStats summarizes a file's physical storage per column.
+type FileStats = core.FileStats
+
+// ColumnStats summarizes one column's physical storage.
+type ColumnStats = core.ColumnStats
+
+// Stats walks the footer (no data reads) and reports per-column storage.
+func (f *File) Stats() *FileStats { return f.cf.Stats() }
+
+// DeleteRows deletes rows per the file's compliance level. For files
+// opened with OpenPath the in-place write goes to the same file; otherwise
+// a WriterAt covering the same bytes must be supplied via DeleteRowsTo.
+func (f *File) DeleteRows(rows []uint64) error {
+	if f.file == nil {
+		return fmt.Errorf("bullion: DeleteRows requires OpenPath (use DeleteRowsTo with a WriterAt)")
+	}
+	return f.cf.DeleteRows(f.file, rows)
+}
+
+// DeleteRowsTo deletes rows, writing in-place updates through w (which
+// must address the same bytes the file reads).
+func (f *File) DeleteRowsTo(w io.WriterAt, rows []uint64) error { return f.cf.DeleteRows(w, rows) }
+
+// Quantize converts float32 values to a Figure 6 format's bit patterns
+// (widened for the integer cascade).
+func Quantize(vs []float32, f QuantFormat) ([]int64, error) { return quant.Quantize(vs, f) }
+
+// Dequantize expands bit patterns back to float32.
+func Dequantize(bits []int64, f QuantFormat) ([]float32, error) { return quant.Dequantize(bits, f) }
+
+// SplitBF16Columns decomposes an FP32 column into a bfloat16-truncated
+// primary column and a 16-bit residual column; JoinBF16Columns
+// reconstructs the original bits exactly (§2.4's dual-column strategy).
+func SplitBF16Columns(vs []float32) (hi, lo []int64) { return quant.SplitBF16Columns(vs) }
+
+// JoinBF16Columns reconstructs the FP32 column from its two halves.
+func JoinBF16Columns(hi, lo []int64) []float32 { return quant.JoinBF16Columns(hi, lo) }
+
+// EncodeNormalizedEmbedding quantizes float32 embedding components to BF16
+// and packs them with the 12-bit normalized layout (§2.4's BF16-specific
+// encoding opportunity for vectors normalized to (-1,1)).
+func EncodeNormalizedEmbedding(vs []float32) []byte {
+	return quant.EncodeNormalizedEmbedding(vs)
+}
+
+// DecodeNormalizedEmbedding reverses EncodeNormalizedEmbedding (lossless
+// with respect to BF16).
+func DecodeNormalizedEmbedding(data []byte) ([]float32, error) {
+	return quant.DecodeNormalizedEmbedding(data)
+}

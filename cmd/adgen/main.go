@@ -1,0 +1,90 @@
+// Command adgen generates a synthetic ads training table with the paper's
+// Table 1 type mix and prints the Table 1 / Figure 1 reports.
+//
+// Usage:
+//
+//	adgen -print-breakdown              print Table 1 and the generated schema histogram
+//	adgen -print-census                 print the Figure 1 size census
+//	adgen -out ads.bln -scale 100 -rows 2000
+//	                                    write a 1/100-scale ads table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bullion"
+	"bullion/internal/core"
+	"bullion/internal/experiments"
+	"bullion/internal/workload"
+)
+
+func main() {
+	printBreakdown := flag.Bool("print-breakdown", false, "print the Table 1 breakdown")
+	printCensus := flag.Bool("print-census", false, "print the Figure 1 census")
+	out := flag.String("out", "", "output path for a generated ads table")
+	scale := flag.Int("scale", 100, "schema scale-down factor (1 = full 17,733 columns)")
+	rows := flag.Int("rows", 2000, "rows to generate")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if *printBreakdown {
+		if err := experiments.Tab1(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *printCensus {
+		if err := experiments.Fig1(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *out != "" {
+		if err := generate(*out, *scale, *rows, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if !*printBreakdown && !*printCensus && *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "adgen: %v\n", err)
+	os.Exit(1)
+}
+
+// generate writes a scaled ads table with realistic per-type content.
+func generate(path string, scale, rows int, seed int64) error {
+	schema, err := workload.AdsSchema(scale, true)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cols := workload.AdsColumns(rng, schema, rows)
+	batch, err := core.NewBatch(schema, cols)
+	if err != nil {
+		return err
+	}
+	opts := bullion.DefaultOptions()
+	opts.GroupRows = 4096
+	w, err := bullion.Create(path, schema, opts)
+	if err != nil {
+		return err
+	}
+	if err := w.Write(batch); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows x %d columns to %s (%d bytes)\n",
+		rows, len(schema.Fields), path, st.Size())
+	return nil
+}

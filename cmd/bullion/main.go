@@ -1,0 +1,225 @@
+// Command bullion inspects and manipulates Bullion files.
+//
+// Usage:
+//
+//	bullion inspect <file>             print header, schema summary, stats
+//	bullion verify <file>              verify the Merkle checksum tree
+//	bullion project <file> <col>...    print the first rows of columns
+//	bullion delete <file> <row>...     delete rows (per the file's level)
+//	bullion demo <file>                write a small demo ads file
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"bullion"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	var err error
+	switch cmd {
+	case "inspect":
+		err = inspect(path)
+	case "verify":
+		err = verify(path)
+	case "project":
+		err = project(path, os.Args[3:])
+	case "delete":
+		err = deleteRows(path, os.Args[3:])
+	case "demo":
+		err = demo(path)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bullion: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  bullion inspect <file>
+  bullion verify <file>
+  bullion project <file> <column>...
+  bullion delete <file> <row>...
+  bullion demo <file>`)
+	os.Exit(2)
+}
+
+func inspect(path string) error {
+	f, err := bullion.OpenPath(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("rows:        %d (%d live)\n", f.NumRows(), f.NumLiveRows())
+	fmt.Printf("columns:     %d\n", f.NumColumns())
+	fmt.Printf("compliance:  level %d\n", f.Compliance())
+	schema := f.Schema()
+	byType := map[string]int{}
+	for _, fd := range schema.Fields {
+		k := fd.Type.String()
+		if fd.Sparse {
+			k += " (sparse)"
+		}
+		byType[k]++
+	}
+	fmt.Println("type breakdown:")
+	for k, n := range byType {
+		fmt.Printf("  %-30s %6d\n", k, n)
+	}
+	stats := f.Stats()
+	fmt.Printf("data bytes:  %d (footer %d)\n", stats.DataBytes, stats.FooterBytes)
+	fmt.Println("largest columns:")
+	for _, c := range stats.TopColumnsBySize(5) {
+		fmt.Printf("  %-30s %10d bytes  %4d pages\n", c.Name, c.CompressedBytes, c.Pages)
+	}
+	fmt.Println("page encodings:")
+	for id, n := range stats.EncodingHistogram() {
+		name := id.String()
+		if uint8(id) == 0 {
+			name = "SparseDelta" // composite sliding-window pages
+		}
+		fmt.Printf("  %-20s %6d pages\n", name, n)
+	}
+	return nil
+}
+
+func verify(path string) error {
+	f, err := bullion.OpenPath(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.VerifyChecksums(); err != nil {
+		return err
+	}
+	fmt.Println("checksums OK")
+	return nil
+}
+
+func project(path string, cols []string) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("project: no columns given")
+	}
+	f, err := bullion.OpenPath(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	batch, err := f.Project(cols...)
+	if err != nil {
+		return err
+	}
+	n := batch.NumRows()
+	if n > 10 {
+		n = 10
+	}
+	for r := 0; r < n; r++ {
+		for c, col := range batch.Columns {
+			fmt.Printf("%s=%v ", cols[c], cellString(col, r))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cellString(col bullion.ColumnData, r int) string {
+	switch d := col.(type) {
+	case bullion.Int64Data:
+		return fmt.Sprint(d[r])
+	case bullion.Float64Data:
+		return fmt.Sprintf("%.4f", d[r])
+	case bullion.Float32Data:
+		return fmt.Sprintf("%.4f", d[r])
+	case bullion.BoolData:
+		return fmt.Sprint(d[r])
+	case bullion.BytesData:
+		return string(d[r])
+	case bullion.ListInt64Data:
+		if len(d[r]) > 6 {
+			return fmt.Sprintf("%v... (%d)", d[r][:6], len(d[r]))
+		}
+		return fmt.Sprint(d[r])
+	default:
+		return fmt.Sprintf("%T", col)
+	}
+}
+
+func deleteRows(path string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("delete: no rows given")
+	}
+	rows := make([]uint64, len(args))
+	for i, a := range args {
+		v, err := strconv.ParseUint(a, 10, 64)
+		if err != nil {
+			return fmt.Errorf("delete: bad row %q", a)
+		}
+		rows[i] = v
+	}
+	f, err := bullion.OpenPath(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.DeleteRows(rows); err != nil {
+		return err
+	}
+	fmt.Printf("deleted %d rows (level %d); %d live rows remain\n",
+		len(rows), f.Compliance(), f.NumLiveRows())
+	return nil
+}
+
+func demo(path string) error {
+	schema, err := bullion.NewSchema(
+		bullion.Field{Name: "uid", Type: bullion.Type{Kind: bullion.Int64}},
+		bullion.Field{Name: "clk_seq_cids",
+			Type: bullion.Type{Kind: bullion.List, Elem: bullion.Int64}, Sparse: true},
+		bullion.Field{Name: "ctr", Type: bullion.Type{Kind: bullion.Float64}},
+	)
+	if err != nil {
+		return err
+	}
+	n := 10000
+	rng := rand.New(rand.NewSource(1))
+	uid := make(bullion.Int64Data, n)
+	clk := make(bullion.ListInt64Data, n)
+	ctr := make(bullion.Float64Data, n)
+	window := make([]int64, 32)
+	for i := range window {
+		window[i] = rng.Int63n(1 << 30)
+	}
+	for i := 0; i < n; i++ {
+		uid[i] = int64(i / 20)
+		if rng.Intn(3) == 0 {
+			window = append([]int64{rng.Int63n(1 << 30)}, window[:len(window)-1]...)
+		}
+		clk[i] = append([]int64{}, window...)
+		ctr[i] = rng.Float64()
+	}
+	batch, err := bullion.NewBatch(schema, []bullion.ColumnData{uid, clk, ctr})
+	if err != nil {
+		return err
+	}
+	w, err := bullion.Create(path, schema, nil)
+	if err != nil {
+		return err
+	}
+	if err := w.Write(batch); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows to %s\n", n, path)
+	return nil
+}

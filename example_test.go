@@ -1,0 +1,76 @@
+package bullion_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bullion"
+)
+
+// Example shows the full lifecycle: schema, write, project, delete, verify.
+func Example() {
+	dir, _ := os.MkdirTemp("", "bullion-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "t.bln")
+
+	schema, err := bullion.NewSchema(
+		bullion.Field{Name: "uid", Type: bullion.Type{Kind: bullion.Int64}},
+		bullion.Field{Name: "ctr", Type: bullion.Type{Kind: bullion.Float64}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uid := bullion.Int64Data{1, 1, 2, 2}
+	ctr := bullion.Float64Data{0.1, 0.2, 0.3, 0.4}
+	batch, _ := bullion.NewBatch(schema, []bullion.ColumnData{uid, ctr})
+
+	w, _ := bullion.Create(path, schema, nil)
+	_ = w.Write(batch)
+	_ = w.Close()
+
+	f, _ := bullion.OpenPath(path)
+	defer f.Close()
+	_ = f.DeleteRows([]uint64{0, 1}) // erase user 1 in place
+	proj, _ := f.Project("uid")
+	fmt.Println("live uids:", proj.Columns[0].(bullion.Int64Data))
+	fmt.Println("checksums:", f.VerifyChecksums() == nil)
+	// Output:
+	// live uids: [2 2]
+	// checksums: true
+}
+
+// ExampleSplitBF16Columns demonstrates the §2.4 dual-column strategy.
+func ExampleSplitBF16Columns() {
+	bids := []float32{1.5, 2.25, 3.125}
+	hi, lo := bullion.SplitBF16Columns(bids)
+	joined := bullion.JoinBF16Columns(hi, lo)
+	fmt.Println(joined[0] == bids[0], joined[1] == bids[1], joined[2] == bids[2])
+	// Output: true true true
+}
+
+// ExampleQuantize shows storage quantization to FP16.
+func ExampleQuantize() {
+	bits, _ := bullion.Quantize([]float32{0.5, -0.25}, bullion.FP16)
+	back, _ := bullion.Dequantize(bits, bullion.FP16)
+	fmt.Println(back[0], back[1])
+	// Output: 0.5 -0.25
+}
+
+// ExampleReorderFields shows §2.5 hot-column reordering.
+func ExampleReorderFields() {
+	schema, _ := bullion.NewSchema(
+		bullion.Field{Name: "cold_a", Type: bullion.Type{Kind: bullion.Int64}},
+		bullion.Field{Name: "hot", Type: bullion.Type{Kind: bullion.Int64}},
+		bullion.Field{Name: "cold_b", Type: bullion.Type{Kind: bullion.Int64}},
+	)
+	reordered, _, _ := bullion.ReorderFields(schema, []string{"hot"})
+	for _, f := range reordered.Fields {
+		fmt.Println(f.Name)
+	}
+	// Output:
+	// hot
+	// cold_a
+	// cold_b
+}

@@ -1,0 +1,144 @@
+// Recsys: an ads/recommendation training table with sparse sequence
+// features, quantized embeddings, and GDPR-style user erasure — the
+// workload §§2.1-2.4 of the paper are designed around. Run with:
+//
+//	go run ./examples/recsys
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"bullion"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bullion-recsys")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ads_training.bln")
+
+	// A slice of a production-style ads table: the clk_seq_cids sequence
+	// feature (sparse sliding windows), an FP16-quantized embedding, a
+	// dual-column business-critical feature, and the CTR label.
+	schema, err := bullion.NewSchema(
+		bullion.Field{Name: "uid", Type: bullion.Type{Kind: bullion.Int64}},
+		bullion.Field{Name: "clk_seq_cids",
+			Type:   bullion.Type{Kind: bullion.List, Elem: bullion.Int64},
+			Sparse: true},
+		bullion.Field{Name: "user_embed",
+			Type: bullion.Type{Kind: bullion.Float32, Quant: bullion.FP16}},
+		bullion.Field{Name: "bid_hi", Type: bullion.Type{Kind: bullion.Int64}},
+		bullion.Field{Name: "bid_lo", Type: bullion.Type{Kind: bullion.Int64}},
+		bullion.Field{Name: "label", Type: bullion.Type{Kind: bullion.Float64}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 20000
+	rng := rand.New(rand.NewSource(7))
+	uid := make(bullion.Int64Data, n)
+	clk := make(bullion.ListInt64Data, n)
+	embed := make(bullion.Float32Data, n)
+	bids := make([]float32, n)
+	label := make(bullion.Float64Data, n)
+	window := make([]int64, 64)
+	for i := range window {
+		window[i] = rng.Int63n(1 << 32)
+	}
+	for i := 0; i < n; i++ {
+		uid[i] = int64(i / 100) // 100 impressions per user, user-sorted
+		if rng.Intn(4) == 0 {
+			window = append([]int64{rng.Int63n(1 << 32)}, window[:len(window)-1]...)
+		}
+		clk[i] = append([]int64{}, window...)
+		embed[i] = float32(rng.NormFloat64() * 0.3)
+		bids[i] = float32(rng.Float64() * 10) // business-critical FP32
+		if rng.Intn(50) == 0 {
+			label[i] = 1
+		}
+	}
+	// §2.4 dual-column strategy: bid stored as BF16-hi + residual; the
+	// join reconstructs exact FP32 for the critical model.
+	bidHi, bidLo := bullion.SplitBF16Columns(bids)
+
+	batch, err := bullion.NewBatch(schema, []bullion.ColumnData{
+		uid, clk, embed, bullion.Int64Data(bidHi), bullion.Int64Data(bidLo), label,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := bullion.Create(path, schema, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Write(batch); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("ads table: %d impressions, %d users, %d bytes on disk\n", n, n/100, st.Size())
+
+	f, err := bullion.OpenPath(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// Training projection: the model reads 3 of 6 columns.
+	proj, err := f.Project("clk_seq_cids", "user_embed", "label")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected %d columns x %d rows for training\n",
+		len(proj.Columns), proj.NumRows())
+
+	// The critical model joins the dual columns back to exact FP32.
+	bidBatch, err := f.Project("bid_hi", "bid_lo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	joined := bullion.JoinBF16Columns(
+		bidBatch.Columns[0].(bullion.Int64Data),
+		bidBatch.Columns[1].(bullion.Int64Data))
+	exact := 0
+	for i := range bids {
+		if joined[i] == bids[i] {
+			exact++
+		}
+	}
+	fmt.Printf("dual-column join: %d/%d bids reconstructed bit-exactly\n", exact, n)
+
+	// A user exercises their GDPR right to erasure: delete user 42's
+	// 100 impressions. At Level 2 this physically rewrites only the pages
+	// those rows live in.
+	rows := make([]uint64, 100)
+	for i := range rows {
+		rows[i] = uint64(4200 + i)
+	}
+	if err := f.DeleteRows(rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("erased user 42: %d live rows remain\n", f.NumLiveRows())
+	uidsAfter, err := f.ReadColumn("uid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range uidsAfter.(bullion.Int64Data) {
+		if v == 42 {
+			log.Fatal("user 42 still present!")
+		}
+	}
+	if err := f.VerifyChecksums(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("user 42 gone; Merkle checksums still valid")
+}

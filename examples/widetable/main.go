@@ -1,0 +1,91 @@
+// Widetable: the §2.3 scenario — a training job projects a handful of
+// features out of thousands. Bullion's compact footer makes opening the
+// file and locating columns independent of schema width. Run with:
+//
+//	go run ./examples/widetable
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bullion"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bullion-widetable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "wide.bln")
+
+	// 5,000 feature columns (a 1/4-scale Table 1 ads file), 64 rows each —
+	// metadata, not data, is the subject here.
+	const nCols = 5000
+	const nRows = 64
+	fields := make([]bullion.Field, nCols)
+	cols := make([]bullion.ColumnData, nCols)
+	vals := make(bullion.Int64Data, nRows)
+	for r := range vals {
+		vals[r] = int64(r * 3)
+	}
+	for i := 0; i < nCols; i++ {
+		fields[i] = bullion.Field{
+			Name: fmt.Sprintf("feat_%05d", i),
+			Type: bullion.Type{Kind: bullion.Int64},
+		}
+		cols[i] = vals
+	}
+	schema, err := bullion.NewSchema(fields...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := bullion.NewBatch(schema, cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	w, err := bullion.Create(path, schema, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Write(batch); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("wrote %d columns x %d rows in %v (%d bytes)\n",
+		nCols, nRows, time.Since(start).Round(time.Millisecond), st.Size())
+
+	// A training job projects 10 features (0.2% of the schema).
+	want := []string{
+		"feat_00000", "feat_00500", "feat_01000", "feat_01500", "feat_02000",
+		"feat_02500", "feat_03000", "feat_03500", "feat_04000", "feat_04999",
+	}
+	start = time.Now()
+	f, err := bullion.OpenPath(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	openTime := time.Since(start)
+
+	start = time.Now()
+	proj, err := f.Project(want...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	projTime := time.Since(start)
+
+	fmt.Printf("open (footer header only): %v\n", openTime)
+	fmt.Printf("project %d/%d columns:     %v\n", len(want), nCols, projTime)
+	fmt.Printf("projected rows:            %d\n", proj.NumRows())
+	fmt.Println("\ncompare: `go run ./cmd/experiments -exp fig5` measures this against")
+	fmt.Println("a Parquet-style footer that must deserialize all 5,000 column structs")
+}

@@ -1,0 +1,191 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasic(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if b.Any() {
+		t.Fatal("fresh bitmap reports Any")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) {
+		t.Fatal("set bits not readable")
+	}
+	if b.Get(1) || b.Get(63) || b.Get(128) {
+		t.Fatal("unset bits report set")
+	}
+	if got := b.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("cleared bit still set")
+	}
+	if got := b.Count(); got != 2 {
+		t.Fatalf("Count after clear = %d, want 2", got)
+	}
+}
+
+func TestBitmapOutOfRangePanics(t *testing.T) {
+	b := NewBitmap(10)
+	for _, f := range []func(){
+		func() { b.Set(10) },
+		func() { b.Get(-1) },
+		func() { b.Clear(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBitmapResize(t *testing.T) {
+	b := NewBitmap(10)
+	b.Set(3)
+	b.Set(9)
+	b.Resize(200)
+	if !b.Get(3) || !b.Get(9) {
+		t.Fatal("resize lost bits")
+	}
+	if b.Get(100) {
+		t.Fatal("new bits should be clear")
+	}
+	b.Set(150)
+	b.Resize(5)
+	if b.Len() != 5 || !b.Get(3) {
+		t.Fatal("shrink lost prefix")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("Count after shrink = %d, want 1", b.Count())
+	}
+	// Re-grow: previously-set bit 9 must not resurrect.
+	b.Resize(20)
+	if b.Get(9) {
+		t.Fatal("shrink-then-grow resurrected a bit")
+	}
+}
+
+func TestBitmapOnesAndNextSet(t *testing.T) {
+	b := NewBitmap(300)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 255, 299}
+	for _, i := range idx {
+		b.Set(i)
+	}
+	ones := b.Ones()
+	if len(ones) != len(idx) {
+		t.Fatalf("Ones len = %d, want %d", len(ones), len(idx))
+	}
+	for i := range idx {
+		if ones[i] != idx[i] {
+			t.Fatalf("Ones[%d] = %d, want %d", i, ones[i], idx[i])
+		}
+	}
+	if got := b.NextSet(0); got != 0 {
+		t.Fatalf("NextSet(0) = %d, want 0", got)
+	}
+	if got := b.NextSet(2); got != 63 {
+		t.Fatalf("NextSet(2) = %d, want 63", got)
+	}
+	if got := b.NextSet(256); got != 299 {
+		t.Fatalf("NextSet(256) = %d, want 299", got)
+	}
+	if got := b.NextSet(300); got != -1 {
+		t.Fatalf("NextSet(300) = %d, want -1", got)
+	}
+}
+
+func TestBitmapAlgebra(t *testing.T) {
+	a := NewBitmap(100)
+	b := NewBitmap(100)
+	a.SetRange(0, 50)
+	b.SetRange(25, 75)
+
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 75 {
+		t.Fatalf("Or count = %d, want 75", or.Count())
+	}
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 25 {
+		t.Fatalf("And count = %d, want 25", and.Count())
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != 25 {
+		t.Fatalf("AndNot count = %d, want 25", diff.Count())
+	}
+	if diff.Get(30) {
+		t.Fatal("AndNot kept a removed bit")
+	}
+}
+
+func TestBitmapCountRange(t *testing.T) {
+	b := NewBitmap(128)
+	b.SetRange(10, 20)
+	if got := b.CountRange(0, 128); got != 10 {
+		t.Fatalf("CountRange full = %d, want 10", got)
+	}
+	if got := b.CountRange(15, 18); got != 3 {
+		t.Fatalf("CountRange partial = %d, want 3", got)
+	}
+	if got := b.CountRange(20, 128); got != 0 {
+		t.Fatalf("CountRange empty = %d, want 0", got)
+	}
+}
+
+// Property: Ones() returns exactly the set bits, for random bitmaps.
+func TestBitmapOnesProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBitmap(n)
+		want := map[int]bool{}
+		for i := 0; i < n/3; i++ {
+			k := rng.Intn(n)
+			b.Set(k)
+			want[k] = true
+		}
+		ones := b.Ones()
+		if len(ones) != len(want) {
+			return false
+		}
+		for _, k := range ones {
+			if !want[k] {
+				return false
+			}
+		}
+		return b.Count() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapFromWords(t *testing.T) {
+	words := []uint64{0b1011, 1}
+	b := BitmapFromWords(words, 65)
+	if !b.Get(0) || b.Get(2) || !b.Get(64) {
+		t.Fatal("BitmapFromWords misread")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for too-short words")
+		}
+	}()
+	BitmapFromWords(words, 200)
+}

@@ -1,0 +1,201 @@
+package bitutil
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WidthOf returns the minimum number of bits needed to represent v.
+// WidthOf(0) == 0 by convention; callers packing all-zero data should treat
+// width 0 as "constant zero".
+func WidthOf(v uint64) int { return bits.Len64(v) }
+
+// MaxWidth returns the minimum bit width that can represent every value in
+// vs, or 0 when vs is empty or all-zero.
+func MaxWidth(vs []uint64) int {
+	var m uint64
+	for _, v := range vs {
+		m |= v
+	}
+	return bits.Len64(m)
+}
+
+// PackedLen returns the number of bytes needed to store n values at the
+// given bit width.
+func PackedLen(n, width int) int {
+	return (n*width + 7) / 8
+}
+
+// Pack appends n values from vs bit-packed at the given width to dst and
+// returns the extended slice. Values must fit in width bits; Pack panics
+// otherwise, since silently truncating stored data would corrupt the file.
+func Pack(dst []byte, vs []uint64, width int) []byte {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitutil: invalid pack width %d", width))
+	}
+	if width == 0 {
+		return dst
+	}
+	limit := ^uint64(0)
+	if width < 64 {
+		limit = (1 << uint(width)) - 1
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, PackedLen(len(vs), width))...)
+	buf := dst[start:]
+	bitPos := 0
+	for _, v := range vs {
+		if v > limit {
+			panic(fmt.Sprintf("bitutil: value %d exceeds width %d", v, width))
+		}
+		rem := width
+		for rem > 0 {
+			bitOff := bitPos & 7
+			take := 8 - bitOff
+			if take > rem {
+				take = rem
+			}
+			buf[bitPos>>3] |= byte(v&((1<<uint(take))-1)) << uint(bitOff)
+			v >>= uint(take)
+			rem -= take
+			bitPos += take
+		}
+	}
+	return dst
+}
+
+// Unpack decodes n width-bit values from src into dst (which must have
+// length >= n) and returns dst[:n]. It is the inverse of Pack.
+func Unpack(dst []uint64, src []byte, n, width int) ([]uint64, error) {
+	if width < 0 || width > 64 {
+		return nil, fmt.Errorf("bitutil: invalid unpack width %d", width)
+	}
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		return dst[:n], nil
+	}
+	if need := PackedLen(n, width); len(src) < need {
+		return nil, fmt.Errorf("bitutil: packed data too short: have %d bytes, need %d", len(src), need)
+	}
+	bitPos := 0
+	for i := 0; i < n; i++ {
+		var v uint64
+		shift := 0
+		rem := width
+		for rem > 0 {
+			bitOff := bitPos & 7
+			take := 8 - bitOff
+			if take > rem {
+				take = rem
+			}
+			chunk := uint64(src[bitPos>>3]>>uint(bitOff)) & ((1 << uint(take)) - 1)
+			v |= chunk << uint(shift)
+			shift += take
+			rem -= take
+			bitPos += take
+		}
+		dst[i] = v
+	}
+	return dst[:n], nil
+}
+
+// Writer writes an MSB-agnostic little-endian bit stream. Bits are appended
+// least-significant-first within each byte, matching Pack's layout.
+type Writer struct {
+	buf    []byte
+	bitPos int
+}
+
+// NewWriter returns a bit writer appending to buf.
+func NewWriter(buf []byte) *Writer {
+	return &Writer{buf: buf, bitPos: len(buf) * 8}
+}
+
+// WriteBits appends the low `width` bits of v.
+func (w *Writer) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitutil: invalid write width %d", width))
+	}
+	for width > 0 {
+		if w.bitPos>>3 >= len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		bitOff := w.bitPos & 7
+		take := 8 - bitOff
+		if take > width {
+			take = width
+		}
+		w.buf[w.bitPos>>3] |= byte(v&((1<<uint(take))-1)) << uint(bitOff)
+		v >>= uint(take)
+		width -= take
+		w.bitPos += take
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// Bytes returns the accumulated bytes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// BitLen returns the number of bits written.
+func (w *Writer) BitLen() int { return w.bitPos }
+
+// Reader reads the bit stream produced by Writer.
+type Reader struct {
+	buf    []byte
+	bitPos int
+}
+
+// NewReader returns a bit reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits reads `width` bits, little-endian-first.
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitutil: invalid read width %d", width)
+	}
+	if r.bitPos+width > len(r.buf)*8 {
+		return 0, fmt.Errorf("bitutil: bit stream exhausted at bit %d (want %d more, have %d)", r.bitPos, width, len(r.buf)*8-r.bitPos)
+	}
+	var v uint64
+	shift := 0
+	rem := width
+	for rem > 0 {
+		bitOff := r.bitPos & 7
+		take := 8 - bitOff
+		if take > rem {
+			take = rem
+		}
+		chunk := uint64(r.buf[r.bitPos>>3]>>uint(bitOff)) & ((1 << uint(take)) - 1)
+		v |= chunk << uint(shift)
+		shift += take
+		rem -= take
+		r.bitPos += take
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// BitPos returns the current read position in bits.
+func (r *Reader) BitPos() int { return r.bitPos }
+
+// ZigZag maps a signed integer to an unsigned integer so that small-magnitude
+// values (positive or negative) become small unsigned values.
+func ZigZag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// UnZigZag is the inverse of ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

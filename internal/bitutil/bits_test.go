@@ -1,0 +1,210 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{1 << 63, 64}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := WidthOf(c.v); got != c.want {
+			t.Errorf("WidthOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMaxWidth(t *testing.T) {
+	if got := MaxWidth(nil); got != 0 {
+		t.Fatalf("MaxWidth(nil) = %d, want 0", got)
+	}
+	if got := MaxWidth([]uint64{0, 0}); got != 0 {
+		t.Fatalf("MaxWidth(zeros) = %d, want 0", got)
+	}
+	if got := MaxWidth([]uint64{1, 7, 3}); got != 3 {
+		t.Fatalf("MaxWidth = %d, want 3", got)
+	}
+}
+
+func TestPackUnpackWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for width := 0; width <= 64; width++ {
+		n := 100
+		vs := make([]uint64, n)
+		if width > 0 {
+			for i := range vs {
+				vs[i] = rng.Uint64()
+				if width < 64 {
+					vs[i] &= (1 << uint(width)) - 1
+				}
+			}
+		}
+		packed := Pack(nil, vs, width)
+		if len(packed) != PackedLen(n, width) {
+			t.Fatalf("width %d: packed len = %d, want %d", width, len(packed), PackedLen(n, width))
+		}
+		got, err := Unpack(make([]uint64, n), packed, n, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				t.Fatalf("width %d: value %d = %d, want %d", width, i, got[i], vs[i])
+			}
+		}
+	}
+}
+
+func TestPackAppends(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	out := Pack(prefix, []uint64{5, 6, 7}, 3)
+	if out[0] != 0xAA || out[1] != 0xBB {
+		t.Fatal("Pack clobbered prefix")
+	}
+	got, err := Unpack(make([]uint64, 3), out[2:], 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 || got[1] != 6 || got[2] != 7 {
+		t.Fatalf("roundtrip after prefix = %v", got)
+	}
+}
+
+func TestPackRejectsOversized(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic packing 8 into width 3")
+		}
+	}()
+	Pack(nil, []uint64{8}, 3)
+}
+
+func TestUnpackShortInput(t *testing.T) {
+	if _, err := Unpack(make([]uint64, 10), []byte{1}, 10, 8); err == nil {
+		t.Fatal("expected error for short input")
+	}
+}
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(nil)
+	w.WriteBit(true)
+	w.WriteBits(0x3FF, 10)
+	w.WriteBit(false)
+	w.WriteBits(0xDEADBEEFCAFE, 48)
+	w.WriteBits(^uint64(0), 64)
+
+	r := NewReader(w.Bytes())
+	if b, _ := r.ReadBit(); !b {
+		t.Fatal("bit 0")
+	}
+	if v, _ := r.ReadBits(10); v != 0x3FF {
+		t.Fatalf("10-bit = %x", v)
+	}
+	if b, _ := r.ReadBit(); b {
+		t.Fatal("bit 12")
+	}
+	if v, _ := r.ReadBits(48); v != 0xDEADBEEFCAFE {
+		t.Fatalf("48-bit = %x", v)
+	}
+	if v, _ := r.ReadBits(64); v != ^uint64(0) {
+		t.Fatalf("64-bit = %x", v)
+	}
+	// 124 bits written, padded to 16 bytes: 4 padding bits remain readable,
+	// a 5th must fail.
+	if _, err := r.ReadBits(5); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+// Property: arbitrary (value, width) sequences survive a writer/reader trip.
+func TestBitStreamProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		widths := make([]int, n)
+		vals := make([]uint64, n)
+		w := NewWriter(nil)
+		for i := 0; i < n; i++ {
+			widths[i] = rng.Intn(64) + 1
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= (1 << uint(widths[i])) - 1
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			v, err := r.ReadBits(widths[i])
+			if err != nil || v != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := []struct {
+		v int64
+		u uint64
+	}{
+		{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4},
+		{1 << 62, 1 << 63}, {-(1 << 62), 1<<63 - 1},
+	}
+	for _, c := range cases {
+		if got := ZigZag(c.v); got != c.u {
+			t.Errorf("ZigZag(%d) = %d, want %d", c.v, got, c.u)
+		}
+		if got := UnZigZag(c.u); got != c.v {
+			t.Errorf("UnZigZag(%d) = %d, want %d", c.u, got, c.v)
+		}
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	vs := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vs {
+		vs[i] = uint64(rng.Intn(1 << 17))
+	}
+	buf := make([]byte, 0, PackedLen(len(vs), 17))
+	b.SetBytes(int64(len(vs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Pack(buf[:0], vs, 17)
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	vs := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vs {
+		vs[i] = uint64(rng.Intn(1 << 17))
+	}
+	packed := Pack(nil, vs, 17)
+	dst := make([]uint64, len(vs))
+	b.SetBytes(int64(len(vs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(dst, packed, len(vs), 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

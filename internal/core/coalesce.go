@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column reordering and coalesced reads (§2.5, last paragraph): in
+// recommendation workloads only ~10% of thousands of features are
+// frequently accessed, so Bullion places hot columns contiguously within
+// each row group and bundles adjacent column chunks into single I/O
+// operations — the counterpart of Alpha's feature reordering + coalesced
+// reads, on the column axis rather than Figure 7's row axis.
+
+// CoalesceLimit is the largest single coalesced read, matching the 1.25 MiB
+// the paper quotes from Alpha's coalesced-read design.
+const CoalesceLimit = 1280 << 10
+
+// ReorderFields returns a copy of schema with the named hot columns moved
+// to the front (in the order given), so their chunks are written adjacent
+// within every row group. The returned permutation maps new index → old
+// index for reordering batch columns.
+func ReorderFields(schema *Schema, hot []string) (*Schema, []int, error) {
+	idx := make(map[string]int, len(schema.Fields))
+	for i, f := range schema.Fields {
+		idx[f.Name] = i
+	}
+	taken := make([]bool, len(schema.Fields))
+	perm := make([]int, 0, len(schema.Fields))
+	for _, name := range hot {
+		i, ok := idx[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: hot column %q not in schema", name)
+		}
+		if taken[i] {
+			return nil, nil, fmt.Errorf("core: hot column %q listed twice", name)
+		}
+		taken[i] = true
+		perm = append(perm, i)
+	}
+	for i := range schema.Fields {
+		if !taken[i] {
+			perm = append(perm, i)
+		}
+	}
+	fields := make([]Field, len(perm))
+	for newIdx, oldIdx := range perm {
+		fields[newIdx] = schema.Fields[oldIdx]
+	}
+	reordered, err := NewSchema(fields...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reordered, perm, nil
+}
+
+// ReorderBatchColumns applies a ReorderFields permutation to batch columns.
+func ReorderBatchColumns(cols []ColumnData, perm []int) []ColumnData {
+	out := make([]ColumnData, len(perm))
+	for newIdx, oldIdx := range perm {
+		out[newIdx] = cols[oldIdx]
+	}
+	return out
+}
+
+// readPlan is one physical read covering one or more column chunks.
+type readPlan struct {
+	off    int64
+	size   int64
+	chunks []planChunk
+}
+
+type planChunk struct {
+	col      int
+	group    int
+	chunkOff int64 // offset within the coalesced buffer
+	chunkLen int64
+}
+
+// planCoalesced builds a minimal set of reads for the given columns of one
+// group: chunks are sorted by file offset and adjacent (or identical-gap)
+// ranges merge until CoalesceLimit.
+func (f *File) planCoalesced(group int, cols []int) []readPlan {
+	type span struct {
+		col  int
+		off  int64
+		size int64
+	}
+	spans := make([]span, 0, len(cols))
+	for _, c := range cols {
+		off, size := f.view.ChunkByteRange(group, c)
+		spans = append(spans, span{col: c, off: int64(off), size: int64(size)})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+
+	var plans []readPlan
+	for _, s := range spans {
+		n := len(plans)
+		if n > 0 {
+			cur := &plans[n-1]
+			end := cur.off + cur.size
+			// Merge when exactly adjacent and under the coalesce limit.
+			if s.off == end && cur.size+s.size <= CoalesceLimit {
+				cur.chunks = append(cur.chunks, planChunk{
+					col: s.col, group: group, chunkOff: s.off - cur.off, chunkLen: s.size,
+				})
+				cur.size += s.size
+				continue
+			}
+		}
+		plans = append(plans, readPlan{
+			off:  s.off,
+			size: s.size,
+			chunks: []planChunk{{
+				col: s.col, group: group, chunkOff: 0, chunkLen: s.size,
+			}},
+		})
+	}
+	return plans
+}
+
+// ProjectCoalesced reads the named columns like Project but bundles
+// adjacent column chunks into single reads of up to CoalesceLimit bytes.
+// When the schema was written with the hot columns reordered to the front
+// (ReorderFields), a hot-set projection collapses to one read per row
+// group.
+func (f *File) ProjectCoalesced(names ...string) (*Batch, error) {
+	cols := make([]int, len(names))
+	fields := make([]Field, len(names))
+	for i, name := range names {
+		ci, ok := f.LookupColumn(name)
+		if !ok {
+			return nil, fmt.Errorf("core: no column %q", name)
+		}
+		cols[i] = ci
+		fields[i] = f.FieldByIndex(ci)
+	}
+	out := make([]ColumnData, len(names))
+	colPos := make(map[int]int, len(cols)) // column index -> output slot
+	for i, c := range cols {
+		colPos[c] = i
+	}
+
+	for g := 0; g < f.view.NumGroups(); g++ {
+		rowStart := f.groupRowStart(g)
+		for _, plan := range f.planCoalesced(g, cols) {
+			buf := make([]byte, plan.size)
+			if _, err := f.r.ReadAt(buf, plan.off); err != nil {
+				return nil, fmt.Errorf("core: coalesced read at %d: %w", plan.off, err)
+			}
+			for _, ch := range plan.chunks {
+				data, err := f.decodeChunkFromBuffer(
+					buf[ch.chunkOff:ch.chunkOff+ch.chunkLen], g, ch.col, rowStart)
+				if err != nil {
+					return nil, err
+				}
+				slot := colPos[ch.col]
+				out[slot] = appendColumn(out[slot], data)
+			}
+		}
+	}
+	for i := range out {
+		if out[i] == nil {
+			out[i] = emptyColumn(fields[i])
+		}
+	}
+	schema := &Schema{Fields: fields}
+	return &Batch{Schema: schema, Columns: out}, nil
+}
+
+// decodeChunkFromBuffer decodes one column chunk whose bytes are already
+// in memory (shared with ReadChunk's per-page loop).
+func (f *File) decodeChunkFromBuffer(buf []byte, group, col int, rowStart uint64) (ColumnData, error) {
+	field := f.FieldByIndex(col)
+	chunkOff, _ := f.view.ChunkByteRange(group, col)
+	first, count := f.view.ChunkPages(group, col)
+
+	var out ColumnData
+	pageRowStart := rowStart
+	for p := first; p < first+count; p++ {
+		off, end := f.pageByteRange(p)
+		payload := buf[off-int64(chunkOff) : end-int64(chunkOff)]
+		logical := f.view.PageRows(p)
+		data, err := decodePage(field, payload, logical)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
+		}
+		if f.deletedInRange(pageRowStart, pageRowStart+uint64(logical)) > 0 {
+			data = filterDeleted(data, f.view, pageRowStart, logical)
+		}
+		out = appendColumn(out, data)
+		pageRowStart += uint64(logical)
+	}
+	if out == nil {
+		out = emptyColumn(field)
+	}
+	return out, nil
+}

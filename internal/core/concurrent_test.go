@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Files are immutable under read; concurrent projections from many
+// goroutines must be safe (run under -race in CI).
+func TestConcurrentReads(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(97))
+	batch := testBatch(t, schema, rng, 2000)
+	_, f := writeTestFile(t, schema, batch, nil)
+
+	// Prime the lazy group-row cache before fanning out (the cache write
+	// itself is not synchronized; real deployments open per goroutine or
+	// prime once, as here).
+	f.GroupRowCounts()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			for k := 0; k < 8; k++ {
+				ci := rng.Intn(len(schema.Fields))
+				data, err := f.ReadColumnByIndex(ci)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if data.Len() != 2000 {
+					errs <- fmt.Errorf("goroutine %d: %d rows", seed, data.Len())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentProjectAndVerify(t *testing.T) {
+	schema := deleteSchema(t)
+	batch := deleteBatch(t, schema, 3000)
+	_, f := writeTestFile(t, schema, batch, nil)
+	f.GroupRowCounts()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := f.Project("uid", "label"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := f.VerifyChecksums(); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProjectEvolvedNewFeature(t *testing.T) {
+	// A file written last month, before "new_feat" existed.
+	schema, _ := NewSchema(
+		Field{Name: "uid", Type: Type{Kind: Int64}},
+		Field{Name: "score", Type: Type{Kind: Float64}},
+	)
+	n := 500
+	uid := make(Int64Data, n)
+	score := make(Float64Data, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range uid {
+		uid[i] = int64(i)
+		score[i] = rng.Float64()
+	}
+	batch, _ := NewBatch(schema, []ColumnData{uid, score})
+	_, f := writeTestFile(t, schema, batch, nil)
+
+	// Today's training job requests the evolved projection.
+	requested := []Field{
+		{Name: "uid", Type: Type{Kind: Int64}},
+		{Name: "new_feat", Type: Type{Kind: List, Elem: Int64}},
+		{Name: "new_flag", Type: Type{Kind: Bool}},
+		{Name: "new_opt", Type: Type{Kind: Int64}, Nullable: true},
+	}
+	got, err := f.ProjectEvolved(requested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != n {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	// Existing column reads through.
+	if got.Columns[0].(Int64Data)[7] != 7 {
+		t.Fatal("stored column misread")
+	}
+	// Missing features default: empty lists, false flags, null ints.
+	lists := got.Columns[1].(ListInt64Data)
+	if len(lists[0]) != 0 {
+		t.Fatal("missing list feature not empty")
+	}
+	flags := got.Columns[2].(BoolData)
+	if flags[0] {
+		t.Fatal("missing bool feature not false")
+	}
+	opt := got.Columns[3].(NullableInt64Data)
+	if opt.Valid[0] {
+		t.Fatal("missing nullable feature not null")
+	}
+}
+
+func TestProjectEvolvedTypeConflict(t *testing.T) {
+	schema, _ := NewSchema(Field{Name: "x", Type: Type{Kind: Int64}})
+	batch, _ := NewBatch(schema, []ColumnData{Int64Data{1, 2}})
+	_, f := writeTestFile(t, schema, batch, nil)
+
+	if _, err := f.ProjectEvolved([]Field{
+		{Name: "x", Type: Type{Kind: Float64}},
+	}); err == nil {
+		t.Fatal("incompatible type evolution accepted")
+	}
+	if _, err := f.ProjectEvolved([]Field{
+		{Name: "x", Type: Type{Kind: Int64}, Nullable: true},
+	}); err == nil {
+		t.Fatal("nullability change accepted")
+	}
+}
+
+func TestProjectEvolvedAfterDeletion(t *testing.T) {
+	mf, f, _ := writeLevel(t, Level2, 1000)
+	if err := f.DeleteRows(mf, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ProjectEvolved([]Field{
+		{Name: "uid", Type: Type{Kind: Int64}},
+		{Name: "brand_new", Type: Type{Kind: Float64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default columns align with the filtered row count.
+	if got.Columns[0].Len() != 997 || got.Columns[1].Len() != 997 {
+		t.Fatalf("lens = %d, %d", got.Columns[0].Len(), got.Columns[1].Len())
+	}
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bullion/internal/footer"
+	"bullion/internal/merkle"
+)
+
+// File is a read handle over a Bullion file. Opening parses only the fixed
+// footer header (O(1)); projecting a column touches O(log n) index bytes
+// plus that column's pages — the §2.3 wide-table property.
+type File struct {
+	r           io.ReaderAt
+	size        int64
+	footerOff   int64
+	view        *footer.View
+	footerLen   int
+	groupRows   []int    // lazy: logical rows per group
+	rewriteOpts *Options // encoding options for Level-2 page rewrites
+}
+
+// Open reads the footer from r and returns a file handle.
+func Open(r io.ReaderAt, size int64) (*File, error) {
+	if size < 8 {
+		return nil, fmt.Errorf("core: file of %d bytes is too small", size)
+	}
+	var tail [8]byte
+	if _, err := r.ReadAt(tail[:], size-8); err != nil {
+		return nil, fmt.Errorf("core: reading trailer: %w", err)
+	}
+	if string(tail[4:]) != FileMagic {
+		return nil, fmt.Errorf("core: bad magic %q", tail[4:])
+	}
+	fLen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if fLen <= 0 || fLen > size-8 {
+		return nil, fmt.Errorf("core: footer length %d invalid for %d-byte file", fLen, size)
+	}
+	buf := make([]byte, fLen)
+	if _, err := r.ReadAt(buf, size-8-fLen); err != nil {
+		return nil, fmt.Errorf("core: reading footer: %w", err)
+	}
+	view, err := footer.OpenView(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &File{r: r, size: size, footerOff: size - 8 - fLen, view: view, footerLen: int(fLen)}, nil
+}
+
+// NumRows returns the logical row count (including deleted rows).
+func (f *File) NumRows() uint64 { return f.view.NumRows() }
+
+// NumLiveRows returns rows not marked deleted.
+func (f *File) NumLiveRows() uint64 {
+	deleted := 0
+	for w := 0; w < f.view.DeletionWords(); w++ {
+		deleted += popcount(f.view.DeletionWord(w))
+	}
+	return f.view.NumRows() - uint64(deleted)
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+// Compliance returns the deletion-compliance level the file was written at.
+func (f *File) Compliance() Level { return Level(f.view.Flags() & 3) }
+
+// View exposes the raw footer view.
+func (f *File) View() *footer.View { return f.view }
+
+// NumColumns returns the column count.
+func (f *File) NumColumns() int { return f.view.NumColumns() }
+
+// FieldByIndex reconstructs the schema field for column c.
+func (f *File) FieldByIndex(c int) Field {
+	return fieldFromDesc(f.view.ColumnName(c), f.view.ColumnType(c))
+}
+
+// Schema materializes the full schema. O(columns) — readers that project
+// should use LookupColumn/FieldByIndex instead.
+func (f *File) Schema() *Schema {
+	fields := make([]Field, f.view.NumColumns())
+	for i := range fields {
+		fields[i] = f.FieldByIndex(i)
+	}
+	return &Schema{Fields: fields}
+}
+
+// LookupColumn resolves a column name to its index.
+func (f *File) LookupColumn(name string) (int, bool) { return f.view.LookupColumn(name) }
+
+// GroupRowCounts returns logical rows per group (computed from column 0's
+// page index once, then cached).
+func (f *File) GroupRowCounts() []int {
+	if f.groupRows != nil {
+		return f.groupRows
+	}
+	out := make([]int, f.view.NumGroups())
+	for g := range out {
+		first, count := f.view.ChunkPages(g, 0)
+		rows := 0
+		for p := first; p < first+count; p++ {
+			rows += f.view.PageRows(p)
+		}
+		out[g] = rows
+	}
+	f.groupRows = out
+	return out
+}
+
+// groupRowStart returns the global row id of the first row in group g.
+func (f *File) groupRowStart(g int) uint64 {
+	counts := f.GroupRowCounts()
+	var start uint64
+	for i := 0; i < g; i++ {
+		start += uint64(counts[i])
+	}
+	return start
+}
+
+// pageByteRange returns the file byte span of global page p.
+func (f *File) pageByteRange(p int) (off, end int64) {
+	off = int64(f.view.PageOffset(p))
+	if p+1 < f.view.NumPages() {
+		return off, int64(f.view.PageOffset(p + 1))
+	}
+	return off, f.footerOff
+}
+
+// deletedInRange counts deleted rows among global rows [lo, hi).
+func (f *File) deletedInRange(lo, hi uint64) int {
+	n := 0
+	for r := lo; r < hi; r++ {
+		if f.view.RowDeleted(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadChunk reads and decodes one column chunk, returning only live rows.
+func (f *File) ReadChunk(group, col int) (ColumnData, error) {
+	field := f.FieldByIndex(col)
+	chunkOff, chunkSize := f.view.ChunkByteRange(group, col)
+	buf := make([]byte, chunkSize)
+	if _, err := f.r.ReadAt(buf, int64(chunkOff)); err != nil {
+		return nil, fmt.Errorf("core: reading chunk (%d,%d): %w", group, col, err)
+	}
+	first, count := f.view.ChunkPages(group, col)
+	rowStart := f.groupRowStart(group)
+
+	var out ColumnData
+	pageRowStart := rowStart
+	for p := first; p < first+count; p++ {
+		off, end := f.pageByteRange(p)
+		payload := buf[off-int64(chunkOff) : end-int64(chunkOff)]
+		logical := f.view.PageRows(p)
+		data, err := decodePage(field, payload, logical)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
+		}
+		// Pages always hold their logical row count: Level-2 erasure masks
+		// in place rather than compacting, so alignment is intact and the
+		// deletion vector drives filtering at every compliance level.
+		if f.deletedInRange(pageRowStart, pageRowStart+uint64(logical)) > 0 {
+			data = filterDeleted(data, f.view, pageRowStart, logical)
+		}
+		out = appendColumn(out, data)
+		pageRowStart += uint64(logical)
+	}
+	if out == nil {
+		out = emptyColumn(field)
+	}
+	return out, nil
+}
+
+// filterDeleted drops rows marked in the deletion vector (Level-1 reads).
+func filterDeleted(data ColumnData, v *footer.View, rowStart uint64, logical int) ColumnData {
+	keep := make([]int, 0, logical)
+	for i := 0; i < logical; i++ {
+		if !v.RowDeleted(rowStart + uint64(i)) {
+			keep = append(keep, i)
+		}
+	}
+	return permuteColumn(data, keep)
+}
+
+// emptyColumn returns a zero-length column of the field's type.
+func emptyColumn(f Field) ColumnData {
+	switch {
+	case f.Nullable:
+		return NullableInt64Data{}
+	case f.Type.Kind == Int64 || f.Type.Kind == Int32:
+		return Int64Data{}
+	case f.Type.Kind == Float64:
+		return Float64Data{}
+	case f.Type.Kind == Float32:
+		return Float32Data{}
+	case f.Type.Kind == Bool:
+		return BoolData{}
+	case f.Type.Kind == Binary || f.Type.Kind == String:
+		return BytesData{}
+	case f.Type.Kind == List && f.Type.Elem == Int64:
+		return ListInt64Data{}
+	case f.Type.Kind == List && f.Type.Elem == Float32:
+		return ListFloat32Data{}
+	case f.Type.Kind == List && f.Type.Elem == Float64:
+		return ListFloat64Data{}
+	case f.Type.Kind == List && f.Type.Elem == Binary:
+		return ListBytesData{}
+	default:
+		return ListListInt64Data{}
+	}
+}
+
+// ReadRows reads global rows [lo, hi) of a column, touching only the pages
+// that overlap the range — the selective-read path quality-aware layouts
+// exploit (§2.5): with rows presorted by quality, a threshold read becomes
+// one contiguous page run instead of scattered page fetches.
+func (f *File) ReadRows(col int, lo, hi uint64) (ColumnData, error) {
+	if hi > f.view.NumRows() || lo > hi {
+		return nil, fmt.Errorf("core: row range [%d,%d) out of [0,%d]", lo, hi, f.view.NumRows())
+	}
+	field := f.FieldByIndex(col)
+	var out ColumnData
+	counts := f.GroupRowCounts()
+	var groupStart uint64
+	for g := 0; g < f.view.NumGroups(); g++ {
+		groupEnd := groupStart + uint64(counts[g])
+		if groupEnd <= lo || groupStart >= hi {
+			groupStart = groupEnd
+			continue
+		}
+		first, count := f.view.ChunkPages(g, col)
+		pageStart := groupStart
+		for p := first; p < first+count; p++ {
+			logical := uint64(f.view.PageRows(p))
+			pageEnd := pageStart + logical
+			if pageEnd <= lo || pageStart >= hi {
+				pageStart = pageEnd
+				continue
+			}
+			off, end := f.pageByteRange(p)
+			payload := make([]byte, end-off)
+			if _, err := f.r.ReadAt(payload, off); err != nil {
+				return nil, fmt.Errorf("core: reading page %d: %w", p, err)
+			}
+			data, err := decodePage(field, payload, int(logical))
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding page %d: %w", p, err)
+			}
+			// Clip to the requested range, then filter deletions.
+			clipLo, clipHi := 0, int(logical)
+			if pageStart < lo {
+				clipLo = int(lo - pageStart)
+			}
+			if pageEnd > hi {
+				clipHi = int(logical - (pageEnd - hi))
+			}
+			keep := make([]int, 0, clipHi-clipLo)
+			for i := clipLo; i < clipHi; i++ {
+				if !f.view.RowDeleted(pageStart + uint64(i)) {
+					keep = append(keep, i)
+				}
+			}
+			out = appendColumn(out, permuteColumn(data, keep))
+			pageStart = pageEnd
+		}
+		groupStart = groupEnd
+	}
+	if out == nil {
+		out = emptyColumn(field)
+	}
+	return out, nil
+}
+
+// ReadColumnByIndex reads a full column (live rows only).
+func (f *File) ReadColumnByIndex(col int) (ColumnData, error) {
+	var out ColumnData
+	for g := 0; g < f.view.NumGroups(); g++ {
+		chunk, err := f.ReadChunk(g, col)
+		if err != nil {
+			return nil, err
+		}
+		out = appendColumn(out, chunk)
+	}
+	if out == nil {
+		out = emptyColumn(f.FieldByIndex(col))
+	}
+	return out, nil
+}
+
+// ReadColumn reads a full column by name.
+func (f *File) ReadColumn(name string) (ColumnData, error) {
+	col, ok := f.LookupColumn(name)
+	if !ok {
+		return nil, fmt.Errorf("core: no column %q", name)
+	}
+	return f.ReadColumnByIndex(col)
+}
+
+// Project reads the named columns (live rows only), in the order given —
+// the paper's feature projection path.
+func (f *File) Project(names ...string) (*Batch, error) {
+	fields := make([]Field, len(names))
+	cols := make([]ColumnData, len(names))
+	for i, name := range names {
+		ci, ok := f.LookupColumn(name)
+		if !ok {
+			return nil, fmt.Errorf("core: no column %q", name)
+		}
+		fields[i] = f.FieldByIndex(ci)
+		data, err := f.ReadColumnByIndex(ci)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = data
+	}
+	schema := &Schema{Fields: fields}
+	return &Batch{Schema: schema, Columns: cols}, nil
+}
+
+// VerifyChecksums re-hashes every page and validates the Merkle tree
+// recorded in the footer (leaves, group hashes, and root).
+func (f *File) VerifyChecksums() error {
+	v := f.view
+	nPages := v.NumPages()
+	nGroups := v.NumGroups()
+	leaves := make([][]merkle.Hash, nGroups)
+	p := 0
+	for g := 0; g < nGroups; g++ {
+		leaves[g] = make([]merkle.Hash, v.GroupPages(g))
+		for i := range leaves[g] {
+			off, end := f.pageByteRange(p)
+			buf := make([]byte, end-off)
+			if _, err := f.r.ReadAt(buf, off); err != nil {
+				return fmt.Errorf("core: reading page %d: %w", p, err)
+			}
+			got := merkle.HashPage(buf)
+			if want := merkle.Hash(v.Checksum(p)); got != want {
+				return fmt.Errorf("core: page %d checksum mismatch: %016x != %016x", p, got, want)
+			}
+			leaves[g][i] = got
+			p++
+		}
+	}
+	tree := merkle.FromHashes(leaves)
+	for g := 0; g < nGroups; g++ {
+		want := merkle.Hash(v.Checksum(nPages + g))
+		if got, _ := tree.Group(g); got != want {
+			return fmt.Errorf("core: group %d checksum mismatch", g)
+		}
+	}
+	if got, want := tree.Root(), merkle.Hash(v.RootChecksum()); got != want {
+		return fmt.Errorf("core: root checksum mismatch: %016x != %016x", got, want)
+	}
+	return nil
+}

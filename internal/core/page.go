@@ -1,0 +1,487 @@
+package core
+
+import (
+	"fmt"
+
+	"bullion/internal/bitutil"
+	"bullion/internal/enc"
+	"bullion/internal/quant"
+	"bullion/internal/sparse"
+)
+
+// maskableAllowed is the cascade subset usable in Level-2 files: the
+// schemes §2.1 enumerates as mask-friendly (bit-packing, varint, RLE,
+// dictionary, FOR) plus the trivially safe ones. Delta, Gorilla/Chimp,
+// Huffman, BitShuffle, and block compression are excluded — masking one
+// value shifts their downstream state, so a re-encoded page could exceed
+// its original size, violating the paper's size-consistency criterion.
+// Compliance costs compression; the tradeoff is measured in the deletion
+// experiment's ablation.
+var maskableAllowed = map[enc.SchemeID]bool{
+	enc.Plain: true, enc.BitPack: true, enc.Varint: true, enc.ZigZagVar: true,
+	enc.RLE: true, enc.Dict: true, enc.FOR: true,
+	enc.Constant: true, enc.MainlyConst: true,
+	enc.PlainF: true, enc.ConstantF: true,
+	enc.PlainB: true, enc.DictB: true, enc.ConstantB: true,
+	enc.PlainBool: true, enc.SparseBool: true, enc.Roaring: true,
+	enc.Nullable: true, enc.Sentinel: true,
+}
+
+// maskableEncOptions restricts base to the maskable scheme subset.
+func maskableEncOptions(base *enc.Options) *enc.Options {
+	c := *base
+	if c.Allowed == nil {
+		c.Allowed = maskableAllowed
+		return &c
+	}
+	inter := map[enc.SchemeID]bool{}
+	for id := range c.Allowed {
+		if maskableAllowed[id] {
+			inter[id] = true
+		}
+	}
+	c.Allowed = inter
+	return &c
+}
+
+// level2Slack returns the per-page padding reserved at Level 2 so that
+// masked re-encodes with slightly different sub-stream choices still fit.
+func level2Slack(payloadLen int) int { return 16 + payloadLen/32 }
+
+// boolsToBitmap converts a validity slice to a bitmap.
+func boolsToBitmap(valid []bool) *bitutil.Bitmap {
+	b := bitutil.NewBitmap(len(valid))
+	for i, v := range valid {
+		if v {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+// Options configures the writer's encoding behaviour.
+type Options struct {
+	// RowsPerPage is the page granularity (the unit of in-place deletion
+	// and checksum maintenance).
+	RowsPerPage int
+	// GroupRows is the row-group granularity.
+	GroupRows int
+	// Compliance selects the §2.1 deletion-compliance level the file is
+	// written at (recorded per file; Level 2 files reserve dictionary mask
+	// entries, which ours always do).
+	Compliance Level
+	// Enc configures the cascade selector.
+	Enc *enc.Options
+	// Sparse configures the sliding-window codec for Sparse fields.
+	Sparse *sparse.Options
+	// QualityColumn, when set, names a float64 column; buffered rows are
+	// presorted by it in descending order before each row group is cut
+	// (§2.5's quality-aware data organization).
+	QualityColumn string
+}
+
+// Level is a deletion-compliance level (§2.1).
+type Level uint8
+
+// Compliance levels.
+const (
+	// Level0 behaves like a legacy columnar file: no deletion support.
+	Level0 Level = 0
+	// Level1 maintains a deletion vector; deleted rows are filtered at
+	// read time but their bytes remain on disk.
+	Level1 Level = 1
+	// Level2 combines the deletion vector with in-place physical erasure
+	// of the affected pages.
+	Level2 Level = 2
+)
+
+// DefaultOptions returns the writer defaults.
+func DefaultOptions() *Options {
+	return &Options{
+		RowsPerPage: 1024,
+		GroupRows:   1 << 16,
+		Compliance:  Level2,
+		Enc:         enc.DefaultOptions(),
+		Sparse:      sparse.DefaultOptions(),
+	}
+}
+
+func (o *Options) clone() *Options {
+	c := *o
+	return &c
+}
+
+// SparsePageScheme is the PageCompression marker for sparse sliding-window
+// pages (the codec is composite; no single cascade id describes it).
+const SparsePageScheme = 0
+
+// encodePage encodes one page (<= RowsPerPage rows) of a column, returning
+// the representative cascade scheme recorded in the footer: the stream's
+// own scheme for scalar pages, the value stream's scheme for list pages,
+// and SparsePageScheme for sliding-window pages.
+func encodePage(f Field, data ColumnData, opts *Options) ([]byte, enc.SchemeID, error) {
+	switch d := data.(type) {
+	case Int64Data:
+		out, err := enc.EncodeInts(nil, d, opts.Enc)
+		return out, enc.TopScheme(out), err
+	case NullableInt64Data:
+		valid := boolsToBitmap(d.Valid)
+		out, err := enc.EncodeNullableInts(nil, d.Values, valid, opts.Enc)
+		return out, enc.TopScheme(out), err
+	case Float64Data:
+		out, err := enc.EncodeFloats(nil, d, opts.Enc)
+		return out, enc.TopScheme(out), err
+	case Float32Data:
+		bits, err := quant.Quantize(d, f.Type.Quant)
+		if err != nil {
+			return nil, 0, err
+		}
+		out, err := enc.EncodeInts(nil, bits, opts.Enc)
+		return out, enc.TopScheme(out), err
+	case BoolData:
+		out, err := enc.EncodeBools(nil, d, opts.Enc)
+		return out, enc.TopScheme(out), err
+	case BytesData:
+		out, err := enc.EncodeBytes(nil, d, opts.Enc)
+		return out, enc.TopScheme(out), err
+	case ListInt64Data:
+		if f.Sparse {
+			out, err := sparse.EncodeColumn(d, opts.Sparse)
+			return out, SparsePageScheme, err
+		}
+		lengths := make([]int64, len(d))
+		var flat []int64
+		for i, v := range d {
+			lengths[i] = int64(len(v))
+			flat = append(flat, v...)
+		}
+		return encodeTwoStreams(lengths, func() ([]byte, error) {
+			return enc.EncodeInts(nil, flat, opts.Enc)
+		}, opts)
+	case ListFloat32Data:
+		lengths := make([]int64, len(d))
+		var flat []float32
+		for i, v := range d {
+			lengths[i] = int64(len(v))
+			flat = append(flat, v...)
+		}
+		return encodeTwoStreams(lengths, func() ([]byte, error) {
+			bits, err := quant.Quantize(flat, f.Type.Quant)
+			if err != nil {
+				return nil, err
+			}
+			return enc.EncodeInts(nil, bits, opts.Enc)
+		}, opts)
+	case ListFloat64Data:
+		lengths := make([]int64, len(d))
+		var flat []float64
+		for i, v := range d {
+			lengths[i] = int64(len(v))
+			flat = append(flat, v...)
+		}
+		return encodeTwoStreams(lengths, func() ([]byte, error) {
+			return enc.EncodeFloats(nil, flat, opts.Enc)
+		}, opts)
+	case ListBytesData:
+		lengths := make([]int64, len(d))
+		var flat [][]byte
+		for i, v := range d {
+			lengths[i] = int64(len(v))
+			flat = append(flat, v...)
+		}
+		return encodeTwoStreams(lengths, func() ([]byte, error) {
+			return enc.EncodeBytes(nil, flat, opts.Enc)
+		}, opts)
+	case ListListInt64Data:
+		outer := make([]int64, len(d))
+		var inner []int64
+		var flat []int64
+		for i, lst := range d {
+			outer[i] = int64(len(lst))
+			for _, v := range lst {
+				inner = append(inner, int64(len(v)))
+				flat = append(flat, v...)
+			}
+		}
+		outerStream, err := enc.EncodeInts(nil, outer, opts.Enc)
+		if err != nil {
+			return nil, 0, err
+		}
+		innerStream, err := enc.EncodeInts(nil, inner, opts.Enc)
+		if err != nil {
+			return nil, 0, err
+		}
+		flatStream, err := enc.EncodeInts(nil, flat, opts.Enc)
+		if err != nil {
+			return nil, 0, err
+		}
+		out := enc.AppendLengthPrefixed(nil, outerStream)
+		out = enc.AppendLengthPrefixed(out, innerStream)
+		return enc.AppendLengthPrefixed(out, flatStream), enc.TopScheme(flatStream), nil
+	}
+	return nil, 0, fmt.Errorf("core: cannot encode column type %T", data)
+}
+
+// encodeTwoStreams frames a lengths stream plus a values stream, reporting
+// the values stream's scheme.
+func encodeTwoStreams(lengths []int64, values func() ([]byte, error), opts *Options) ([]byte, enc.SchemeID, error) {
+	lenStream, err := enc.EncodeInts(nil, lengths, opts.Enc)
+	if err != nil {
+		return nil, 0, err
+	}
+	valStream, err := values()
+	if err != nil {
+		return nil, 0, err
+	}
+	out := enc.AppendLengthPrefixed(nil, lenStream)
+	return enc.AppendLengthPrefixed(out, valStream), enc.TopScheme(valStream), nil
+}
+
+// decodePage decodes a page of nRows rows.
+func decodePage(f Field, payload []byte, nRows int) (ColumnData, error) {
+	switch {
+	case f.Nullable && f.Type.Kind == Int64:
+		vs, valid, err := enc.DecodeNullableInts(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		vb := make([]bool, nRows)
+		for i := range vb {
+			vb[i] = valid.Get(i)
+		}
+		return NullableInt64Data{Values: vs, Valid: vb}, nil
+	case f.Type.Kind == Int64 || f.Type.Kind == Int32:
+		vs, err := enc.DecodeInts(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		return Int64Data(vs), nil
+	case f.Type.Kind == Float64:
+		vs, err := enc.DecodeFloats(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		return Float64Data(vs), nil
+	case f.Type.Kind == Float32:
+		bits, err := enc.DecodeInts(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		vs, err := quant.Dequantize(bits, f.Type.Quant)
+		if err != nil {
+			return nil, err
+		}
+		return Float32Data(vs), nil
+	case f.Type.Kind == Bool:
+		vs, err := enc.DecodeBools(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		return BoolData(vs), nil
+	case f.Type.Kind == Binary || f.Type.Kind == String:
+		vs, err := enc.DecodeBytes(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		return BytesData(vs), nil
+	case f.Type.Kind == List && f.Type.Elem == Int64:
+		if f.Sparse {
+			vecs, err := sparse.DecodeColumn(payload)
+			if err != nil {
+				return nil, err
+			}
+			if len(vecs) != nRows {
+				return nil, fmt.Errorf("core: sparse page has %d vectors, want %d", len(vecs), nRows)
+			}
+			return ListInt64Data(vecs), nil
+		}
+		lengths, rest, err := decodeLengths(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, l := range lengths {
+			total += int(l)
+		}
+		valStream, _, err := enc.ReadLengthPrefixed(rest)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := enc.DecodeInts(valStream, total)
+		if err != nil {
+			return nil, err
+		}
+		return ListInt64Data(splitInt64(flat, lengths)), nil
+	case f.Type.Kind == List && f.Type.Elem == Float32:
+		lengths, rest, err := decodeLengths(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, l := range lengths {
+			total += int(l)
+		}
+		valStream, _, err := enc.ReadLengthPrefixed(rest)
+		if err != nil {
+			return nil, err
+		}
+		bits, err := enc.DecodeInts(valStream, total)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := quant.Dequantize(bits, f.Type.Quant)
+		if err != nil {
+			return nil, err
+		}
+		out := make(ListFloat32Data, nRows)
+		pos := 0
+		for i, l := range lengths {
+			out[i] = flat[pos : pos+int(l)]
+			pos += int(l)
+		}
+		return out, nil
+	case f.Type.Kind == List && f.Type.Elem == Float64:
+		lengths, rest, err := decodeLengths(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, l := range lengths {
+			total += int(l)
+		}
+		valStream, _, err := enc.ReadLengthPrefixed(rest)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := enc.DecodeFloats(valStream, total)
+		if err != nil {
+			return nil, err
+		}
+		out := make(ListFloat64Data, nRows)
+		pos := 0
+		for i, l := range lengths {
+			out[i] = flat[pos : pos+int(l)]
+			pos += int(l)
+		}
+		return out, nil
+	case f.Type.Kind == List && f.Type.Elem == Binary:
+		lengths, rest, err := decodeLengths(payload, nRows)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, l := range lengths {
+			total += int(l)
+		}
+		valStream, _, err := enc.ReadLengthPrefixed(rest)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := enc.DecodeBytes(valStream, total)
+		if err != nil {
+			return nil, err
+		}
+		out := make(ListBytesData, nRows)
+		pos := 0
+		for i, l := range lengths {
+			out[i] = flat[pos : pos+int(l)]
+			pos += int(l)
+		}
+		return out, nil
+	case f.Type.Kind == ListList:
+		outerStream, rest, err := enc.ReadLengthPrefixed(payload)
+		if err != nil {
+			return nil, err
+		}
+		outer, err := enc.DecodeInts(outerStream, nRows)
+		if err != nil {
+			return nil, err
+		}
+		nInner := 0
+		for _, l := range outer {
+			if l < 0 || l > maxListLen {
+				return nil, fmt.Errorf("core: outer list length %d out of range", l)
+			}
+			nInner += int(l)
+			if nInner > maxListLen {
+				return nil, fmt.Errorf("core: nested list cardinality overflow")
+			}
+		}
+		innerStream, rest, err := enc.ReadLengthPrefixed(rest)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := enc.DecodeInts(innerStream, nInner)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, l := range inner {
+			if l < 0 || l > maxListLen {
+				return nil, fmt.Errorf("core: inner list length %d out of range", l)
+			}
+			total += int(l)
+			if total > maxListLen {
+				return nil, fmt.Errorf("core: nested value cardinality overflow")
+			}
+		}
+		flatStream, _, err := enc.ReadLengthPrefixed(rest)
+		if err != nil {
+			return nil, err
+		}
+		flat, err := enc.DecodeInts(flatStream, total)
+		if err != nil {
+			return nil, err
+		}
+		out := make(ListListInt64Data, nRows)
+		ii, pos := 0, 0
+		for i, ol := range outer {
+			lst := make([][]int64, ol)
+			for j := range lst {
+				l := int(inner[ii])
+				ii++
+				lst[j] = flat[pos : pos+l]
+				pos += l
+			}
+			out[i] = lst
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: cannot decode field %q of type %v", f.Name, f.Type)
+}
+
+// maxListLen bounds per-page list cardinalities so hostile length streams
+// cannot drive unbounded allocations (2^28 values ≈ 2 GB of int64s).
+const maxListLen = 1 << 28
+
+func decodeLengths(payload []byte, nRows int) ([]int64, []byte, error) {
+	lenStream, rest, err := enc.ReadLengthPrefixed(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	lengths, err := enc.DecodeInts(lenStream, nRows)
+	if err != nil {
+		return nil, nil, err
+	}
+	total := 0
+	for _, l := range lengths {
+		if l < 0 || l > maxListLen {
+			return nil, nil, fmt.Errorf("core: list length %d out of range", l)
+		}
+		total += int(l)
+		if total > maxListLen {
+			return nil, nil, fmt.Errorf("core: list cardinality overflow")
+		}
+	}
+	return lengths, rest, nil
+}
+
+func splitInt64(flat []int64, lengths []int64) [][]int64 {
+	out := make([][]int64, len(lengths))
+	pos := 0
+	for i, l := range lengths {
+		out[i] = flat[pos : pos+int(l)]
+		pos += int(l)
+	}
+	return out
+}

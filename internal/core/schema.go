@@ -1,0 +1,344 @@
+// Package core implements the Bullion columnar file format: row groups of
+// column-chunk pages, the compact footer of internal/footer, cascade
+// encoding from internal/enc, sliding-window sparse codecs from
+// internal/sparse, storage quantization from internal/quant, and the
+// paper's three-level deletion-compliance model (§2.1).
+//
+// File layout:
+//
+//	BullionFile := RowGroup* Footer footerLen(u32) magic "BLN1"
+//	RowGroup    := ColumnChunk*      // one chunk per column, in schema order
+//	ColumnChunk := Page*
+//	Page        := payload (self-describing encoded streams)
+//
+// Struct columns are flattened into leaf columns before reaching core
+// (Alpha-style feature flattening); a struct<list<int64>,list<float>>
+// feature becomes two columns "f.0" and "f.1".
+package core
+
+import (
+	"fmt"
+
+	"bullion/internal/footer"
+	"bullion/internal/quant"
+)
+
+// Kind aliases the footer's physical type family.
+type Kind = footer.Kind
+
+// Re-exported kinds for schema construction.
+const (
+	Int64    = footer.KindInt64
+	Int32    = footer.KindInt32
+	Float64  = footer.KindFloat64
+	Float32  = footer.KindFloat32
+	Bool     = footer.KindBool
+	Binary   = footer.KindBinary
+	String   = footer.KindString
+	List     = footer.KindList
+	ListList = footer.KindListList
+)
+
+// Type is a column's logical type.
+type Type struct {
+	Kind  Kind
+	Elem  Kind         // element kind for List / ListList
+	Quant quant.Format // storage quantization for Float32 columns (FP32 = none)
+}
+
+// desc converts to the footer's fixed descriptor.
+func (t Type) desc() footer.TypeDesc {
+	return footer.TypeDesc{Kind: t.Kind, Elem: t.Elem, Quant: uint8(t.Quant)}
+}
+
+func typeFromDesc(d footer.TypeDesc) Type {
+	return Type{Kind: d.Kind, Elem: d.Elem, Quant: quant.Format(d.Quant)}
+}
+
+// String renders the type.
+func (t Type) String() string { return t.desc().String() }
+
+// Field is one column of a schema.
+type Field struct {
+	Name string
+	Type Type
+	// Sparse selects the §2.2 sliding-window delta codec; valid only for
+	// list<int64> columns (sequence features like clk_seq_cids).
+	Sparse bool
+	// Nullable permits nulls; valid for int64 scalar columns.
+	Nullable bool
+}
+
+// Schema is an ordered set of fields.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema validates and constructs a schema.
+func NewSchema(fields ...Field) (*Schema, error) {
+	names := make(map[string]bool, len(fields))
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("core: field %d has empty name", i)
+		}
+		if names[f.Name] {
+			return nil, fmt.Errorf("core: duplicate field %q", f.Name)
+		}
+		names[f.Name] = true
+		if err := validateType(f); err != nil {
+			return nil, fmt.Errorf("core: field %q: %w", f.Name, err)
+		}
+	}
+	return &Schema{Fields: fields}, nil
+}
+
+func validateType(f Field) error {
+	t := f.Type
+	switch t.Kind {
+	case Int64, Int32, Float64, Bool, Binary, String:
+		if t.Elem != footer.KindInvalid {
+			return fmt.Errorf("scalar type %v must not set Elem", t.Kind)
+		}
+	case Float32:
+		switch t.Quant {
+		case quant.FP32, quant.TF32, quant.FP16, quant.BF16, quant.FP8E4M3, quant.FP8E5M2:
+		default:
+			return fmt.Errorf("float32 quant format %v unsupported", t.Quant)
+		}
+	case List:
+		switch t.Elem {
+		case Int64, Float32, Float64, Binary:
+		default:
+			return fmt.Errorf("list element %v unsupported", t.Elem)
+		}
+	case ListList:
+		if t.Elem != Int64 {
+			return fmt.Errorf("list<list<%v>> unsupported (only int64)", t.Elem)
+		}
+	default:
+		return fmt.Errorf("kind %v unsupported", t.Kind)
+	}
+	if f.Sparse && !(t.Kind == List && t.Elem == Int64) {
+		return fmt.Errorf("sparse codec requires list<int64>, got %v", t)
+	}
+	if f.Nullable && t.Kind != Int64 {
+		return fmt.Errorf("nullable is only supported for int64 columns, got %v", t)
+	}
+	return nil
+}
+
+// Lookup returns the index of the named field.
+func (s *Schema) Lookup(name string) (int, bool) {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ColumnData is a typed column of in-memory values.
+type ColumnData interface {
+	Len() int
+	kind() Kind
+}
+
+// Int64Data is a non-null int64 column.
+type Int64Data []int64
+
+// NullableInt64Data is an int64 column with a validity mask. Valid[i]
+// false means vs[i] is null (its value is ignored).
+type NullableInt64Data struct {
+	Values []int64
+	Valid  []bool
+}
+
+// Float64Data is a float64 column.
+type Float64Data []float64
+
+// Float32Data is a float32 column (possibly stored quantized).
+type Float32Data []float32
+
+// BoolData is a boolean column.
+type BoolData []bool
+
+// BytesData is a binary/string column.
+type BytesData [][]byte
+
+// ListInt64Data is a list<int64> column.
+type ListInt64Data [][]int64
+
+// ListFloat32Data is a list<float> column.
+type ListFloat32Data [][]float32
+
+// ListFloat64Data is a list<double> column.
+type ListFloat64Data [][]float64
+
+// ListBytesData is a list<binary> column.
+type ListBytesData [][][]byte
+
+// ListListInt64Data is a list<list<int64>> column.
+type ListListInt64Data [][][]int64
+
+func (d Int64Data) Len() int         { return len(d) }
+func (d NullableInt64Data) Len() int { return len(d.Values) }
+func (d Float64Data) Len() int       { return len(d) }
+func (d Float32Data) Len() int       { return len(d) }
+func (d BoolData) Len() int          { return len(d) }
+func (d BytesData) Len() int         { return len(d) }
+func (d ListInt64Data) Len() int     { return len(d) }
+func (d ListFloat32Data) Len() int   { return len(d) }
+func (d ListFloat64Data) Len() int   { return len(d) }
+func (d ListBytesData) Len() int     { return len(d) }
+func (d ListListInt64Data) Len() int { return len(d) }
+
+func (Int64Data) kind() Kind         { return Int64 }
+func (NullableInt64Data) kind() Kind { return Int64 }
+func (Float64Data) kind() Kind       { return Float64 }
+func (Float32Data) kind() Kind       { return Float32 }
+func (BoolData) kind() Kind          { return Bool }
+func (BytesData) kind() Kind         { return Binary }
+func (ListInt64Data) kind() Kind     { return List }
+func (ListFloat32Data) kind() Kind   { return List }
+func (ListFloat64Data) kind() Kind   { return List }
+func (ListBytesData) kind() Kind     { return List }
+func (ListListInt64Data) kind() Kind { return ListList }
+
+// Batch is a set of column slices aligned with a schema.
+type Batch struct {
+	Schema  *Schema
+	Columns []ColumnData
+}
+
+// NewBatch validates column/shape agreement.
+func NewBatch(schema *Schema, columns []ColumnData) (*Batch, error) {
+	if len(columns) != len(schema.Fields) {
+		return nil, fmt.Errorf("core: batch has %d columns, schema %d", len(columns), len(schema.Fields))
+	}
+	n := -1
+	for i, c := range columns {
+		if c == nil {
+			return nil, fmt.Errorf("core: column %q is nil", schema.Fields[i].Name)
+		}
+		if err := checkColumnType(schema.Fields[i], c); err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return nil, fmt.Errorf("core: column %q has %d rows, others %d",
+				schema.Fields[i].Name, c.Len(), n)
+		}
+	}
+	return &Batch{Schema: schema, Columns: columns}, nil
+}
+
+// NumRows returns the row count of the batch.
+func (b *Batch) NumRows() int {
+	if len(b.Columns) == 0 {
+		return 0
+	}
+	return b.Columns[0].Len()
+}
+
+func checkColumnType(f Field, c ColumnData) error {
+	ok := false
+	switch d := c.(type) {
+	case Int64Data:
+		ok = (f.Type.Kind == Int64 || f.Type.Kind == Int32) && !f.Nullable
+	case NullableInt64Data:
+		ok = f.Type.Kind == Int64 && f.Nullable
+		if ok && len(d.Valid) != len(d.Values) {
+			return fmt.Errorf("core: column %q validity length %d != values %d",
+				f.Name, len(d.Valid), len(d.Values))
+		}
+	case Float64Data:
+		ok = f.Type.Kind == Float64
+	case Float32Data:
+		ok = f.Type.Kind == Float32
+	case BoolData:
+		ok = f.Type.Kind == Bool
+	case BytesData:
+		ok = f.Type.Kind == Binary || f.Type.Kind == String
+	case ListInt64Data:
+		ok = f.Type.Kind == List && f.Type.Elem == Int64
+	case ListFloat32Data:
+		ok = f.Type.Kind == List && f.Type.Elem == Float32
+	case ListFloat64Data:
+		ok = f.Type.Kind == List && f.Type.Elem == Float64
+	case ListBytesData:
+		ok = f.Type.Kind == List && f.Type.Elem == Binary
+	case ListListInt64Data:
+		ok = f.Type.Kind == ListList
+	}
+	if !ok {
+		return fmt.Errorf("core: column %q: data type %T does not match field type %v (nullable=%v)",
+			f.Name, c, f.Type, f.Nullable)
+	}
+	return nil
+}
+
+// sliceColumn returns rows [lo,hi) of a column.
+func sliceColumn(c ColumnData, lo, hi int) ColumnData {
+	switch d := c.(type) {
+	case Int64Data:
+		return d[lo:hi]
+	case NullableInt64Data:
+		return NullableInt64Data{Values: d.Values[lo:hi], Valid: d.Valid[lo:hi]}
+	case Float64Data:
+		return d[lo:hi]
+	case Float32Data:
+		return d[lo:hi]
+	case BoolData:
+		return d[lo:hi]
+	case BytesData:
+		return d[lo:hi]
+	case ListInt64Data:
+		return d[lo:hi]
+	case ListFloat32Data:
+		return d[lo:hi]
+	case ListFloat64Data:
+		return d[lo:hi]
+	case ListBytesData:
+		return d[lo:hi]
+	case ListListInt64Data:
+		return d[lo:hi]
+	}
+	panic(fmt.Sprintf("core: unknown column type %T", c))
+}
+
+// appendColumn concatenates src onto dst (same dynamic type).
+func appendColumn(dst, src ColumnData) ColumnData {
+	if dst == nil {
+		return src
+	}
+	switch d := dst.(type) {
+	case Int64Data:
+		return append(d, src.(Int64Data)...)
+	case NullableInt64Data:
+		s := src.(NullableInt64Data)
+		return NullableInt64Data{
+			Values: append(d.Values, s.Values...),
+			Valid:  append(d.Valid, s.Valid...),
+		}
+	case Float64Data:
+		return append(d, src.(Float64Data)...)
+	case Float32Data:
+		return append(d, src.(Float32Data)...)
+	case BoolData:
+		return append(d, src.(BoolData)...)
+	case BytesData:
+		return append(d, src.(BytesData)...)
+	case ListInt64Data:
+		return append(d, src.(ListInt64Data)...)
+	case ListFloat32Data:
+		return append(d, src.(ListFloat32Data)...)
+	case ListFloat64Data:
+		return append(d, src.(ListFloat64Data)...)
+	case ListBytesData:
+		return append(d, src.(ListBytesData)...)
+	case ListListInt64Data:
+		return append(d, src.(ListListInt64Data)...)
+	}
+	panic(fmt.Sprintf("core: unknown column type %T", dst))
+}

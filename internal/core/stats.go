@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+
+	"bullion/internal/enc"
+)
+
+// ColumnStats summarizes one column's physical storage.
+type ColumnStats struct {
+	Name            string
+	Type            Type
+	Sparse          bool
+	Nullable        bool
+	CompressedBytes uint64
+	Pages           int
+	// Encodings histograms the top-level cascade scheme across the
+	// column's pages (multiple schemes appear when data shifts between
+	// groups or after Level-2 rewrites).
+	Encodings map[enc.SchemeID]int
+}
+
+// FileStats summarizes a file's physical storage.
+type FileStats struct {
+	FileBytes   int64
+	DataBytes   uint64
+	FooterBytes int
+	NumRows     uint64
+	LiveRows    uint64
+	NumGroups   int
+	NumPages    int
+	Compliance  Level
+	Columns     []ColumnStats
+}
+
+// Stats walks the footer (no data reads) and reports per-column storage.
+func (f *File) Stats() *FileStats {
+	v := f.view
+	s := &FileStats{
+		FileBytes:   f.size,
+		FooterBytes: f.footerLen,
+		NumRows:     v.NumRows(),
+		LiveRows:    f.NumLiveRows(),
+		NumGroups:   v.NumGroups(),
+		NumPages:    v.NumPages(),
+		Compliance:  f.Compliance(),
+		Columns:     make([]ColumnStats, v.NumColumns()),
+	}
+	for c := 0; c < v.NumColumns(); c++ {
+		field := f.FieldByIndex(c)
+		cs := ColumnStats{
+			Name:      field.Name,
+			Type:      field.Type,
+			Sparse:    field.Sparse,
+			Nullable:  field.Nullable,
+			Encodings: map[enc.SchemeID]int{},
+		}
+		for g := 0; g < v.NumGroups(); g++ {
+			_, size := v.ChunkByteRange(g, c)
+			cs.CompressedBytes += size
+			first, count := v.ChunkPages(g, c)
+			cs.Pages += count
+			for p := first; p < first+count; p++ {
+				cs.Encodings[enc.SchemeID(v.PageCompression(p))]++
+			}
+		}
+		s.DataBytes += cs.CompressedBytes
+		s.Columns[c] = cs
+	}
+	return s
+}
+
+// TopColumnsBySize returns the n largest columns.
+func (s *FileStats) TopColumnsBySize(n int) []ColumnStats {
+	cols := append([]ColumnStats{}, s.Columns...)
+	sort.Slice(cols, func(i, j int) bool {
+		if cols[i].CompressedBytes != cols[j].CompressedBytes {
+			return cols[i].CompressedBytes > cols[j].CompressedBytes
+		}
+		return cols[i].Name < cols[j].Name
+	})
+	if n > len(cols) {
+		n = len(cols)
+	}
+	return cols[:n]
+}
+
+// EncodingHistogram aggregates page encodings across all columns.
+func (s *FileStats) EncodingHistogram() map[enc.SchemeID]int {
+	out := map[enc.SchemeID]int{}
+	for _, c := range s.Columns {
+		for id, n := range c.Encodings {
+			out[id] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"bullion/internal/enc"
+	"bullion/internal/footer"
+	"bullion/internal/merkle"
+)
+
+// FileMagic terminates every Bullion file.
+const FileMagic = "BLN1"
+
+// fieldDesc folds schema-level flags into the footer type descriptor.
+func fieldDesc(f Field) footer.TypeDesc {
+	d := f.Type.desc()
+	if f.Sparse {
+		d.Flags |= 1
+	}
+	if f.Nullable {
+		d.Flags |= 2
+	}
+	return d
+}
+
+func fieldFromDesc(name string, d footer.TypeDesc) Field {
+	return Field{
+		Name:     name,
+		Type:     typeFromDesc(d),
+		Sparse:   d.Flags&1 != 0,
+		Nullable: d.Flags&2 != 0,
+	}
+}
+
+// Writer streams batches into a Bullion file. Batches are buffered until a
+// full row group accumulates; Close flushes the remainder and writes the
+// footer. The Writer writes strictly sequentially, so any io.Writer works.
+type Writer struct {
+	w      io.Writer
+	schema *Schema
+	opts   *Options
+
+	pending     []ColumnData
+	pendingRows int
+
+	offset  uint64
+	numRows uint64
+
+	ftr        footer.Footer
+	pageHashes [][]merkle.Hash // per group, in page order
+
+	closed bool
+	err    error
+}
+
+// NewWriter constructs a writer for schema over w.
+func NewWriter(w io.Writer, schema *Schema, opts *Options) (*Writer, error) {
+	if len(schema.Fields) == 0 {
+		return nil, fmt.Errorf("core: schema has no fields")
+	}
+	if opts == nil {
+		opts = DefaultOptions()
+	} else {
+		opts = opts.clone()
+		if opts.RowsPerPage <= 0 {
+			opts.RowsPerPage = 1024
+		}
+		if opts.GroupRows <= 0 {
+			opts.GroupRows = 1 << 16
+		}
+		if opts.Enc == nil {
+			opts.Enc = enc.DefaultOptions()
+		}
+	}
+	if opts.QualityColumn != "" {
+		i, ok := schema.Lookup(opts.QualityColumn)
+		if !ok {
+			return nil, fmt.Errorf("core: quality column %q not in schema", opts.QualityColumn)
+		}
+		if schema.Fields[i].Type.Kind != Float64 {
+			return nil, fmt.Errorf("core: quality column %q must be float64", opts.QualityColumn)
+		}
+	}
+	if opts.Compliance == Level2 {
+		// Level-2 files must stay maskable in place (§2.1): restrict the
+		// cascade to the mask-friendly subset, for the bulk streams of the
+		// sparse codec too.
+		opts.Enc = maskableEncOptions(opts.Enc)
+		if opts.Sparse != nil {
+			sc := *opts.Sparse
+			if sc.Enc == nil {
+				sc.Enc = enc.DefaultOptions()
+			}
+			sc.Enc = maskableEncOptions(sc.Enc)
+			opts.Sparse = &sc
+		}
+	}
+	bw := &Writer{w: w, schema: schema, opts: opts}
+	bw.ftr.NumColumns = len(schema.Fields)
+	bw.ftr.Flags = uint32(opts.Compliance)
+	for _, f := range schema.Fields {
+		bw.ftr.Columns = append(bw.ftr.Columns, footer.Column{Name: f.Name, Type: fieldDesc(f)})
+	}
+	return bw, nil
+}
+
+// Write appends a batch. The batch schema must match the writer's.
+func (w *Writer) Write(batch *Batch) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("core: writer closed")
+	}
+	if batch.Schema != w.schema && len(batch.Columns) != len(w.schema.Fields) {
+		return fmt.Errorf("core: batch schema mismatch")
+	}
+	if w.pending == nil {
+		w.pending = make([]ColumnData, len(w.schema.Fields))
+	}
+	for i, c := range batch.Columns {
+		w.pending[i] = appendColumn(w.pending[i], c)
+	}
+	w.pendingRows += batch.NumRows()
+	for w.pendingRows >= w.opts.GroupRows {
+		if err := w.cutGroup(w.opts.GroupRows); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// cutGroup flushes the first n pending rows as a row group.
+func (w *Writer) cutGroup(n int) error {
+	group := make([]ColumnData, len(w.pending))
+	for i := range w.pending {
+		group[i] = sliceColumn(w.pending[i], 0, n)
+	}
+	if w.opts.QualityColumn != "" {
+		group = w.sortByQuality(group, n)
+	}
+	if err := w.flushGroup(group, n); err != nil {
+		return err
+	}
+	for i := range w.pending {
+		w.pending[i] = sliceColumn(w.pending[i], n, w.pendingRows)
+	}
+	w.pendingRows -= n
+	return nil
+}
+
+// sortByQuality reorders the group's rows by the quality column,
+// descending — §2.5's presorting so filtered training reads become
+// sequential.
+func (w *Writer) sortByQuality(group []ColumnData, n int) []ColumnData {
+	qi, _ := w.schema.Lookup(w.opts.QualityColumn)
+	quality := group[qi].(Float64Data)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return quality[perm[a]] > quality[perm[b]] })
+	out := make([]ColumnData, len(group))
+	for ci, col := range group {
+		out[ci] = permuteColumn(col, perm)
+	}
+	return out
+}
+
+func permuteColumn(c ColumnData, perm []int) ColumnData {
+	switch d := c.(type) {
+	case Int64Data:
+		out := make(Int64Data, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case NullableInt64Data:
+		out := NullableInt64Data{Values: make([]int64, len(perm)), Valid: make([]bool, len(perm))}
+		for i, p := range perm {
+			out.Values[i], out.Valid[i] = d.Values[p], d.Valid[p]
+		}
+		return out
+	case Float64Data:
+		out := make(Float64Data, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case Float32Data:
+		out := make(Float32Data, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case BoolData:
+		out := make(BoolData, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case BytesData:
+		out := make(BytesData, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case ListInt64Data:
+		out := make(ListInt64Data, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case ListFloat32Data:
+		out := make(ListFloat32Data, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case ListFloat64Data:
+		out := make(ListFloat64Data, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case ListBytesData:
+		out := make(ListBytesData, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	case ListListInt64Data:
+		out := make(ListListInt64Data, len(perm))
+		for i, p := range perm {
+			out[i] = d[p]
+		}
+		return out
+	}
+	panic(fmt.Sprintf("core: unknown column type %T", c))
+}
+
+// flushGroup encodes and writes one row group.
+func (w *Writer) flushGroup(group []ColumnData, n int) error {
+	w.ftr.GroupOffsets = append(w.ftr.GroupOffsets, w.offset)
+	groupPageStart := len(w.ftr.PageOffsets)
+	var groupHashes []merkle.Hash
+
+	for ci, field := range w.schema.Fields {
+		w.ftr.ChunkFirstPage = append(w.ftr.ChunkFirstPage, uint32(len(w.ftr.PageOffsets)))
+		chunkStart := w.offset
+		col := group[ci]
+		for lo := 0; lo < n; lo += w.opts.RowsPerPage {
+			hi := lo + w.opts.RowsPerPage
+			if hi > n {
+				hi = n
+			}
+			payload, scheme, err := encodePage(field, sliceColumn(col, lo, hi), w.opts)
+			if err != nil {
+				return fmt.Errorf("core: column %q: %w", field.Name, err)
+			}
+			if w.opts.Compliance == Level2 {
+				// Reserve slack so masked re-encodes always fit in place.
+				payload = append(payload, make([]byte, level2Slack(len(payload)))...)
+			}
+			if _, err := w.w.Write(payload); err != nil {
+				return err
+			}
+			w.ftr.PageOffsets = append(w.ftr.PageOffsets, w.offset)
+			w.ftr.RowsPerPage = append(w.ftr.RowsPerPage, uint32(hi-lo))
+			w.ftr.PageCompression = append(w.ftr.PageCompression, uint8(scheme))
+			groupHashes = append(groupHashes, merkle.HashPage(payload))
+			w.offset += uint64(len(payload))
+		}
+		w.ftr.ColumnOffsets = append(w.ftr.ColumnOffsets, chunkStart)
+		w.ftr.ColumnSizes = append(w.ftr.ColumnSizes, w.offset-chunkStart)
+	}
+
+	w.ftr.PagesPerGroup = append(w.ftr.PagesPerGroup, uint32(len(w.ftr.PageOffsets)-groupPageStart))
+	w.pageHashes = append(w.pageHashes, groupHashes)
+	w.ftr.NumGroups++
+	w.numRows += uint64(n)
+	return nil
+}
+
+// Close flushes remaining rows, writes the footer, and finalizes the file.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.pendingRows > 0 {
+		if err := w.cutGroup(w.pendingRows); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	w.ftr.NumRows = w.numRows
+	w.ftr.ChunkFirstPage = append(w.ftr.ChunkFirstPage, uint32(len(w.ftr.PageOffsets)))
+	w.ftr.DeletionVec = make([]uint64, (w.numRows+63)/64)
+
+	tree := merkle.FromHashes(w.pageHashes)
+	w.ftr.Checksums = checksumArray(tree)
+
+	buf, err := w.ftr.Marshal()
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(buf); err != nil {
+		w.err = err
+		return err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[:4], uint32(len(buf)))
+	copy(tail[4:], FileMagic)
+	if _, err := w.w.Write(tail[:]); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// checksumArray flattens a Merkle tree into the footer layout:
+// page leaves (global page order), group hashes, root.
+func checksumArray(tree *merkle.Tree) []uint64 {
+	var out []uint64
+	leaves := tree.Leaves()
+	for _, hs := range leaves {
+		for _, h := range hs {
+			out = append(out, uint64(h))
+		}
+	}
+	for g := range leaves {
+		h, _ := tree.Group(g)
+		out = append(out, uint64(h))
+	}
+	return append(out, uint64(tree.Root()))
+}
+
+// NumRowsWritten reports rows flushed plus pending.
+func (w *Writer) NumRowsWritten() uint64 { return w.numRows + uint64(w.pendingRows) }

@@ -1,0 +1,145 @@
+package enc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genBools(rng *rand.Rand, n int, density float64) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Float64() < density
+	}
+	return out
+}
+
+func TestBoolSchemesRoundTrip(t *testing.T) {
+	for _, id := range []SchemeID{PlainBool, SparseBool, Roaring} {
+		t.Run(id.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(13))
+			for _, n := range []int{0, 1, 63, 64, 65, 1000, 70000} {
+				for _, density := range []float64{0, 0.01, 0.5, 0.99, 1} {
+					vs := genBools(rng, n, density)
+					encoded, err := EncodeBoolsWith(nil, id, vs)
+					if err != nil {
+						t.Fatalf("n=%d d=%v: %v", n, density, err)
+					}
+					got, err := DecodeBools(encoded, n)
+					if err != nil {
+						t.Fatalf("n=%d d=%v: %v", n, density, err)
+					}
+					for i := range vs {
+						if got[i] != vs[i] {
+							t.Fatalf("n=%d d=%v: bit %d = %v, want %v", n, density, i, got[i], vs[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBoolSelectorDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	opts := DefaultOptions()
+	sparse := genBools(rng, 10000, 0.005)
+	if id := chooseBoolScheme(sparse, opts); id != SparseBool {
+		t.Fatalf("selector picked %v for 0.5%% density", id)
+	}
+	dense := genBools(rng, 10000, 0.5)
+	if id := chooseBoolScheme(dense, opts); id != Roaring {
+		t.Fatalf("selector picked %v for dense large input", id)
+	}
+	small := genBools(rng, 100, 0.5)
+	if id := chooseBoolScheme(small, opts); id != PlainBool {
+		t.Fatalf("selector picked %v for small dense input", id)
+	}
+}
+
+func TestSparseBoolBeatsPlainWhenSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vs := genBools(rng, 100000, 0.001)
+	plain, _ := EncodeBoolsWith(nil, PlainBool, vs)
+	sparse, _ := EncodeBoolsWith(nil, SparseBool, vs)
+	if len(sparse) >= len(plain) {
+		t.Fatalf("sparse %d >= plain %d at 0.1%% density", len(sparse), len(plain))
+	}
+}
+
+func TestRoaringContainerTypes(t *testing.T) {
+	// Run container: one long run.
+	run := make([]bool, 70000)
+	for i := 1000; i < 60000; i++ {
+		run[i] = true
+	}
+	encRun, err := EncodeBoolsWith(nil, Roaring, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBools(encRun, len(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run {
+		if got[i] != run[i] {
+			t.Fatalf("run container bit %d mismatch", i)
+		}
+	}
+	// Runs must compress dramatically better than the array form would.
+	if len(encRun) > 200 {
+		t.Fatalf("run container took %d bytes for 2 runs", len(encRun))
+	}
+
+	// Bitmap container: dense random, avoid long runs.
+	rng := rand.New(rand.NewSource(7))
+	dense := genBools(rng, 65536, 0.5)
+	encDense, err := EncodeBoolsWith(nil, Roaring, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeBools(encDense, len(dense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense {
+		if got[i] != dense[i] {
+			t.Fatalf("bitmap container bit %d mismatch", i)
+		}
+	}
+}
+
+func TestBoolProperty(t *testing.T) {
+	f := func(seed int64, densityRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3000)
+		density := float64(densityRaw) / 255
+		vs := genBools(rng, n, density)
+		encoded, err := EncodeBools(nil, vs, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBools(encoded, n)
+		if err != nil {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolDecodeCorrupt(t *testing.T) {
+	if _, err := DecodeBools([]byte{}, 2); err == nil {
+		t.Fatal("empty stream decoded")
+	}
+	if _, err := DecodeBools([]byte{byte(Roaring), 0xFF, 0xFF, 0xFF}, 100); err == nil {
+		t.Fatal("garbage roaring stream decoded")
+	}
+}

@@ -1,0 +1,247 @@
+package enc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+)
+
+// EncodeBytes appends an encoded stream for the byte-string column vs,
+// choosing the scheme with the cascade selector.
+func EncodeBytes(dst []byte, vs [][]byte, opts *Options) ([]byte, error) {
+	return encodeBytesDepth(dst, vs, opts, 0)
+}
+
+// EncodeBytesWith appends an encoded stream using the given scheme.
+func EncodeBytesWith(dst []byte, id SchemeID, vs [][]byte, opts *Options) ([]byte, error) {
+	return encodeBytesWithDepth(dst, id, vs, opts, 0)
+}
+
+// DecodeBytes decodes an n-value byte-string stream.
+func DecodeBytes(src []byte, n int) ([][]byte, error) {
+	if len(src) == 0 {
+		if n == 0 {
+			return nil, nil
+		}
+		return nil, corruptf("empty stream for %d strings", n)
+	}
+	id := SchemeID(src[0])
+	payload := src[1:]
+	switch id {
+	case PlainB:
+		return decodePlainBytes(payload, n)
+	case DictB:
+		return decodeDictBytes(payload, n)
+	case FSST:
+		return decodeFSST(payload, n)
+	case ChunkedB:
+		return decodeChunkedBytes(payload, n)
+	case ConstantB:
+		return decodeConstantBytes(payload, n)
+	default:
+		return nil, corruptf("%v is not a bytes scheme", id)
+	}
+}
+
+func encodeBytesDepth(dst []byte, vs [][]byte, opts *Options, depth int) ([]byte, error) {
+	id := chooseBytesScheme(vs, opts, depth)
+	return encodeBytesWithDepth(dst, id, vs, opts, depth)
+}
+
+func encodeBytesWithDepth(dst []byte, id SchemeID, vs [][]byte, opts *Options, depth int) ([]byte, error) {
+	dst = append(dst, byte(id))
+	switch id {
+	case PlainB:
+		return encodePlainBytes(dst, vs), nil
+	case DictB:
+		return encodeDictBytes(dst, vs, opts, depth)
+	case FSST:
+		return encodeFSST(dst, vs, opts, depth)
+	case ChunkedB:
+		return encodeChunkedBytes(dst, vs, opts, depth)
+	case ConstantB:
+		return encodeConstantBytes(dst, vs)
+	default:
+		return nil, corruptf("%v is not a bytes scheme", id)
+	}
+}
+
+// ---- Plain: uvarint length + raw bytes per value ----
+
+func encodePlainBytes(dst []byte, vs [][]byte) []byte {
+	for _, v := range vs {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+func decodePlainBytes(src []byte, n int) ([][]byte, error) {
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		l, sz := binary.Uvarint(src)
+		if sz <= 0 || l > uint64(len(src)-sz) {
+			return nil, corruptf("plain bytes: truncated at value %d", i)
+		}
+		out[i] = src[sz : sz+int(l)]
+		src = src[sz+int(l):]
+	}
+	return out, nil
+}
+
+// ---- Constant ----
+
+func encodeConstantBytes(dst []byte, vs [][]byte) ([]byte, error) {
+	if len(vs) == 0 {
+		return binary.AppendUvarint(dst, 0), nil
+	}
+	for _, v := range vs {
+		if !bytes.Equal(v, vs[0]) {
+			return nil, ErrNotApplicable
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(vs[0])))
+	return append(dst, vs[0]...), nil
+}
+
+func decodeConstantBytes(src []byte, n int) ([][]byte, error) {
+	l, sz := binary.Uvarint(src)
+	if sz <= 0 || l > uint64(len(src)-sz) {
+		return nil, corruptf("constant bytes: bad value")
+	}
+	v := src[sz : sz+int(l)]
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ---- Dictionary ----
+//
+// payload := dictLen(uvarint) dictBlob(plain bytes) childCodes
+//
+// Codes are bit-packed wide enough for the reserved mask code (see Dict for
+// integers); masked codes decode to an empty string.
+
+func encodeDictBytes(dst []byte, vs [][]byte, opts *Options, depth int) ([]byte, error) {
+	idx := make(map[string]int64, 64)
+	var uniq []string
+	for _, v := range vs {
+		s := string(v)
+		if _, ok := idx[s]; !ok {
+			idx[s] = 0
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Strings(uniq)
+	for i, s := range uniq {
+		idx[s] = int64(i)
+	}
+	codes := make([]int64, len(vs))
+	for i, v := range vs {
+		codes[i] = idx[string(v)]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(uniq)))
+	blobs := make([][]byte, len(uniq))
+	for i, s := range uniq {
+		blobs[i] = []byte(s)
+	}
+	dict := encodePlainBytes(nil, blobs)
+	dst = binary.AppendUvarint(dst, uint64(len(dict)))
+	dst = append(dst, dict...)
+	child, err := encodeBitPackWidth(nil, codes, maskCodeWidth(len(uniq)))
+	if err != nil {
+		return nil, err
+	}
+	return appendChild(dst, child), nil
+}
+
+func decodeDictBytes(src []byte, n int) ([][]byte, error) {
+	dictLen, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return nil, corruptf("dictb: bad dict length")
+	}
+	if dictLen > uint64(n)+1 {
+		return nil, corruptf("dictb: dictionary of %d entries for %d values", dictLen, n)
+	}
+	src = src[sz:]
+	blobLen, sz := binary.Uvarint(src)
+	if sz <= 0 || blobLen > uint64(len(src)-sz) {
+		return nil, corruptf("dictb: bad blob length")
+	}
+	blobs, err := decodePlainBytes(src[sz:sz+int(blobLen)], int(dictLen))
+	if err != nil {
+		return nil, err
+	}
+	codeStream, _, err := readChild(src[sz+int(blobLen):])
+	if err != nil {
+		return nil, err
+	}
+	codes, err := DecodeInts(codeStream, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, n)
+	for i, c := range codes {
+		switch {
+		case c >= 0 && c < int64(dictLen):
+			out[i] = blobs[c]
+		case c == int64(dictLen): // compliance mask entry
+			out[i] = nil
+		default:
+			return nil, corruptf("dictb: code %d out of range", c)
+		}
+	}
+	return out, nil
+}
+
+// ---- Chunked: flate over concatenation + cascaded length sub-column ----
+
+func encodeChunkedBytes(dst []byte, vs [][]byte, opts *Options, depth int) ([]byte, error) {
+	lens := make([]int64, len(vs))
+	total := 0
+	for i, v := range vs {
+		lens[i] = int64(len(v))
+		total += len(v)
+	}
+	cat := make([]byte, 0, total)
+	for _, v := range vs {
+		cat = append(cat, v...)
+	}
+	var err error
+	if dst, err = encodeChildInts(dst, lens, opts, depth+1); err != nil {
+		return nil, err
+	}
+	dst = binary.AppendUvarint(dst, uint64(total))
+	return appendFlateChunks(dst, cat)
+}
+
+func decodeChunkedBytes(src []byte, n int) ([][]byte, error) {
+	lenStream, src, err := readChild(src)
+	if err != nil {
+		return nil, err
+	}
+	lens, err := DecodeInts(lenStream, n)
+	if err != nil {
+		return nil, err
+	}
+	total, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return nil, corruptf("chunkedb: bad total length")
+	}
+	cat, err := readFlateChunks(src[sz:], int(total))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, n)
+	off := 0
+	for i, l := range lens {
+		if l < 0 || off+int(l) > len(cat) {
+			return nil, corruptf("chunkedb: lengths overflow payload")
+		}
+		out[i] = cat[off : off+int(l)]
+		off += int(l)
+	}
+	return out, nil
+}

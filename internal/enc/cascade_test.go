@@ -1,0 +1,155 @@
+package enc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCatalogCoverage asserts that every encoding in the paper's Table 2
+// catalog is implemented and exercisable — the tab2 experiment's
+// correctness backbone.
+func TestCatalogCoverage(t *testing.T) {
+	all := []SchemeID{
+		Plain, BitPack, Varint, ZigZagVar, RLE, Dict, Delta, FOR, PFOR,
+		FastBP128, Constant, MainlyConst, Huffman, BitShuffle, Chunked,
+		PlainF, GorillaF, ChimpF, ALPF, PseudoDec, ConstantF, ChunkedF,
+		PlainB, DictB, FSST, ChunkedB, ConstantB,
+		PlainBool, SparseBool, Roaring,
+		Nullable, Sentinel,
+	}
+	seen := map[SchemeID]bool{}
+	for _, id := range all {
+		if seen[id] {
+			t.Fatalf("duplicate scheme id %d (%v)", uint8(id), id)
+		}
+		seen[id] = true
+		if strings.HasPrefix(id.String(), "scheme(") {
+			t.Errorf("scheme %d has no catalog name", uint8(id))
+		}
+	}
+	if len(all) != 32 {
+		t.Fatalf("catalog has %d entries, want 32", len(all))
+	}
+}
+
+// TestSelectorMatchesDistribution checks the selector nominates the
+// expected family for hand-built distributions.
+func TestSelectorMatchesDistribution(t *testing.T) {
+	opts := DefaultOptions()
+	rng := rand.New(rand.NewSource(17))
+	cases := []struct {
+		name string
+		gen  func(*rand.Rand, int) []int64
+		want map[SchemeID]bool // acceptable winners
+	}{
+		{"runs", genRuns, map[SchemeID]bool{RLE: true, Dict: true, Huffman: true}},
+		{"sorted", genSorted, map[SchemeID]bool{Delta: true, FOR: true, PFOR: true, FastBP128: true}},
+		{"lowcard", genLowCardinality, map[SchemeID]bool{Dict: true, RLE: true, Huffman: true}},
+		{"mainly-const", genMainlyConstant, map[SchemeID]bool{MainlyConst: true, RLE: true, Dict: true, Huffman: true}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			vs := c.gen(rng, 8192)
+			id := chooseIntScheme(vs, opts, 0)
+			if !c.want[id] {
+				t.Errorf("selector picked %v for %s data", id, c.name)
+			}
+		})
+	}
+}
+
+// TestCascadeNeverMuchWorseThanPlain guards the selector's fallback: the
+// chosen encoding must not exceed Plain by more than the framing overhead.
+func TestCascadeNeverMuchWorseThanPlain(t *testing.T) {
+	opts := DefaultOptions()
+	rng := rand.New(rand.NewSource(23))
+	for _, tc := range intSchemes {
+		vs := tc.gen(rng, 4096)
+		plain, _ := EncodeIntsWith(nil, Plain, vs, opts)
+		chosen, err := EncodeInts(nil, vs, opts)
+		if err != nil {
+			t.Fatalf("%v data: %v", tc.id, err)
+		}
+		if float64(len(chosen)) > 1.1*float64(len(plain))+64 {
+			t.Errorf("%v data: cascade produced %d bytes vs plain %d",
+				tc.id, len(chosen), len(plain))
+		}
+	}
+}
+
+// TestCascadeDepthAblation verifies deeper cascades compress at least as
+// well as depth 0 on composite-friendly data — the §2.6 recursion-depth
+// question the paper raises.
+func TestCascadeDepthAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	vs := genRuns(rng, 16384)
+	var sizes []int
+	for depth := 0; depth <= 3; depth++ {
+		opts := DefaultOptions()
+		opts.MaxDepth = depth
+		encoded, err := EncodeInts(nil, vs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeInts(encoded, len(vs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				t.Fatalf("depth %d: corrupted roundtrip", depth)
+			}
+		}
+		sizes = append(sizes, len(encoded))
+	}
+	if sizes[1] > sizes[0] {
+		t.Errorf("depth 1 (%d bytes) worse than depth 0 (%d bytes)", sizes[1], sizes[0])
+	}
+	t.Logf("cascade depth ablation on run data: %v bytes", sizes)
+}
+
+// TestAllowedRestriction checks catalog ablation support.
+func TestAllowedRestriction(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Allowed = map[SchemeID]bool{Plain: true, Varint: true}
+	rng := rand.New(rand.NewSource(5))
+	vs := genRuns(rng, 2048)
+	encoded, err := EncodeInts(nil, vs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := SchemeID(encoded[0]); id != Plain && id != Varint {
+		t.Fatalf("restricted selector picked %v", id)
+	}
+}
+
+func TestObjectiveWeights(t *testing.T) {
+	// A read-heavy objective should penalize Chunked (expensive decode)
+	// relative to a size-only objective.
+	sizeOnly := &Options{MaxDepth: 2, SampleSize: 1024}
+	readHeavy := &Options{MaxDepth: 2, SampleSize: 1024, ReadWeight: 10}
+	c := intCosts[Chunked]
+	if objective(100, c, readHeavy) <= objective(100, c, sizeOnly) {
+		t.Fatal("read weight did not increase Chunked's cost")
+	}
+}
+
+func TestSampleIntsPreservesRuns(t *testing.T) {
+	vs := make([]int64, 100000)
+	for i := range vs {
+		vs[i] = int64(i / 100) // long runs
+	}
+	sample := sampleInts(vs, 1024)
+	if len(sample) > 1024 {
+		t.Fatalf("sample too large: %d", len(sample))
+	}
+	s := statsOf(sample)
+	if s.runs*3 > s.n {
+		t.Fatalf("sampling destroyed run structure: %d runs in %d values", s.runs, s.n)
+	}
+	short := []int64{1, 2, 3}
+	if got := sampleInts(short, 1024); len(got) != 3 {
+		t.Fatalf("short input should be returned whole")
+	}
+}

@@ -1,0 +1,165 @@
+package enc
+
+import (
+	"math/rand"
+	"testing"
+
+	"bullion/internal/bitutil"
+)
+
+// Decoders face hostile bytes (disk corruption, truncation, crossed
+// streams). They must return errors — never panic, never hang — for any
+// mutation of a valid stream. These tests hammer every decoder with
+// random corruptions.
+
+func mutate(rng *rand.Rand, data []byte) []byte {
+	out := append([]byte{}, data...)
+	switch rng.Intn(4) {
+	case 0: // flip random bytes
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			out[rng.Intn(len(out))] ^= byte(1 << uint(rng.Intn(8)))
+		}
+	case 1: // truncate
+		out = out[:rng.Intn(len(out))]
+	case 2: // splice garbage
+		pos := rng.Intn(len(out))
+		g := make([]byte, 1+rng.Intn(16))
+		rng.Read(g)
+		out = append(out[:pos:pos], g...)
+	case 3: // duplicate a window
+		if len(out) > 4 {
+			pos := rng.Intn(len(out) - 2)
+			out = append(out[:pos:pos], out[pos:]...)
+		}
+	}
+	return out
+}
+
+func noPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: decoder panicked: %v", name, r)
+		}
+	}()
+	fn()
+}
+
+func TestIntDecodersSurviveCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	opts := DefaultOptions()
+	for _, tc := range intSchemes {
+		vs := tc.gen(rng, 300)
+		encoded, err := EncodeIntsWith(nil, tc.id, vs, opts)
+		if err != nil {
+			continue
+		}
+		for trial := 0; trial < 200; trial++ {
+			bad := mutate(rng, encoded)
+			if len(bad) == 0 {
+				continue
+			}
+			noPanic(t, tc.id.String(), func() {
+				_, _ = DecodeInts(bad, 300)
+				_, _ = DecodeInts(bad, 1) // wrong count too
+			})
+		}
+	}
+}
+
+func TestFloatDecodersSurviveCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	opts := DefaultOptions()
+	for _, tc := range floatSchemes {
+		vs := tc.gen(rng, 300)
+		encoded, err := EncodeFloatsWith(nil, tc.id, vs, opts)
+		if err != nil {
+			continue
+		}
+		for trial := 0; trial < 200; trial++ {
+			bad := mutate(rng, encoded)
+			if len(bad) == 0 {
+				continue
+			}
+			noPanic(t, tc.id.String(), func() {
+				_, _ = DecodeFloats(bad, 300)
+			})
+		}
+	}
+}
+
+func TestBytesDecodersSurviveCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	opts := DefaultOptions()
+	for _, tc := range bytesSchemes {
+		vs := tc.gen(rng, 200)
+		encoded, err := EncodeBytesWith(nil, tc.id, vs, opts)
+		if err != nil {
+			continue
+		}
+		for trial := 0; trial < 200; trial++ {
+			bad := mutate(rng, encoded)
+			if len(bad) == 0 {
+				continue
+			}
+			noPanic(t, tc.id.String(), func() {
+				_, _ = DecodeBytes(bad, 200)
+			})
+		}
+	}
+}
+
+func TestBoolDecodersSurviveCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for _, id := range []SchemeID{PlainBool, SparseBool, Roaring} {
+		vs := genBools(rng, 5000, 0.3)
+		encoded, err := EncodeBoolsWith(nil, id, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			bad := mutate(rng, encoded)
+			if len(bad) == 0 {
+				continue
+			}
+			noPanic(t, id.String(), func() {
+				_, _ = DecodeBools(bad, 5000)
+			})
+		}
+	}
+}
+
+func TestNullableDecodersSurviveCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	opts := DefaultOptions()
+	n := 200
+	vs := make([]int64, n)
+	valid := boolsBitmap(n, func(i int) bool { return i%3 != 0 })
+	for i := range vs {
+		vs[i] = rng.Int63n(1000)
+	}
+	encoded, err := EncodeNullableInts(nil, vs, valid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		bad := mutate(rng, encoded)
+		if len(bad) == 0 {
+			continue
+		}
+		noPanic(t, "nullable", func() {
+			_, _, _ = DecodeNullableInts(bad, n)
+		})
+	}
+}
+
+// boolsBitmap builds a bitmap from a predicate.
+func boolsBitmap(n int, pred func(int) bool) *bitutil.Bitmap {
+	b := bitutil.NewBitmap(n)
+	for i := 0; i < n; i++ {
+		if pred(i) {
+			b.Set(i)
+		}
+	}
+	return b
+}

@@ -1,0 +1,298 @@
+package enc
+
+import (
+	"encoding/binary"
+
+	"bullion/internal/bitutil"
+)
+
+// ---- Delta (Table 2) ----
+//
+// Stores the first value and zigzag'd successive differences; the delta
+// sub-column cascades (monotonic sequences become tiny bit-packed values).
+//
+// payload := first(varint) childDeltas
+//
+// Not applicable when any successive difference overflows int64.
+
+func encodeDeltaInts(dst []byte, vs []int64, opts *Options, depth int) ([]byte, error) {
+	if len(vs) == 0 {
+		return nil, ErrNotApplicable
+	}
+	deltas := make([]int64, len(vs)-1)
+	for i := 1; i < len(vs); i++ {
+		d, ok := subOverflow(vs[i], vs[i-1])
+		if !ok {
+			return nil, ErrNotApplicable
+		}
+		deltas[i-1] = int64(bitutil.ZigZag(d))
+	}
+	dst = binary.AppendVarint(dst, vs[0])
+	return encodeChildInts(dst, deltas, opts, depth+1)
+}
+
+func decodeDeltaInts(dst []int64, src []byte) ([]int64, error) {
+	if len(dst) == 0 {
+		return dst, nil
+	}
+	first, sz := binary.Varint(src)
+	if sz <= 0 {
+		return nil, corruptf("delta: bad first value")
+	}
+	deltaStream, _, err := readChild(src[sz:])
+	if err != nil {
+		return nil, err
+	}
+	deltas, err := DecodeInts(deltaStream, len(dst)-1)
+	if err != nil {
+		return nil, err
+	}
+	dst[0] = first
+	for i := 1; i < len(dst); i++ {
+		dst[i] = dst[i-1] + bitutil.UnZigZag(uint64(deltas[i-1]))
+	}
+	return dst, nil
+}
+
+// ---- FOR: frame-of-reference + bit-packing ----
+//
+// Declares a base (the minimum) and bit-packs offsets from it. Unlike
+// Delta, every element is independently addressable, which is what makes
+// the §2.1 in-place deletion path work on FOR pages.
+//
+// payload := base(varint) width(1B) packedOffsets
+
+func encodeFORInts(dst []byte, vs []int64) ([]byte, error) {
+	if len(vs) == 0 {
+		dst = binary.AppendVarint(dst, 0)
+		return append(dst, 0), nil
+	}
+	base := vs[0]
+	for _, v := range vs {
+		if v < base {
+			base = v
+		}
+	}
+	us := make([]uint64, len(vs))
+	for i, v := range vs {
+		d, ok := subOverflow(v, base)
+		if !ok {
+			return nil, ErrNotApplicable
+		}
+		us[i] = uint64(d)
+	}
+	w := bitutil.MaxWidth(us)
+	dst = binary.AppendVarint(dst, base)
+	dst = append(dst, byte(w))
+	return bitutil.Pack(dst, us, w), nil
+}
+
+func decodeFORInts(dst []int64, src []byte) ([]int64, error) {
+	base, sz := binary.Varint(src)
+	if sz <= 0 {
+		return nil, corruptf("for: bad base")
+	}
+	src = src[sz:]
+	if len(src) < 1 {
+		return nil, corruptf("for: missing width")
+	}
+	w := int(src[0])
+	us, err := bitutil.Unpack(make([]uint64, len(dst)), src[1:], len(dst), w)
+	if err != nil {
+		return nil, corruptf("for: %v", err)
+	}
+	for i, u := range us {
+		dst[i] = base + int64(u)
+	}
+	return dst, nil
+}
+
+// blockSize is the block granularity for PFOR and FastBP128, matching the
+// 128-value vectors the SIMD originals process per iteration. The Go ports
+// are scalar — SIMD is a CPU-dispatch detail, the byte format is identical.
+const blockSize = 128
+
+// ---- SIMDFastBP128 ----
+//
+// Per-128-value-block bit packing with a per-block width byte. ZigZag maps
+// signed input first so negatives stay cheap.
+//
+// payload := { width(1B) packed128 }*  (last block may be short)
+
+func encodeBP128Ints(dst []byte, vs []int64) ([]byte, error) {
+	us := make([]uint64, blockSize)
+	for lo := 0; lo < len(vs); lo += blockSize {
+		hi := lo + blockSize
+		if hi > len(vs) {
+			hi = len(vs)
+		}
+		blk := us[:hi-lo]
+		for i := range blk {
+			blk[i] = bitutil.ZigZag(vs[lo+i])
+		}
+		w := bitutil.MaxWidth(blk)
+		dst = append(dst, byte(w))
+		dst = bitutil.Pack(dst, blk, w)
+	}
+	return dst, nil
+}
+
+func decodeBP128Ints(dst []int64, src []byte) ([]int64, error) {
+	us := make([]uint64, blockSize)
+	for lo := 0; lo < len(dst); lo += blockSize {
+		hi := lo + blockSize
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		n := hi - lo
+		if len(src) < 1 {
+			return nil, corruptf("bp128: missing block width at value %d", lo)
+		}
+		w := int(src[0])
+		src = src[1:]
+		need := bitutil.PackedLen(n, w)
+		if len(src) < need {
+			return nil, corruptf("bp128: short block at value %d", lo)
+		}
+		blk, err := bitutil.Unpack(us[:n], src[:need], n, w)
+		if err != nil {
+			return nil, corruptf("bp128: %v", err)
+		}
+		for i, u := range blk {
+			dst[lo+i] = bitutil.UnZigZag(u)
+		}
+		src = src[need:]
+	}
+	return dst, nil
+}
+
+// ---- SIMDFastPFOR (patched frame-of-reference) ----
+//
+// Per 128-value block: pick the width covering ~90% of offsets; values
+// needing more bits are "patched" — their low `width` bits go in the packed
+// array and the remaining high bits plus positions go to exception lists.
+//
+// payload := { base(varint) width(1B) nExc(uvarint)
+//              packed128 excPos(1B each) excHigh(varint each) }*
+
+func encodePFORInts(dst []byte, vs []int64) ([]byte, error) {
+	us := make([]uint64, blockSize)
+	for lo := 0; lo < len(vs); lo += blockSize {
+		hi := lo + blockSize
+		if hi > len(vs) {
+			hi = len(vs)
+		}
+		blk := vs[lo:hi]
+		base := blk[0]
+		for _, v := range blk {
+			if v < base {
+				base = v
+			}
+		}
+		offs := us[:len(blk)]
+		for i, v := range blk {
+			d, ok := subOverflow(v, base)
+			if !ok {
+				return nil, ErrNotApplicable
+			}
+			offs[i] = uint64(d)
+		}
+		w := pforWidth(offs)
+		var excPos []byte
+		var excHigh []uint64
+		mask := ^uint64(0)
+		if w < 64 {
+			mask = (1 << uint(w)) - 1
+		}
+		lows := make([]uint64, len(offs))
+		for i, u := range offs {
+			lows[i] = u & mask
+			if high := u &^ mask; high != 0 {
+				excPos = append(excPos, byte(i))
+				excHigh = append(excHigh, u>>uint(w))
+			}
+		}
+		dst = binary.AppendVarint(dst, base)
+		dst = append(dst, byte(w))
+		dst = binary.AppendUvarint(dst, uint64(len(excPos)))
+		dst = bitutil.Pack(dst, lows, w)
+		dst = append(dst, excPos...)
+		for _, h := range excHigh {
+			dst = binary.AppendUvarint(dst, h)
+		}
+	}
+	return dst, nil
+}
+
+// pforWidth picks the width covering at least 90% of offsets (the classic
+// PFOR heuristic), trading a few exceptions for a narrower packed array.
+func pforWidth(offs []uint64) int {
+	var hist [65]int
+	for _, u := range offs {
+		hist[bitutil.WidthOf(u)]++
+	}
+	need := (len(offs)*9 + 9) / 10 // ceil(0.9n)
+	covered := 0
+	for w := 0; w <= 64; w++ {
+		covered += hist[w]
+		if covered >= need {
+			return w
+		}
+	}
+	return 64
+}
+
+func decodePFORInts(dst []int64, src []byte) ([]int64, error) {
+	us := make([]uint64, blockSize)
+	for lo := 0; lo < len(dst); lo += blockSize {
+		hi := lo + blockSize
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		n := hi - lo
+		base, sz := binary.Varint(src)
+		if sz <= 0 {
+			return nil, corruptf("pfor: bad base at value %d", lo)
+		}
+		src = src[sz:]
+		if len(src) < 1 {
+			return nil, corruptf("pfor: missing width")
+		}
+		w := int(src[0])
+		src = src[1:]
+		nExc, sz := binary.Uvarint(src)
+		if sz <= 0 || nExc > uint64(n) {
+			return nil, corruptf("pfor: bad exception count")
+		}
+		src = src[sz:]
+		need := bitutil.PackedLen(n, w)
+		if len(src) < need {
+			return nil, corruptf("pfor: short packed block")
+		}
+		lows, err := bitutil.Unpack(us[:n], src[:need], n, w)
+		if err != nil {
+			return nil, corruptf("pfor: %v", err)
+		}
+		src = src[need:]
+		if len(src) < int(nExc) {
+			return nil, corruptf("pfor: short exception positions")
+		}
+		excPos := src[:nExc]
+		src = src[nExc:]
+		for i := 0; i < n; i++ {
+			dst[lo+i] = base + int64(lows[i])
+		}
+		for _, p := range excPos {
+			high, sz := binary.Uvarint(src)
+			if sz <= 0 {
+				return nil, corruptf("pfor: bad exception value")
+			}
+			src = src[sz:]
+			if int(p) >= n {
+				return nil, corruptf("pfor: exception position %d out of block", p)
+			}
+			dst[lo+int(p)] = base + int64(lows[p]|high<<uint(w))
+		}
+	}
+	return dst, nil
+}

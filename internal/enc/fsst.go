@@ -1,0 +1,263 @@
+package enc
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// FSST (Table 2, [32]): Fast Static Symbol Table compression. A table of up
+// to 255 symbols (each 1-8 bytes) is trained on the corpus; encoding
+// replaces the longest matching symbol with a 1-byte code, escaping
+// literal bytes with code 255. Optimized for structured short strings
+// (URLs, emails, IDs) while keeping random access per value.
+//
+// This is a faithful re-implementation of the format and greedy matcher;
+// the training loop is a simplified frequency-based variant of the
+// original's iterative refinement (three rounds of counting + reselection).
+//
+// payload := nSym(1B) { symLen(1B) symBytes }*
+//            childCompressedLens totalCompressed(uvarint) compressedBytes
+
+const (
+	fsstMaxSymbols = 255
+	fsstEscape     = 255
+	fsstMaxSymLen  = 8
+	fsstRounds     = 3
+)
+
+// fsstTable is a trained symbol table.
+type fsstTable struct {
+	symbols [][]byte
+	// index from first byte to candidate symbol ids, longest first.
+	byFirst [256][]uint8
+}
+
+func (t *fsstTable) build() {
+	for i := range t.byFirst {
+		t.byFirst[i] = t.byFirst[i][:0]
+	}
+	order := make([]int, len(t.symbols))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(t.symbols[order[a]]) > len(t.symbols[order[b]])
+	})
+	for _, id := range order {
+		s := t.symbols[id]
+		if len(s) == 0 {
+			continue
+		}
+		t.byFirst[s[0]] = append(t.byFirst[s[0]], uint8(id))
+	}
+}
+
+// match returns the id and length of the longest symbol matching a prefix
+// of data, or (-1, 0).
+func (t *fsstTable) match(data []byte) (int, int) {
+	if len(data) == 0 {
+		return -1, 0
+	}
+	for _, id := range t.byFirst[data[0]] {
+		s := t.symbols[id]
+		if len(s) <= len(data) && string(s) == string(data[:len(s)]) {
+			return int(id), len(s)
+		}
+	}
+	return -1, 0
+}
+
+// trainFSST learns a symbol table from sample text with a few rounds of
+// count-and-reselect, seeding from frequent bytes and growing to longer
+// substrings (the shape of the original FSST algorithm).
+func trainFSST(corpus [][]byte) *fsstTable {
+	t := &fsstTable{}
+	// Seed: most frequent single bytes.
+	var byteFreq [256]int
+	for _, v := range corpus {
+		for _, b := range v {
+			byteFreq[b]++
+		}
+	}
+	type cand struct {
+		s    string
+		gain int
+	}
+	var seeds []cand
+	for b := 0; b < 256; b++ {
+		if byteFreq[b] > 0 {
+			seeds = append(seeds, cand{string([]byte{byte(b)}), byteFreq[b]})
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].gain > seeds[j].gain })
+	if len(seeds) > fsstMaxSymbols {
+		seeds = seeds[:fsstMaxSymbols]
+	}
+	for _, c := range seeds {
+		t.symbols = append(t.symbols, []byte(c.s))
+	}
+	t.build()
+
+	for round := 0; round < fsstRounds; round++ {
+		// Count how often each current symbol is used and which symbol
+		// pairs are adjacent; adjacent pairs become longer candidates.
+		gain := map[string]int{}
+		for _, v := range corpus {
+			var prev []byte
+			for off := 0; off < len(v); {
+				id, l := t.match(v[off:])
+				var cur []byte
+				if id >= 0 {
+					cur = t.symbols[id]
+				} else {
+					cur = v[off : off+1]
+					l = 1
+				}
+				gain[string(cur)] += len(cur) - 1 // bytes saved vs escape cost
+				if prev != nil && len(prev)+len(cur) <= fsstMaxSymLen {
+					merged := string(prev) + string(cur)
+					gain[merged] += len(merged) - 1
+				}
+				prev = cur
+				off += l
+			}
+		}
+		var cands []cand
+		for s, g := range gain {
+			if len(s) >= 1 && len(s) <= fsstMaxSymLen && g > 0 {
+				cands = append(cands, cand{s, g})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].gain != cands[j].gain {
+				return cands[i].gain > cands[j].gain
+			}
+			return cands[i].s < cands[j].s
+		})
+		if len(cands) > fsstMaxSymbols {
+			cands = cands[:fsstMaxSymbols]
+		}
+		t.symbols = t.symbols[:0]
+		for _, c := range cands {
+			t.symbols = append(t.symbols, []byte(c.s))
+		}
+		t.build()
+	}
+	return t
+}
+
+// compress encodes one value with the table.
+func (t *fsstTable) compress(dst, v []byte) []byte {
+	for off := 0; off < len(v); {
+		id, l := t.match(v[off:])
+		if id >= 0 {
+			dst = append(dst, byte(id))
+			off += l
+			continue
+		}
+		dst = append(dst, fsstEscape, v[off])
+		off++
+	}
+	return dst
+}
+
+// decompress decodes exactly compLen compressed bytes.
+func (t *fsstTable) decompress(dst, comp []byte) ([]byte, error) {
+	for i := 0; i < len(comp); {
+		c := comp[i]
+		if c == fsstEscape {
+			if i+1 >= len(comp) {
+				return nil, corruptf("fsst: dangling escape")
+			}
+			dst = append(dst, comp[i+1])
+			i += 2
+			continue
+		}
+		if int(c) >= len(t.symbols) {
+			return nil, corruptf("fsst: code %d beyond table of %d", c, len(t.symbols))
+		}
+		dst = append(dst, t.symbols[c]...)
+		i++
+	}
+	return dst, nil
+}
+
+func encodeFSST(dst []byte, vs [][]byte, opts *Options, depth int) ([]byte, error) {
+	sample := vs
+	if len(sample) > 256 {
+		sample = sample[:256]
+	}
+	t := trainFSST(sample)
+	if len(t.symbols) == 0 {
+		return nil, ErrNotApplicable
+	}
+	if len(t.symbols) > fsstMaxSymbols {
+		t.symbols = t.symbols[:fsstMaxSymbols]
+		t.build()
+	}
+	dst = append(dst, byte(len(t.symbols)))
+	for _, s := range t.symbols {
+		dst = append(dst, byte(len(s)))
+		dst = append(dst, s...)
+	}
+	compLens := make([]int64, len(vs))
+	var all []byte
+	for i, v := range vs {
+		before := len(all)
+		all = t.compress(all, v)
+		compLens[i] = int64(len(all) - before)
+	}
+	var err error
+	if dst, err = encodeChildInts(dst, compLens, opts, depth+1); err != nil {
+		return nil, err
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(all)))
+	return append(dst, all...), nil
+}
+
+func decodeFSST(src []byte, n int) ([][]byte, error) {
+	if len(src) < 1 {
+		return nil, corruptf("fsst: missing table size")
+	}
+	nSym := int(src[0])
+	src = src[1:]
+	t := &fsstTable{}
+	for i := 0; i < nSym; i++ {
+		if len(src) < 1 {
+			return nil, corruptf("fsst: truncated table")
+		}
+		l := int(src[0])
+		if l == 0 || l > fsstMaxSymLen || len(src) < 1+l {
+			return nil, corruptf("fsst: bad symbol %d length %d", i, l)
+		}
+		t.symbols = append(t.symbols, src[1:1+l])
+		src = src[1+l:]
+	}
+	lenStream, src, err := readChild(src)
+	if err != nil {
+		return nil, err
+	}
+	compLens, err := DecodeInts(lenStream, n)
+	if err != nil {
+		return nil, err
+	}
+	total, sz := binary.Uvarint(src)
+	if sz <= 0 || total > uint64(len(src)-sz) {
+		return nil, corruptf("fsst: bad corpus length")
+	}
+	comp := src[sz : sz+int(total)]
+	out := make([][]byte, n)
+	off := 0
+	for i, l := range compLens {
+		if l < 0 || off+int(l) > len(comp) {
+			return nil, corruptf("fsst: compressed lengths overflow corpus")
+		}
+		dec, err := t.decompress(nil, comp[off:off+int(l)])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = dec
+		off += int(l)
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package enc
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"sort"
+
+	"bullion/internal/bitutil"
+)
+
+// Huffman (Table 2): entropy coding for integers drawn from a small
+// alphabet, assigning shorter codes to more frequent values. Canonical
+// codes keep the header compact: only (symbol, code length) pairs are
+// stored and both sides rebuild identical codebooks.
+//
+// payload := nSym(uvarint) { symbol(varint) codeLen(1B) }* bitstream
+//
+// Not applicable above maxHuffmanSymbols distinct values.
+
+const maxHuffmanSymbols = 512
+
+type huffNode struct {
+	freq        int
+	sym         int64
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int           { return len(h) }
+func (h huffHeap) Less(i, j int) bool { return h[i].freq < h[j].freq }
+func (h huffHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)        { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// huffCode is a canonical code assignment for one symbol.
+type huffCode struct {
+	sym    int64
+	length int
+	code   uint64 // MSB-first canonical code
+}
+
+func buildHuffmanCodes(vs []int64) ([]huffCode, bool) {
+	freq := make(map[int64]int, maxHuffmanSymbols+1)
+	for _, v := range vs {
+		freq[v]++
+		if len(freq) > maxHuffmanSymbols {
+			return nil, false
+		}
+	}
+	if len(freq) == 0 {
+		return nil, true
+	}
+	h := make(huffHeap, 0, len(freq))
+	for sym, f := range freq {
+		h = append(h, &huffNode{freq: f, sym: sym})
+	}
+	heap.Init(&h)
+	if h.Len() == 1 {
+		// Single symbol: assign a 1-bit code.
+		return []huffCode{{sym: h[0].sym, length: 1}}, true
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{freq: a.freq + b.freq, left: a, right: b})
+	}
+	root := h[0]
+	var codes []huffCode
+	var walk func(n *huffNode, depth int)
+	walk = func(n *huffNode, depth int) {
+		if n.left == nil {
+			codes = append(codes, huffCode{sym: n.sym, length: depth})
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	assignCanonical(codes)
+	return codes, true
+}
+
+// assignCanonical sorts codes by (length, symbol) and assigns canonical
+// code values.
+func assignCanonical(codes []huffCode) {
+	sort.Slice(codes, func(i, j int) bool {
+		if codes[i].length != codes[j].length {
+			return codes[i].length < codes[j].length
+		}
+		return codes[i].sym < codes[j].sym
+	})
+	var code uint64
+	prevLen := 0
+	for i := range codes {
+		code <<= uint(codes[i].length - prevLen)
+		codes[i].code = code
+		code++
+		prevLen = codes[i].length
+	}
+}
+
+func encodeHuffmanInts(dst []byte, vs []int64) ([]byte, error) {
+	codes, ok := buildHuffmanCodes(vs)
+	if !ok {
+		return nil, ErrNotApplicable
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(codes)))
+	bySym := make(map[int64]huffCode, len(codes))
+	for _, c := range codes {
+		dst = binary.AppendVarint(dst, c.sym)
+		dst = append(dst, byte(c.length))
+		bySym[c.sym] = c
+	}
+	w := bitutil.NewWriter(nil)
+	for _, v := range vs {
+		c := bySym[v]
+		// Write MSB-first so canonical prefix decoding works.
+		for b := c.length - 1; b >= 0; b-- {
+			w.WriteBit(c.code&(1<<uint(b)) != 0)
+		}
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+func decodeHuffmanInts(dst []int64, src []byte) ([]int64, error) {
+	nSym, sz := binary.Uvarint(src)
+	if sz <= 0 || nSym > maxHuffmanSymbols {
+		return nil, corruptf("huffman: bad symbol count")
+	}
+	src = src[sz:]
+	codes := make([]huffCode, nSym)
+	for i := range codes {
+		sym, sz := binary.Varint(src)
+		if sz <= 0 || len(src) < sz+1 {
+			return nil, corruptf("huffman: truncated codebook")
+		}
+		codes[i] = huffCode{sym: sym, length: int(src[sz])}
+		if codes[i].length <= 0 || codes[i].length > 64 {
+			return nil, corruptf("huffman: bad code length %d", codes[i].length)
+		}
+		src = src[sz+1:]
+	}
+	assignCanonical(codes)
+	type key struct {
+		length int
+		code   uint64
+	}
+	table := make(map[key]int64, len(codes))
+	for _, c := range codes {
+		table[key{c.length, c.code}] = c.sym
+	}
+	r := bitutil.NewReader(src)
+	for i := range dst {
+		var code uint64
+		length := 0
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, corruptf("huffman: bitstream exhausted at value %d", i)
+			}
+			code = code<<1 | b2u(bit)
+			length++
+			if sym, ok := table[key{length, code}]; ok {
+				dst[i] = sym
+				break
+			}
+			if length > 64 {
+				return nil, corruptf("huffman: no code matches at value %d", i)
+			}
+		}
+	}
+	return dst, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,181 @@
+package enc
+
+import (
+	"encoding/binary"
+
+	"bullion/internal/bitutil"
+)
+
+// Null handling (Table 2: Nullable, SparseBool-as-subcolumn, Sentinel).
+//
+// Nullable wraps any integer value stream with a validity sub-column: one
+// stream of null indicators (typically SparseBool — nulls are rare in
+// feature data) plus a dense stream of the non-null values.
+//
+// Sentinel instead designates an unused integer as the in-band null marker,
+// keeping a single sub-column; it applies only when the domain has a free
+// value.
+//
+//	Nullable payload := n(uvarint) childValidity(bool stream) childValues
+//	Sentinel payload := sentinel(varint) childValues
+
+// EncodeNullableInts encodes vs where valid.Get(i) reports whether vs[i] is
+// non-null. Null positions in vs are ignored.
+func EncodeNullableInts(dst []byte, vs []int64, valid *bitutil.Bitmap, opts *Options) ([]byte, error) {
+	if valid.Len() != len(vs) {
+		return nil, corruptf("nullable: validity length %d != values %d", valid.Len(), len(vs))
+	}
+	// Prefer Sentinel when the value domain leaves a gap; otherwise wrap.
+	if s, ok := findSentinel(vs, valid); ok && opts.allows(Sentinel) {
+		return encodeSentinelInts(dst, vs, valid, s, opts)
+	}
+	return encodeNullableInts(dst, vs, valid, opts)
+}
+
+// DecodeNullableInts decodes an n-value nullable stream, returning the
+// values (null positions hold 0) and the validity bitmap.
+func DecodeNullableInts(src []byte, n int) ([]int64, *bitutil.Bitmap, error) {
+	if len(src) == 0 {
+		return nil, nil, corruptf("nullable: empty stream")
+	}
+	id := SchemeID(src[0])
+	payload := src[1:]
+	switch id {
+	case Nullable:
+		return decodeNullableInts(payload, n)
+	case Sentinel:
+		return decodeSentinelInts(payload, n)
+	default:
+		// A plain value stream: everything valid.
+		vs, err := DecodeInts(src, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		valid := bitutil.NewBitmap(n)
+		valid.SetRange(0, n)
+		return vs, valid, nil
+	}
+}
+
+func encodeNullableInts(dst []byte, vs []int64, valid *bitutil.Bitmap, opts *Options) ([]byte, error) {
+	dst = append(dst, byte(Nullable))
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	indicators := make([]bool, len(vs))
+	var dense []int64
+	for i, v := range vs {
+		if valid.Get(i) {
+			indicators[i] = true
+			dense = append(dense, v)
+		}
+	}
+	validityStream, err := EncodeBools(nil, indicators, opts)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendChild(dst, validityStream)
+	child, err := encodeIntsDepth(nil, dense, opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	return appendChild(dst, child), nil
+}
+
+func decodeNullableInts(src []byte, n int) ([]int64, *bitutil.Bitmap, error) {
+	n64, sz := binary.Uvarint(src)
+	if sz <= 0 || int(n64) != n {
+		return nil, nil, corruptf("nullable: count mismatch: stream %d, caller %d", n64, n)
+	}
+	src = src[sz:]
+	validityStream, src, err := readChild(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	valueStream, _, err := readChild(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	indicators, err := DecodeBools(validityStream, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	valid := bitutil.NewBitmap(n)
+	nDense := 0
+	for i, ok := range indicators {
+		if ok {
+			valid.Set(i)
+			nDense++
+		}
+	}
+	dense, err := DecodeInts(valueStream, nDense)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]int64, n)
+	d := 0
+	for i, ok := range indicators {
+		if ok {
+			out[i] = dense[d]
+			d++
+		}
+	}
+	return out, valid, nil
+}
+
+// findSentinel looks for a value absent from the valid values of vs,
+// preferring small magnitudes so downstream varint/FOR stay cheap.
+func findSentinel(vs []int64, valid *bitutil.Bitmap) (int64, bool) {
+	present := make(map[int64]bool, len(vs))
+	for i, v := range vs {
+		if valid.Get(i) {
+			present[v] = true
+		}
+	}
+	for _, cand := range []int64{-1, 0, -9223372036854775808, 9223372036854775807} {
+		if !present[cand] {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+func encodeSentinelInts(dst []byte, vs []int64, valid *bitutil.Bitmap, sentinel int64, opts *Options) ([]byte, error) {
+	dst = append(dst, byte(Sentinel))
+	dst = binary.AppendVarint(dst, sentinel)
+	filled := make([]int64, len(vs))
+	for i, v := range vs {
+		if valid.Get(i) {
+			filled[i] = v
+		} else {
+			filled[i] = sentinel
+		}
+	}
+	child, err := encodeIntsDepth(nil, filled, opts, 1)
+	if err != nil {
+		return nil, err
+	}
+	return appendChild(dst, child), nil
+}
+
+func decodeSentinelInts(src []byte, n int) ([]int64, *bitutil.Bitmap, error) {
+	sentinel, sz := binary.Varint(src)
+	if sz <= 0 {
+		return nil, nil, corruptf("sentinel: bad sentinel value")
+	}
+	valueStream, _, err := readChild(src[sz:])
+	if err != nil {
+		return nil, nil, err
+	}
+	vs, err := DecodeInts(valueStream, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	valid := bitutil.NewBitmap(n)
+	for i, v := range vs {
+		if v != sentinel {
+			valid.Set(i)
+		} else {
+			vs[i] = 0
+		}
+	}
+	return vs, valid, nil
+}

@@ -1,0 +1,73 @@
+package enc
+
+import "encoding/binary"
+
+// RLE (Table 2): consecutive identical elements become (value, count)
+// pairs, stored as two sub-columns — run values and run lengths — each
+// recursively encoded. Run lengths are small positive integers, so they
+// typically cascade into bit-packing or varint.
+//
+// payload := nRuns(uvarint) childValues childLengths
+
+func encodeRLEInts(dst []byte, vs []int64, opts *Options, depth int) ([]byte, error) {
+	values, lengths := rleRuns(vs)
+	dst = binary.AppendUvarint(dst, uint64(len(values)))
+	var err error
+	if dst, err = encodeChildInts(dst, values, opts, depth+1); err != nil {
+		return nil, err
+	}
+	return encodeChildInts(dst, lengths, opts, depth+1)
+}
+
+// rleRuns splits vs into run values and run lengths.
+func rleRuns(vs []int64) (values, lengths []int64) {
+	for i := 0; i < len(vs); {
+		j := i + 1
+		for j < len(vs) && vs[j] == vs[i] {
+			j++
+		}
+		values = append(values, vs[i])
+		lengths = append(lengths, int64(j-i))
+		i = j
+	}
+	return values, lengths
+}
+
+func decodeRLEInts(dst []int64, src []byte) ([]int64, error) {
+	nRuns, sz := binary.Uvarint(src)
+	if sz <= 0 || nRuns > uint64(len(dst)) {
+		return nil, corruptf("rle: bad run count %d for %d values", nRuns, len(dst))
+	}
+	src = src[sz:]
+	valStream, src, err := readChild(src)
+	if err != nil {
+		return nil, err
+	}
+	lenStream, _, err := readChild(src)
+	if err != nil {
+		return nil, err
+	}
+	values, err := DecodeInts(valStream, int(nRuns))
+	if err != nil {
+		return nil, err
+	}
+	lengths, err := DecodeInts(lenStream, int(nRuns))
+	if err != nil {
+		return nil, err
+	}
+	pos := 0
+	for r := range values {
+		l := int(lengths[r])
+		if l <= 0 || pos+l > len(dst) {
+			return nil, corruptf("rle: run %d length %d overflows %d values", r, l, len(dst))
+		}
+		for k := 0; k < l; k++ {
+			dst[pos+k] = values[r]
+		}
+		pos += l
+	}
+	if pos != len(dst) {
+		return nil, corruptf("rle: runs cover %d of %d values", pos, len(dst))
+	}
+	return dst, nil
+}

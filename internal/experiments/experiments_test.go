@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Every experiment runner must complete without error and produce output —
+// the smoke layer under cmd/experiments.
+
+func TestFig1(t *testing.T) { runExp(t, Fig1, "Figure 1") }
+func TestFig2(t *testing.T) { runExp(t, Fig2, "Figure 2") }
+func TestTab1(t *testing.T) { runExp(t, Tab1, "Table 1") }
+func TestFig4(t *testing.T) { runExp(t, Fig4, "sparse") }
+func TestFig6(t *testing.T) { runExp(t, Fig6, "quantization") }
+func TestTab2(t *testing.T) { runExp(t, Tab2, "catalog") }
+
+func TestReorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two 200-column tables")
+	}
+	runExp(t, Reorder, "reordering")
+}
+
+func TestFig5Small(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf, []int{500, 2000}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "500") || !strings.Contains(out, "2000") {
+		t.Fatalf("fig5 output missing rows:\n%s", out)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 20k-sample dataset")
+	}
+	runExp(t, Fig7, "quality")
+}
+
+func TestDeletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 200k-row table four times")
+	}
+	runExp(t, Deletion, "deletion")
+}
+
+func runExp(t *testing.T, fn func(io.Writer) error, marker string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(buf.String()), strings.ToLower(marker)) {
+		t.Fatalf("output missing %q:\n%s", marker, buf.String())
+	}
+	if len(buf.String()) < 100 {
+		t.Fatalf("suspiciously short output:\n%s", buf.String())
+	}
+}

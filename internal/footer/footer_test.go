@@ -1,0 +1,259 @@
+package footer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildFooter constructs a consistent footer with nCols columns, nGroups
+// groups, and pagesPerChunk pages per column chunk.
+func buildFooter(nCols, nGroups, pagesPerChunk int) *Footer {
+	nChunks := nCols * nGroups
+	nPages := nChunks * pagesPerChunk
+	f := &Footer{
+		NumRows:         uint64(nGroups * 1000),
+		NumColumns:      nCols,
+		NumGroups:       nGroups,
+		PageCompression: make([]uint8, nPages),
+		RowsPerPage:     make([]uint32, nPages),
+		PageOffsets:     make([]uint64, nPages),
+		PagesPerGroup:   make([]uint32, nGroups),
+		GroupOffsets:    make([]uint64, nGroups),
+		ChunkFirstPage:  make([]uint32, nChunks+1),
+		ColumnOffsets:   make([]uint64, nChunks),
+		ColumnSizes:     make([]uint64, nChunks),
+		DeletionVec:     make([]uint64, (nGroups*1000+63)/64),
+		Checksums:       make([]uint64, nPages+nGroups+1),
+		Columns:         make([]Column, nCols),
+	}
+	off := uint64(0)
+	for p := 0; p < nPages; p++ {
+		f.PageCompression[p] = uint8(p % 7)
+		f.RowsPerPage[p] = 1000 / uint32(pagesPerChunk)
+		f.PageOffsets[p] = off
+		off += 4096
+		f.Checksums[p] = uint64(p) * 77
+	}
+	for g := 0; g < nGroups; g++ {
+		f.PagesPerGroup[g] = uint32(nCols * pagesPerChunk)
+		f.GroupOffsets[g] = uint64(g) * uint64(nCols*pagesPerChunk) * 4096
+		f.Checksums[nPages+g] = uint64(g) * 13
+	}
+	f.Checksums[nPages+nGroups] = 0xDEADBEEF // root
+	for i := 0; i <= nChunks; i++ {
+		f.ChunkFirstPage[i] = uint32(i * pagesPerChunk)
+	}
+	for i := 0; i < nChunks; i++ {
+		f.ColumnOffsets[i] = uint64(i) * uint64(pagesPerChunk) * 4096
+		f.ColumnSizes[i] = uint64(pagesPerChunk) * 4096
+	}
+	for c := 0; c < nCols; c++ {
+		f.Columns[c] = Column{
+			Name: fmt.Sprintf("feat_%06d", c),
+			Type: TypeDesc{Kind: KindList, Elem: KindInt64},
+		}
+	}
+	return f
+}
+
+func TestMarshalOpenRoundTrip(t *testing.T) {
+	f := buildFooter(50, 3, 2)
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumRows() != f.NumRows || v.NumColumns() != 50 || v.NumGroups() != 3 {
+		t.Fatalf("header: rows=%d cols=%d groups=%d", v.NumRows(), v.NumColumns(), v.NumGroups())
+	}
+	if v.NumPages() != len(f.PageOffsets) {
+		t.Fatalf("pages = %d, want %d", v.NumPages(), len(f.PageOffsets))
+	}
+	for p := range f.PageOffsets {
+		if v.PageOffset(p) != f.PageOffsets[p] {
+			t.Fatalf("page %d offset mismatch", p)
+		}
+		if v.PageCompression(p) != f.PageCompression[p] {
+			t.Fatalf("page %d compression mismatch", p)
+		}
+		if uint32(v.PageRows(p)) != f.RowsPerPage[p] {
+			t.Fatalf("page %d rows mismatch", p)
+		}
+	}
+	for c := 0; c < 50; c++ {
+		if got := v.ColumnName(c); got != f.Columns[c].Name {
+			t.Fatalf("column %d name %q, want %q", c, got, f.Columns[c].Name)
+		}
+		if got := v.ColumnType(c); got != f.Columns[c].Type {
+			t.Fatalf("column %d type %v, want %v", c, got, f.Columns[c].Type)
+		}
+	}
+	if v.RootChecksum() != 0xDEADBEEF {
+		t.Fatalf("root checksum %x", v.RootChecksum())
+	}
+}
+
+func TestLookupColumn(t *testing.T) {
+	f := buildFooter(1000, 2, 1)
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []int{0, 1, 499, 998, 999} {
+		got, ok := v.LookupColumn(f.Columns[c].Name)
+		if !ok || got != c {
+			t.Fatalf("LookupColumn(%q) = (%d,%v), want (%d,true)", f.Columns[c].Name, got, ok, c)
+		}
+	}
+	if _, ok := v.LookupColumn("no_such_feature"); ok {
+		t.Fatal("found a nonexistent column")
+	}
+}
+
+func TestChunkGeometry(t *testing.T) {
+	f := buildFooter(10, 4, 3)
+	buf, _ := f.Marshal()
+	v, err := OpenView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		for c := 0; c < 10; c++ {
+			i := v.ChunkIndex(g, c)
+			off, size := v.ChunkByteRange(g, c)
+			if off != f.ColumnOffsets[i] || size != f.ColumnSizes[i] {
+				t.Fatalf("chunk (%d,%d) range (%d,%d), want (%d,%d)",
+					g, c, off, size, f.ColumnOffsets[i], f.ColumnSizes[i])
+			}
+			first, count := v.ChunkPages(g, c)
+			if first != i*3 || count != 3 {
+				t.Fatalf("chunk (%d,%d) pages (%d,%d), want (%d,3)", g, c, first, count, i*3)
+			}
+		}
+	}
+}
+
+func TestDeletionVec(t *testing.T) {
+	f := buildFooter(5, 1, 1)
+	f.DeletionVec[0] = 1 | 1<<63 // rows 0 and 63 deleted
+	buf, _ := f.Marshal()
+	v, err := OpenView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.RowDeleted(0) || !v.RowDeleted(63) {
+		t.Fatal("deleted rows not reported")
+	}
+	if v.RowDeleted(1) || v.RowDeleted(64) {
+		t.Fatal("live rows reported deleted")
+	}
+	if v.RowDeleted(1 << 40) { // far out of range
+		t.Fatal("out-of-range row reported deleted")
+	}
+}
+
+func TestMaterializeRoundTrip(t *testing.T) {
+	f := buildFooter(20, 3, 2)
+	f.DeletionVec[0] = 42
+	buf, _ := f.Marshal()
+	v, err := OpenView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(buf2) {
+		t.Fatal("materialize→marshal is not the identity")
+	}
+}
+
+func TestOpenViewRejectsCorrupt(t *testing.T) {
+	f := buildFooter(5, 1, 1)
+	buf, _ := f.Marshal()
+	cases := map[string]func() []byte{
+		"short":       func() []byte { return buf[:10] },
+		"bad magic":   func() []byte { b := append([]byte{}, buf...); b[0] = 'X'; return b },
+		"bad version": func() []byte { b := append([]byte{}, buf...); b[4] = 99; return b },
+		"truncated":   func() []byte { return buf[:len(buf)-5] },
+		"bad section": func() []byte {
+			b := append([]byte{}, buf...)
+			b[28] = 0xFF
+			b[29] = 0xFF
+			b[30] = 0xFF
+			b[31] = 0xFF
+			return b
+		},
+	}
+	for name, gen := range cases {
+		if _, err := OpenView(gen()); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	f := buildFooter(5, 1, 1)
+	f.Checksums = f.Checksums[:2] // wrong length
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("bad checksum length accepted")
+	}
+	f = buildFooter(5, 1, 1)
+	f.Columns = f.Columns[:3]
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("bad column count accepted")
+	}
+}
+
+// Property: arbitrary geometries round-trip through Marshal/OpenView.
+func TestFooterProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ft := buildFooter(rng.Intn(30)+1, rng.Intn(4)+1, rng.Intn(3)+1)
+		buf, err := ft.Marshal()
+		if err != nil {
+			return false
+		}
+		v, err := OpenView(buf)
+		if err != nil {
+			return false
+		}
+		c := rng.Intn(ft.NumColumns)
+		got, ok := v.LookupColumn(ft.Columns[c].Name)
+		return ok && got == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeDescString(t *testing.T) {
+	cases := []struct {
+		d    TypeDesc
+		want string
+	}{
+		{TypeDesc{Kind: KindInt64}, "int64"},
+		{TypeDesc{Kind: KindList, Elem: KindInt64}, "list<int64>"},
+		{TypeDesc{Kind: KindListList, Elem: KindInt64}, "list<list<int64>>"},
+		{TypeDesc{Kind: KindFloat32, Quant: 3}, "float32[q3]"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%+v = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package footer
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// View is a zero-copy reader over a serialized footer. Construction
+// validates only the fixed header and section directory; every accessor
+// reads directly from the underlying buffer at a computed offset. No
+// per-column work happens until a column is actually looked up — the §2.3
+// property that keeps wide-table projection flat in Figure 5.
+type View struct {
+	buf        []byte
+	numRows    uint64
+	numColumns int
+	numGroups  int
+	numPages   int
+	flags      uint32
+	off        [numSections]int
+	size       [numSections]int
+}
+
+// OpenView validates the header and returns a view. O(1) in the number of
+// columns.
+func OpenView(buf []byte) (*View, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes < header %d", ErrCorrupt, len(buf), headerSize)
+	}
+	if string(buf[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf[:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(buf[4:]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	v := &View{
+		buf:        buf,
+		flags:      le.Uint32(buf[8:]),
+		numRows:    le.Uint64(buf[12:]),
+		numColumns: int(le.Uint32(buf[20:])),
+		numGroups:  int(le.Uint32(buf[24:])),
+		numPages:   int(le.Uint32(buf[28:])),
+	}
+	const dirBase = 32
+	for s := 0; s < numSections; s++ {
+		off := le.Uint64(buf[dirBase+16*s:])
+		sz := le.Uint64(buf[dirBase+16*s+8:])
+		if off > uint64(len(buf)) || sz > uint64(len(buf))-off {
+			return nil, fmt.Errorf("%w: section %d range [%d,%d) outside %d bytes",
+				ErrCorrupt, s, off, off+sz, len(buf))
+		}
+		v.off[s] = int(off)
+		v.size[s] = int(sz)
+	}
+	// Structural sanity for the arrays indexed arithmetic relies on.
+	nChunks := v.numGroups * v.numColumns
+	checks := []struct {
+		sec  int
+		want int
+	}{
+		{secPageCompression, v.numPages},
+		{secRowsPerPage, 4 * v.numPages},
+		{secPageOffsets, 8 * v.numPages},
+		{secPagesPerGroup, 4 * v.numGroups},
+		{secGroupOffsets, 8 * v.numGroups},
+		{secChunkFirstPage, 4 * (nChunks + 1)},
+		{secColumnOffsets, 8 * nChunks},
+		{secColumnSizes, 8 * nChunks},
+		{secChecksums, 8 * (v.numPages + v.numGroups + 1)},
+		{secNameIndex, 12 * v.numColumns},
+		{secNameOffsets, 4 * (v.numColumns + 1)},
+		{secTypes, 4 * v.numColumns},
+	}
+	for _, c := range checks {
+		if v.size[c.sec] != c.want {
+			return nil, fmt.Errorf("%w: section %d is %d bytes, want %d",
+				ErrCorrupt, c.sec, v.size[c.sec], c.want)
+		}
+	}
+	return v, nil
+}
+
+// NumRows returns the row count.
+func (v *View) NumRows() uint64 { return v.numRows }
+
+// Flags returns the file-level flags.
+func (v *View) Flags() uint32 { return v.flags }
+
+// NumColumns returns the column count.
+func (v *View) NumColumns() int { return v.numColumns }
+
+// NumGroups returns the row-group count.
+func (v *View) NumGroups() int { return v.numGroups }
+
+// NumPages returns the total page count.
+func (v *View) NumPages() int { return v.numPages }
+
+func (v *View) u32(sec, i int) uint32 {
+	return binary.LittleEndian.Uint32(v.buf[v.off[sec]+4*i:])
+}
+
+func (v *View) u64(sec, i int) uint64 {
+	return binary.LittleEndian.Uint64(v.buf[v.off[sec]+8*i:])
+}
+
+// LookupColumn finds a column by name via the hash index: binary search on
+// raw 12-byte entries, then a name confirmation against the blob (hash
+// collisions chain to adjacent entries).
+func (v *View) LookupColumn(name string) (int, bool) {
+	h := NameHash(name)
+	base := v.off[secNameIndex]
+	lo, hi := 0, v.numColumns
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if binary.LittleEndian.Uint64(v.buf[base+12*mid:]) < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for ; lo < v.numColumns; lo++ {
+		if binary.LittleEndian.Uint64(v.buf[base+12*lo:]) != h {
+			return 0, false
+		}
+		col := int(binary.LittleEndian.Uint32(v.buf[base+12*lo+8:]))
+		if v.ColumnName(col) == name {
+			return col, true
+		}
+	}
+	return 0, false
+}
+
+// ColumnName returns the name of column c (a sub-slice view of the blob).
+func (v *View) ColumnName(c int) string {
+	start := v.u32(secNameOffsets, c)
+	end := v.u32(secNameOffsets, c+1)
+	blob := v.buf[v.off[secNameBlob] : v.off[secNameBlob]+v.size[secNameBlob]]
+	return string(blob[start:end])
+}
+
+// ColumnType returns the 4-byte type descriptor of column c.
+func (v *View) ColumnType(c int) TypeDesc {
+	p := v.off[secTypes] + 4*c
+	return TypeDesc{
+		Kind:  Kind(v.buf[p]),
+		Elem:  Kind(v.buf[p+1]),
+		Quant: v.buf[p+2],
+		Flags: v.buf[p+3],
+	}
+}
+
+// ChunkIndex returns the flat chunk index for (group, column).
+func (v *View) ChunkIndex(group, col int) int { return group*v.numColumns + col }
+
+// ChunkByteRange returns the file byte range of one column chunk — the
+// paper's "byte ranges for each column are identified via an offsets
+// array, followed by a targeted pread()".
+func (v *View) ChunkByteRange(group, col int) (offset, size uint64) {
+	i := v.ChunkIndex(group, col)
+	return v.u64(secColumnOffsets, i), v.u64(secColumnSizes, i)
+}
+
+// ChunkPages returns the [first, first+count) global page index range of a
+// chunk.
+func (v *View) ChunkPages(group, col int) (first, count int) {
+	i := v.ChunkIndex(group, col)
+	f := int(v.u32(secChunkFirstPage, i))
+	n := int(v.u32(secChunkFirstPage, i+1)) - f
+	return f, n
+}
+
+// PageOffset returns the file offset of global page p.
+func (v *View) PageOffset(p int) uint64 { return v.u64(secPageOffsets, p) }
+
+// PageRows returns the row count of global page p.
+func (v *View) PageRows(p int) int { return int(v.u32(secRowsPerPage, p)) }
+
+// PageCompression returns the cascade scheme id recorded for page p.
+func (v *View) PageCompression(p int) uint8 {
+	return v.buf[v.off[secPageCompression]+p]
+}
+
+// GroupOffset returns the file offset of row group g.
+func (v *View) GroupOffset(g int) uint64 { return v.u64(secGroupOffsets, g) }
+
+// GroupPages returns the page count of row group g.
+func (v *View) GroupPages(g int) int { return int(v.u32(secPagesPerGroup, g)) }
+
+// DeletionWord returns word w of the deletion bitmap.
+func (v *View) DeletionWord(w int) uint64 { return v.u64(secDeletionVec, w) }
+
+// DeletionWords returns the deletion bitmap length in words.
+func (v *View) DeletionWords() int { return v.size[secDeletionVec] / 8 }
+
+// RowDeleted reports whether global row r is marked deleted.
+func (v *View) RowDeleted(r uint64) bool {
+	w := int(r >> 6)
+	if w >= v.DeletionWords() {
+		return false
+	}
+	return v.u64(secDeletionVec, w)&(1<<(r&63)) != 0
+}
+
+// Checksum returns entry i of the checksum section (pages, then groups,
+// then root).
+func (v *View) Checksum(i int) uint64 { return v.u64(secChecksums, i) }
+
+// RootChecksum returns the Merkle root.
+func (v *View) RootChecksum() uint64 {
+	return v.Checksum(v.numPages + v.numGroups)
+}
+
+// Materialize fully decodes the footer for mutation (the deletion path
+// rewrites the deletion vector and checksums). Readers should stay on the
+// View.
+func (v *View) Materialize() (*Footer, error) {
+	nChunks := v.numGroups * v.numColumns
+	f := &Footer{
+		NumRows:         v.numRows,
+		NumColumns:      v.numColumns,
+		NumGroups:       v.numGroups,
+		Flags:           v.flags,
+		PageCompression: append([]uint8(nil), v.buf[v.off[secPageCompression]:v.off[secPageCompression]+v.numPages]...),
+		RowsPerPage:     make([]uint32, v.numPages),
+		PageOffsets:     make([]uint64, v.numPages),
+		PagesPerGroup:   make([]uint32, v.numGroups),
+		GroupOffsets:    make([]uint64, v.numGroups),
+		ChunkFirstPage:  make([]uint32, nChunks+1),
+		ColumnOffsets:   make([]uint64, nChunks),
+		ColumnSizes:     make([]uint64, nChunks),
+		DeletionVec:     make([]uint64, v.DeletionWords()),
+		Checksums:       make([]uint64, v.numPages+v.numGroups+1),
+		Columns:         make([]Column, v.numColumns),
+	}
+	for i := range f.RowsPerPage {
+		f.RowsPerPage[i] = v.u32(secRowsPerPage, i)
+		f.PageOffsets[i] = v.u64(secPageOffsets, i)
+	}
+	for i := range f.PagesPerGroup {
+		f.PagesPerGroup[i] = v.u32(secPagesPerGroup, i)
+		f.GroupOffsets[i] = v.u64(secGroupOffsets, i)
+	}
+	for i := range f.ChunkFirstPage {
+		f.ChunkFirstPage[i] = v.u32(secChunkFirstPage, i)
+	}
+	for i := 0; i < nChunks; i++ {
+		f.ColumnOffsets[i] = v.u64(secColumnOffsets, i)
+		f.ColumnSizes[i] = v.u64(secColumnSizes, i)
+	}
+	for i := range f.DeletionVec {
+		f.DeletionVec[i] = v.u64(secDeletionVec, i)
+	}
+	for i := range f.Checksums {
+		f.Checksums[i] = v.u64(secChecksums, i)
+	}
+	for i := range f.Columns {
+		f.Columns[i] = Column{Name: v.ColumnName(i), Type: v.ColumnType(i)}
+	}
+	return f, nil
+}

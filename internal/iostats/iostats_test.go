@@ -1,0 +1,101 @@
+package iostats
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+type memFile struct{ data []byte }
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memFile) WriteAt(p []byte, off int64) (int, error) {
+	need := int(off) + len(p)
+	if need > len(m.data) {
+		grown := make([]byte, need)
+		copy(grown, m.data)
+		m.data = grown
+	}
+	return copy(m.data[off:], p), nil
+}
+
+func TestReaderCounting(t *testing.T) {
+	var c Counters
+	c.Reset()
+	f := &memFile{data: make([]byte, 1000)}
+	r := &ReaderAt{R: f, C: &c}
+
+	buf := make([]byte, 100)
+	r.ReadAt(buf, 0)   // sequential start
+	r.ReadAt(buf, 100) // contiguous: no seek
+	r.ReadAt(buf, 500) // seek
+
+	s := c.Snapshot()
+	if s.ReadOps != 3 {
+		t.Fatalf("ReadOps = %d, want 3", s.ReadOps)
+	}
+	if s.ReadBytes != 300 {
+		t.Fatalf("ReadBytes = %d, want 300", s.ReadBytes)
+	}
+	if s.Seeks != 1 {
+		t.Fatalf("Seeks = %d, want 1", s.Seeks)
+	}
+}
+
+func TestWriterCounting(t *testing.T) {
+	var c Counters
+	c.Reset()
+	f := &memFile{}
+	w := &WriterAt{W: f, C: &c}
+	w.WriteAt([]byte("hello"), 0)
+	w.WriteAt([]byte("world"), 5)  // contiguous
+	w.WriteAt([]byte("jump"), 100) // seek
+	s := c.Snapshot()
+	if s.WriteOps != 3 || s.WriteBytes != 14 || s.Seeks != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if string(f.data[:10]) != "helloworld" {
+		t.Fatalf("data = %q", f.data[:10])
+	}
+}
+
+func TestSequentialWriter(t *testing.T) {
+	var c Counters
+	c.Reset()
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, C: &c}
+	w.Write([]byte("abc"))
+	w.Write([]byte("de"))
+	s := c.Snapshot()
+	if s.WriteOps != 2 || s.WriteBytes != 5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("buffer = %q", buf.String())
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var c Counters
+	c.Reset()
+	f := &memFile{data: make([]byte, 100)}
+	r := &ReaderAt{R: f, C: &c}
+	buf := make([]byte, 10)
+	r.ReadAt(buf, 0)
+	before := c.Snapshot()
+	r.ReadAt(buf, 50)
+	delta := c.Snapshot().Sub(before)
+	if delta.ReadOps != 1 || delta.ReadBytes != 10 {
+		t.Fatalf("delta = %+v", delta)
+	}
+}

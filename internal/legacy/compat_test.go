@@ -1,0 +1,68 @@
+package legacy
+
+import "testing"
+
+// Thrift-style forward compatibility: decoders must skip unknown fields,
+// as real Parquet readers do when newer writers add metadata.
+func TestUnknownFieldsSkipped(t *testing.T) {
+	w := newTWriter()
+	w.beginStructElem()
+	w.writeI32(1, 7)                         // version
+	w.writeI64(2, 99)                        // num_rows
+	w.writeBinary(9, []byte("future-field")) // unknown id
+	w.writeBool(10, true)                    // unknown bool
+	w.beginStructField(11)                   // unknown nested struct
+	w.writeI64(1, 123)
+	w.beginList(2, tI32, 3)
+	for i := 0; i < 3; i++ {
+		w.buf = append(w.buf, byte(i<<1)) // zigzag varints 0,1,2... (i<<1 ok for small)
+	}
+	w.endStruct()
+	w.beginList(3, tStruct, 1) // schema with one element
+	w.beginStructElem()
+	w.writeBinary(1, []byte("col"))
+	w.writeI32(2, TypeInt64)
+	w.writeBinary(5, []byte("unknown-inside-schema"))
+	w.endStruct()
+	w.endStruct()
+
+	m, err := unmarshalMeta(w.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 7 || m.NumRows != 99 {
+		t.Fatalf("header: %+v", m)
+	}
+	if len(m.Schema) != 1 || m.Schema[0].Name != "col" {
+		t.Fatalf("schema: %+v", m.Schema)
+	}
+}
+
+func TestThriftSkipTypes(t *testing.T) {
+	// skip must handle every wire type, including nested lists of structs.
+	w := newTWriter()
+	w.beginStructElem()
+	w.beginList(1, tList, 1) // list<list<...>>: unusual but legal
+	w.buf = append(w.buf, byte(2<<4|tI32))
+	w.buf = append(w.buf, 2, 4) // two varints
+	w.writeI64(2, 5)
+	w.endStruct()
+
+	r := newTReader(w.buf)
+	r.beginStruct()
+	id, typ, err := r.fieldHeader()
+	if err != nil || id != 1 || typ != tList {
+		t.Fatalf("header: %d %d %v", id, typ, err)
+	}
+	if err := r.skip(tList); err != nil {
+		t.Fatal(err)
+	}
+	id, typ, err = r.fieldHeader()
+	if err != nil || id != 2 || typ != tI64 {
+		t.Fatalf("after skip: %d %d %v", id, typ, err)
+	}
+	v, err := r.varint()
+	if err != nil || v != 5 {
+		t.Fatalf("value: %d %v", v, err)
+	}
+}

@@ -1,0 +1,567 @@
+package legacy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic frames a legacy file, Parquet-style (leading and trailing).
+const Magic = "LGC1"
+
+// Column types (subset sufficient for the experiments).
+const (
+	TypeInt64 = iota
+	TypeFloat64
+	TypeListInt64
+)
+
+// SchemaElement describes one column.
+type SchemaElement struct {
+	Name string
+	Type int32
+}
+
+// Statistics mimic Parquet's per-chunk min/max/null bookkeeping — part of
+// what makes wide footers expensive to parse.
+type Statistics struct {
+	Min       []byte
+	Max       []byte
+	NullCount int64
+}
+
+// ColumnMeta is the per-chunk metadata struct.
+type ColumnMeta struct {
+	Type             int32
+	Encodings        []int32
+	NumValues        int64
+	UncompressedSize int64
+	CompressedSize   int64
+	DataPageOffset   int64
+	Stats            Statistics
+}
+
+// ColumnChunk binds a column path to its metadata.
+type ColumnChunk struct {
+	Path       string
+	FileOffset int64
+	Meta       ColumnMeta
+}
+
+// RowGroup holds the chunk list for one group.
+type RowGroup struct {
+	Columns       []ColumnChunk
+	TotalByteSize int64
+	NumRows       int64
+}
+
+// FileMetaData is the root footer struct, deserialized in full on open.
+type FileMetaData struct {
+	Version int32
+	NumRows int64
+	Schema  []SchemaElement
+	Groups  []RowGroup
+}
+
+// marshalMeta serializes FileMetaData with the compact protocol.
+func marshalMeta(m *FileMetaData) []byte {
+	w := newTWriter()
+	w.beginStructElem() // root struct
+	w.writeI32(1, m.Version)
+	w.writeI64(2, m.NumRows)
+	w.beginList(3, tStruct, len(m.Schema))
+	for _, s := range m.Schema {
+		w.beginStructElem()
+		w.writeBinary(1, []byte(s.Name))
+		w.writeI32(2, s.Type)
+		w.endStruct()
+	}
+	w.beginList(4, tStruct, len(m.Groups))
+	for _, g := range m.Groups {
+		w.beginStructElem()
+		w.beginList(1, tStruct, len(g.Columns))
+		for _, c := range g.Columns {
+			w.beginStructElem()
+			w.writeBinary(1, []byte(c.Path))
+			w.writeI64(2, c.FileOffset)
+			w.beginStructField(3)
+			w.writeI32(1, c.Meta.Type)
+			w.beginList(2, tI32, len(c.Meta.Encodings))
+			for _, e := range c.Meta.Encodings {
+				w.buf = binary.AppendVarint(w.buf, int64(e))
+			}
+			w.writeI64(3, c.Meta.NumValues)
+			w.writeI64(4, c.Meta.UncompressedSize)
+			w.writeI64(5, c.Meta.CompressedSize)
+			w.writeI64(6, c.Meta.DataPageOffset)
+			w.beginStructField(7)
+			w.writeBinary(1, c.Meta.Stats.Min)
+			w.writeBinary(2, c.Meta.Stats.Max)
+			w.writeI64(3, c.Meta.Stats.NullCount)
+			w.endStruct()
+			w.endStruct()
+			w.endStruct()
+		}
+		w.writeI64(2, g.TotalByteSize)
+		w.writeI64(3, g.NumRows)
+		w.endStruct()
+	}
+	w.endStruct()
+	return w.buf
+}
+
+// unmarshalMeta deserializes the footer in full — the O(columns) parse the
+// paper's Figure 5 measures.
+func unmarshalMeta(buf []byte) (*FileMetaData, error) {
+	r := newTReader(buf)
+	m := &FileMetaData{}
+	r.beginStruct()
+	for {
+		id, typ, err := r.fieldHeader()
+		if err != nil {
+			return nil, err
+		}
+		if typ == tStop {
+			break
+		}
+		switch id {
+		case 1:
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			m.Version = int32(v)
+		case 2:
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			m.NumRows = v
+		case 3:
+			_, n, err := r.listHeader()
+			if err != nil {
+				return nil, err
+			}
+			m.Schema = make([]SchemaElement, n)
+			for i := 0; i < n; i++ {
+				if err := readSchemaElement(r, &m.Schema[i]); err != nil {
+					return nil, err
+				}
+			}
+		case 4:
+			_, n, err := r.listHeader()
+			if err != nil {
+				return nil, err
+			}
+			m.Groups = make([]RowGroup, n)
+			for i := 0; i < n; i++ {
+				if err := readRowGroup(r, &m.Groups[i]); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if err := r.skip(typ); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+func readSchemaElement(r *tReader, s *SchemaElement) error {
+	r.beginStruct()
+	defer r.endStruct()
+	for {
+		id, typ, err := r.fieldHeader()
+		if err != nil {
+			return err
+		}
+		if typ == tStop {
+			return nil
+		}
+		switch id {
+		case 1:
+			b, err := r.readBinary()
+			if err != nil {
+				return err
+			}
+			s.Name = string(b)
+		case 2:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			s.Type = int32(v)
+		default:
+			if err := r.skip(typ); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func readRowGroup(r *tReader, g *RowGroup) error {
+	r.beginStruct()
+	defer r.endStruct()
+	for {
+		id, typ, err := r.fieldHeader()
+		if err != nil {
+			return err
+		}
+		if typ == tStop {
+			return nil
+		}
+		switch id {
+		case 1:
+			_, n, err := r.listHeader()
+			if err != nil {
+				return err
+			}
+			g.Columns = make([]ColumnChunk, n)
+			for i := 0; i < n; i++ {
+				if err := readColumnChunk(r, &g.Columns[i]); err != nil {
+					return err
+				}
+			}
+		case 2:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			g.TotalByteSize = v
+		case 3:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			g.NumRows = v
+		default:
+			if err := r.skip(typ); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func readColumnChunk(r *tReader, c *ColumnChunk) error {
+	r.beginStruct()
+	defer r.endStruct()
+	for {
+		id, typ, err := r.fieldHeader()
+		if err != nil {
+			return err
+		}
+		if typ == tStop {
+			return nil
+		}
+		switch id {
+		case 1:
+			b, err := r.readBinary()
+			if err != nil {
+				return err
+			}
+			c.Path = string(b)
+		case 2:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			c.FileOffset = v
+		case 3:
+			if err := readColumnMeta(r, &c.Meta); err != nil {
+				return err
+			}
+		default:
+			if err := r.skip(typ); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func readColumnMeta(r *tReader, m *ColumnMeta) error {
+	r.beginStruct()
+	defer r.endStruct()
+	for {
+		id, typ, err := r.fieldHeader()
+		if err != nil {
+			return err
+		}
+		if typ == tStop {
+			return nil
+		}
+		switch id {
+		case 1:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			m.Type = int32(v)
+		case 2:
+			_, n, err := r.listHeader()
+			if err != nil {
+				return err
+			}
+			m.Encodings = make([]int32, n)
+			for i := 0; i < n; i++ {
+				v, err := r.varint()
+				if err != nil {
+					return err
+				}
+				m.Encodings[i] = int32(v)
+			}
+		case 3:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			m.NumValues = v
+		case 4:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			m.UncompressedSize = v
+		case 5:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			m.CompressedSize = v
+		case 6:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			m.DataPageOffset = v
+		case 7:
+			if err := readStatistics(r, &m.Stats); err != nil {
+				return err
+			}
+		default:
+			if err := r.skip(typ); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func readStatistics(r *tReader, s *Statistics) error {
+	r.beginStruct()
+	defer r.endStruct()
+	for {
+		id, typ, err := r.fieldHeader()
+		if err != nil {
+			return err
+		}
+		if typ == tStop {
+			return nil
+		}
+		switch id {
+		case 1:
+			b, err := r.readBinary()
+			if err != nil {
+				return err
+			}
+			s.Min = b
+		case 2:
+			b, err := r.readBinary()
+			if err != nil {
+				return err
+			}
+			s.Max = b
+		case 3:
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			s.NullCount = v
+		default:
+			if err := r.skip(typ); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// File is an opened legacy file: the footer has been fully deserialized.
+type File struct {
+	r    io.ReaderAt
+	Meta *FileMetaData
+}
+
+// Open reads and fully deserializes the footer (the Parquet-style cost).
+func Open(r io.ReaderAt, size int64) (*File, error) {
+	if size < 12 {
+		return nil, fmt.Errorf("legacy: file too small")
+	}
+	var tail [8]byte
+	if _, err := r.ReadAt(tail[:], size-8); err != nil {
+		return nil, err
+	}
+	if string(tail[4:]) != Magic {
+		return nil, fmt.Errorf("legacy: bad magic %q", tail[4:])
+	}
+	fLen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if fLen <= 0 || fLen > size-12 {
+		return nil, fmt.Errorf("legacy: bad footer length %d", fLen)
+	}
+	buf := make([]byte, fLen)
+	if _, err := r.ReadAt(buf, size-8-fLen); err != nil {
+		return nil, err
+	}
+	meta, err := unmarshalMeta(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &File{r: r, Meta: meta}, nil
+}
+
+// LookupColumn scans the deserialized schema for a column (linear, as
+// Parquet readers do over their schema vectors).
+func (f *File) LookupColumn(name string) (int, bool) {
+	for i, s := range f.Meta.Schema {
+		if s.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ReadColumnInt64 reads an int64 column by index across all groups.
+func (f *File) ReadColumnInt64(col int) ([]int64, error) {
+	if col < 0 || col >= len(f.Meta.Schema) {
+		return nil, fmt.Errorf("legacy: column %d out of range", col)
+	}
+	if f.Meta.Schema[col].Type != TypeInt64 {
+		return nil, fmt.Errorf("legacy: column %d is not int64", col)
+	}
+	var out []int64
+	for _, g := range f.Meta.Groups {
+		c := g.Columns[col]
+		buf := make([]byte, c.Meta.CompressedSize)
+		if _, err := f.r.ReadAt(buf, c.FileOffset); err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < c.Meta.NumValues; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+	}
+	return out, nil
+}
+
+// ReadColumnListInt64 reads a list<int64> column by index.
+func (f *File) ReadColumnListInt64(col int) ([][]int64, error) {
+	if col < 0 || col >= len(f.Meta.Schema) {
+		return nil, fmt.Errorf("legacy: column %d out of range", col)
+	}
+	if f.Meta.Schema[col].Type != TypeListInt64 {
+		return nil, fmt.Errorf("legacy: column %d is not list<int64>", col)
+	}
+	var out [][]int64
+	for _, g := range f.Meta.Groups {
+		c := g.Columns[col]
+		buf := make([]byte, c.Meta.CompressedSize)
+		if _, err := f.r.ReadAt(buf, c.FileOffset); err != nil {
+			return nil, err
+		}
+		pos := 0
+		for i := int64(0); i < c.Meta.NumValues; i++ {
+			l, n := binary.Uvarint(buf[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("legacy: corrupt list column")
+			}
+			pos += n
+			v := make([]int64, l)
+			for j := range v {
+				v[j] = int64(binary.LittleEndian.Uint64(buf[pos:]))
+				pos += 8
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Writer produces legacy files: plain-encoded column chunks, one row
+// group, full Parquet-style footer.
+type Writer struct {
+	schema []SchemaElement
+}
+
+// NewWriter constructs a writer for the given schema.
+func NewWriter(schema []SchemaElement) *Writer { return &Writer{schema: schema} }
+
+// WriteFile writes columns (parallel to the schema) to w. Int64 columns
+// take []int64, Float64 []float64, ListInt64 [][]int64.
+func (w *Writer) WriteFile(out io.Writer, columns []any, numRows int64) error {
+	if len(columns) != len(w.schema) {
+		return fmt.Errorf("legacy: %d columns for %d schema elements", len(columns), len(w.schema))
+	}
+	offset := int64(0)
+	if _, err := out.Write([]byte(Magic)); err != nil {
+		return err
+	}
+	offset += 4
+
+	group := RowGroup{NumRows: numRows}
+	for i, col := range columns {
+		var data []byte
+		var nVals int64
+		switch d := col.(type) {
+		case []int64:
+			nVals = int64(len(d))
+			for _, v := range d {
+				data = binary.LittleEndian.AppendUint64(data, uint64(v))
+			}
+		case []float64:
+			nVals = int64(len(d))
+			for _, v := range d {
+				data = binary.LittleEndian.AppendUint64(data, math.Float64bits(v))
+			}
+		case [][]int64:
+			nVals = int64(len(d))
+			for _, lst := range d {
+				data = binary.AppendUvarint(data, uint64(len(lst)))
+				for _, v := range lst {
+					data = binary.LittleEndian.AppendUint64(data, uint64(v))
+				}
+			}
+		default:
+			return fmt.Errorf("legacy: unsupported column type %T", col)
+		}
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+		group.Columns = append(group.Columns, ColumnChunk{
+			Path:       w.schema[i].Name,
+			FileOffset: offset,
+			Meta: ColumnMeta{
+				Type:             w.schema[i].Type,
+				Encodings:        []int32{0},
+				NumValues:        nVals,
+				UncompressedSize: int64(len(data)),
+				CompressedSize:   int64(len(data)),
+				DataPageOffset:   offset,
+				Stats: Statistics{
+					Min: []byte{0, 0, 0, 0, 0, 0, 0, 0},
+					Max: []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+				},
+			},
+		})
+		group.TotalByteSize += int64(len(data))
+		offset += int64(len(data))
+	}
+
+	meta := &FileMetaData{Version: 1, NumRows: numRows, Schema: w.schema, Groups: []RowGroup{group}}
+	footerBytes := marshalMeta(meta)
+	if _, err := out.Write(footerBytes); err != nil {
+		return err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[:4], uint32(len(footerBytes)))
+	copy(tail[4:], Magic)
+	_, err := out.Write(tail[:])
+	return err
+}

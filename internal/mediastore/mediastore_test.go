@@ -1,0 +1,168 @@
+package mediastore
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+)
+
+type memFile struct{ data []byte }
+
+func (m *memFile) Write(p []byte) (int, error) {
+	m.data = append(m.data, p...)
+	return len(p), nil
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func testSchema() []FieldDef {
+	return []FieldDef{
+		{Name: "id", Type: Long},
+		{Name: "score", Type: Double},
+		{Name: "name", Type: String},
+		{Name: "payload", Type: Bytes},
+	}
+}
+
+func writeRecords(t *testing.T, n, blockRecords int) (*memFile, [][]any) {
+	t.Helper()
+	mf := &memFile{}
+	w, err := NewWriter(mf, testSchema(), blockRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	records := make([][]any, n)
+	for i := range records {
+		payload := make([]byte, rng.Intn(200))
+		rng.Read(payload)
+		records[i] = []any{int64(i), rng.Float64(), "rec", payload}
+		if err := w.Append(records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumRecords() != int64(n) {
+		t.Fatalf("NumRecords = %d, want %d", w.NumRecords(), n)
+	}
+	return mf, records
+}
+
+func TestRoundTripGet(t *testing.T) {
+	mf, records := writeRecords(t, 100, 7)
+	r, err := Open(mf, int64(len(mf.data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRecords() != 100 {
+		t.Fatalf("NumRecords = %d", r.NumRecords())
+	}
+	for _, i := range []int64{0, 1, 6, 7, 50, 99} {
+		got, err := r.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if got[0].(int64) != records[i][0].(int64) {
+			t.Fatalf("record %d id = %v", i, got[0])
+		}
+		if got[1].(float64) != records[i][1].(float64) {
+			t.Fatalf("record %d score mismatch", i)
+		}
+		wantP := records[i][3].([]byte)
+		gotP := got[3].([]byte)
+		if len(gotP) != len(wantP) {
+			t.Fatalf("record %d payload length", i)
+		}
+		for j := range wantP {
+			if gotP[j] != wantP[j] {
+				t.Fatalf("record %d payload byte %d", i, j)
+			}
+		}
+	}
+	if _, err := r.Get(100); err == nil {
+		t.Fatal("out-of-range Get succeeded")
+	}
+	if _, err := r.Get(-1); err == nil {
+		t.Fatal("negative Get succeeded")
+	}
+}
+
+func TestScan(t *testing.T) {
+	mf, records := writeRecords(t, 333, 64)
+	r, err := Open(mf, int64(len(mf.data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	err = r.Scan(func(i int64, rec []any) error {
+		if rec[0].(int64) != records[i][0].(int64) {
+			t.Fatalf("record %d mismatch", i)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 333 {
+		t.Fatalf("scanned %d records", seen)
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	mf, _ := writeRecords(t, 5, 2)
+	r, err := Open(mf, int64(len(mf.data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testSchema()
+	got := r.Schema()
+	if len(got) != len(want) {
+		t.Fatalf("schema len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("field %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendTypeErrors(t *testing.T) {
+	mf := &memFile{}
+	w, err := NewWriter(mf, testSchema(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]any{int64(1)}); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if err := w.Append([]any{"no", 1.0, "x", []byte{}}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]any{int64(1), 1.0, "x", []byte{}}); err == nil {
+		t.Fatal("append after close accepted")
+	}
+}
+
+func TestOpenBadFile(t *testing.T) {
+	if _, err := Open(&memFile{data: []byte("nope")}, 4); err == nil {
+		t.Fatal("bad magic opened")
+	}
+	if _, err := NewWriter(&memFile{}, nil, 1); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package merkle implements Bullion's hierarchical checksum tree (paper
+// §2.1, Figure 2): every page carries a hash, page hashes roll up into
+// row-group hashes, and row-group hashes into the file root. An in-place
+// page update recomputes only the path from that leaf to the root instead
+// of re-checksumming the whole file, which is what makes compliant
+// deletion cheap to verify.
+package merkle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Hash is a 64-bit node checksum. FNV-1a keeps the implementation stdlib-
+// only; the tree structure, not the hash function, is the contribution.
+type Hash uint64
+
+// HashPage hashes raw page bytes (a leaf of the tree).
+func HashPage(data []byte) Hash {
+	h := fnv.New64a()
+	h.Write(data)
+	return Hash(h.Sum64())
+}
+
+// combine hashes an ordered child list into the parent hash.
+func combine(children []Hash) Hash {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range children {
+		binary.LittleEndian.PutUint64(buf[:], uint64(c))
+		h.Write(buf[:])
+	}
+	return Hash(h.Sum64())
+}
+
+// Tree is a two-level Merkle tree mirroring the file layout:
+// pages → row groups → root.
+type Tree struct {
+	pages     [][]Hash // [group][page]
+	groups    []Hash
+	root      Hash
+	hashedOps int64 // bytes of hash input processed, for the fig2 experiment
+}
+
+// Build constructs the tree from per-group page payloads.
+func Build(groupPages [][][]byte) *Tree {
+	t := &Tree{pages: make([][]Hash, len(groupPages)), groups: make([]Hash, len(groupPages))}
+	for g, pages := range groupPages {
+		t.pages[g] = make([]Hash, len(pages))
+		for p, data := range pages {
+			t.pages[g][p] = HashPage(data)
+			t.hashedOps += int64(len(data))
+		}
+		t.groups[g] = combine(t.pages[g])
+		t.hashedOps += int64(8 * len(pages))
+	}
+	t.root = combine(t.groups)
+	t.hashedOps += int64(8 * len(t.groups))
+	return t
+}
+
+// FromHashes reconstructs a tree from persisted leaf hashes (the footer
+// stores them; no page data needs to be read).
+func FromHashes(pageHashes [][]Hash) *Tree {
+	t := &Tree{pages: make([][]Hash, len(pageHashes)), groups: make([]Hash, len(pageHashes))}
+	for g, hs := range pageHashes {
+		t.pages[g] = append([]Hash(nil), hs...)
+		t.groups[g] = combine(t.pages[g])
+		t.hashedOps += int64(8 * len(hs))
+	}
+	t.root = combine(t.groups)
+	t.hashedOps += int64(8 * len(t.groups))
+	return t
+}
+
+// Root returns the file-level checksum.
+func (t *Tree) Root() Hash { return t.root }
+
+// Group returns a row-group checksum.
+func (t *Tree) Group(g int) (Hash, error) {
+	if g < 0 || g >= len(t.groups) {
+		return 0, fmt.Errorf("merkle: group %d out of range [0,%d)", g, len(t.groups))
+	}
+	return t.groups[g], nil
+}
+
+// Page returns a page checksum.
+func (t *Tree) Page(g, p int) (Hash, error) {
+	if g < 0 || g >= len(t.pages) {
+		return 0, fmt.Errorf("merkle: group %d out of range [0,%d)", g, len(t.pages))
+	}
+	if p < 0 || p >= len(t.pages[g]) {
+		return 0, fmt.Errorf("merkle: page %d out of range [0,%d) in group %d", p, len(t.pages[g]), g)
+	}
+	return t.pages[g][p], nil
+}
+
+// Leaves returns the page-hash matrix for persisting in the footer.
+func (t *Tree) Leaves() [][]Hash { return t.pages }
+
+// Update replaces one page's contents and propagates new hashes up the
+// path to the root — the red arrows of Figure 2. Only the updated page is
+// re-hashed; siblings contribute their stored hashes.
+func (t *Tree) Update(g, p int, data []byte) error {
+	if _, err := t.Page(g, p); err != nil {
+		return err
+	}
+	t.pages[g][p] = HashPage(data)
+	t.hashedOps += int64(len(data))
+	t.groups[g] = combine(t.pages[g])
+	t.hashedOps += int64(8 * len(t.pages[g]))
+	t.root = combine(t.groups)
+	t.hashedOps += int64(8 * len(t.groups))
+	return nil
+}
+
+// VerifyPage re-hashes data and compares it with the stored leaf.
+func (t *Tree) VerifyPage(g, p int, data []byte) error {
+	want, err := t.Page(g, p)
+	if err != nil {
+		return err
+	}
+	if got := HashPage(data); got != want {
+		return fmt.Errorf("merkle: page (%d,%d) checksum mismatch: %016x != %016x", g, p, got, want)
+	}
+	return nil
+}
+
+// HashedBytes reports the cumulative hash-input bytes processed by this
+// tree — the cost metric the fig2 experiment compares against monolithic
+// whole-file re-checksumming.
+func (t *Tree) HashedBytes() int64 { return t.hashedOps }
+
+// ResetCounter zeroes the cost counter.
+func (t *Tree) ResetCounter() { t.hashedOps = 0 }
+
+// MonolithicChecksum is the baseline: one flat hash over every page of the
+// file, re-run in full after any change (what Parquet-era formats do).
+func MonolithicChecksum(groupPages [][][]byte) (Hash, int64) {
+	h := fnv.New64a()
+	var n int64
+	for _, pages := range groupPages {
+		for _, data := range pages {
+			h.Write(data)
+			n += int64(len(data))
+		}
+	}
+	return Hash(h.Sum64()), n
+}

@@ -1,0 +1,143 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genGroupPages(rng *rand.Rand, groups, pages, pageSize int) [][][]byte {
+	out := make([][][]byte, groups)
+	for g := range out {
+		out[g] = make([][]byte, pages)
+		for p := range out[g] {
+			b := make([]byte, pageSize)
+			rng.Read(b)
+			out[g][p] = b
+		}
+	}
+	return out
+}
+
+func TestBuildAndVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gp := genGroupPages(rng, 4, 3, 256)
+	tree := Build(gp)
+	for g := range gp {
+		for p := range gp[g] {
+			if err := tree.VerifyPage(g, p, gp[g][p]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Corruption detection.
+	gp[2][1][0] ^= 0xFF
+	if err := tree.VerifyPage(2, 1, gp[2][1]); err == nil {
+		t.Fatal("corrupted page verified")
+	}
+}
+
+func TestUpdatePropagatesToRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gp := genGroupPages(rng, 3, 4, 128)
+	tree := Build(gp)
+	oldRoot := tree.Root()
+	oldGroup, _ := tree.Group(1)
+	otherGroup, _ := tree.Group(2)
+
+	newPage := make([]byte, 128)
+	rng.Read(newPage)
+	if err := tree.Update(1, 2, newPage); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root() == oldRoot {
+		t.Fatal("root unchanged after page update")
+	}
+	if g, _ := tree.Group(1); g == oldGroup {
+		t.Fatal("group hash unchanged after page update")
+	}
+	if g, _ := tree.Group(2); g != otherGroup {
+		t.Fatal("unrelated group hash changed")
+	}
+	if err := tree.VerifyPage(1, 2, newPage); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incrementally updating page-by-page converges to the same root
+// as rebuilding from scratch — the core Figure 2 equivalence.
+func TestIncrementalEqualsRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := rng.Intn(4) + 1
+		pages := rng.Intn(5) + 1
+		gp := genGroupPages(rng, groups, pages, 64)
+		tree := Build(gp)
+		// Mutate a few random pages both in the data and via Update.
+		for k := 0; k < 3; k++ {
+			g := rng.Intn(groups)
+			p := rng.Intn(pages)
+			b := make([]byte, 64)
+			rng.Read(b)
+			gp[g][p] = b
+			if err := tree.Update(g, p, b); err != nil {
+				return false
+			}
+		}
+		return tree.Root() == Build(gp).Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromHashesMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gp := genGroupPages(rng, 5, 2, 512)
+	tree := Build(gp)
+	restored := FromHashes(tree.Leaves())
+	if restored.Root() != tree.Root() {
+		t.Fatal("restored tree root differs")
+	}
+}
+
+// The fig2 claim in cost terms: updating one page hashes far fewer bytes
+// than monolithic re-checksumming.
+func TestIncrementalCostAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const pageSize = 4096
+	gp := genGroupPages(rng, 16, 16, pageSize)
+	tree := Build(gp)
+
+	tree.ResetCounter()
+	newPage := make([]byte, pageSize)
+	rng.Read(newPage)
+	if err := tree.Update(3, 7, newPage); err != nil {
+		t.Fatal(err)
+	}
+	incremental := tree.HashedBytes()
+
+	_, monolithic := MonolithicChecksum(gp)
+	if incremental*10 >= monolithic {
+		t.Fatalf("incremental update hashed %d bytes, monolithic %d — want >10x gap",
+			incremental, monolithic)
+	}
+	t.Logf("fig2: incremental %d bytes hashed vs monolithic %d (%.0fx)",
+		incremental, monolithic, float64(monolithic)/float64(incremental))
+}
+
+func TestBoundsErrors(t *testing.T) {
+	tree := Build([][][]byte{{{1, 2}, {3}}})
+	if _, err := tree.Group(1); err == nil {
+		t.Fatal("out-of-range group accepted")
+	}
+	if _, err := tree.Page(0, 2); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+	if err := tree.Update(0, 5, nil); err == nil {
+		t.Fatal("out-of-range update accepted")
+	}
+	if err := tree.Update(-1, 0, nil); err == nil {
+		t.Fatal("negative group accepted")
+	}
+}

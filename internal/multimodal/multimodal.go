@@ -1,0 +1,276 @@
+// Package multimodal implements Bullion's hybrid storage layout for LLM
+// training data (paper §2.5, Figure 7): a columnar *meta table* holding
+// text, tags, captions, audio snippets, quality scores, and inlined
+// reduced-resolution frame highlights, next to a row-oriented *media
+// table* (internal/mediastore) holding full-size video, referenced by
+// index and touched "only in rare cases".
+//
+// The meta table is written with quality-score presorting (descending), so
+// a quality-thresholded training read — the common filter in curation
+// pipelines — touches one contiguous prefix of pages instead of scattering
+// random reads across the file.
+package multimodal
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"bullion/internal/core"
+	"bullion/internal/iostats"
+	"bullion/internal/mediastore"
+)
+
+// Sample is one multimodal training example before storage.
+type Sample struct {
+	ID           int64
+	TextHash     int64
+	Tags         []byte
+	Caption      []byte
+	AudioSnippet []byte   // short audio excerpt, stored inline
+	Quality      float64  // curation quality score in [0,1]
+	FrameIdx     []int64  // highlight frame indexes, e.g. [0, 3, 6]
+	Frames       [][]byte // reduced-resolution highlight frames, inline
+	VideoRow     int64    // row in the media table for full-size lookup
+}
+
+// MetaSchema returns the Bullion schema of the meta table.
+func MetaSchema() (*core.Schema, error) {
+	return core.NewSchema(
+		core.Field{Name: "id", Type: core.Type{Kind: core.Int64}},
+		core.Field{Name: "text_hash", Type: core.Type{Kind: core.Int64}},
+		core.Field{Name: "tags", Type: core.Type{Kind: core.Binary}},
+		core.Field{Name: "caption", Type: core.Type{Kind: core.Binary}},
+		core.Field{Name: "audio", Type: core.Type{Kind: core.Binary}},
+		core.Field{Name: "quality", Type: core.Type{Kind: core.Float64}},
+		core.Field{Name: "frame_idx", Type: core.Type{Kind: core.List, Elem: core.Int64}},
+		core.Field{Name: "frames", Type: core.Type{Kind: core.List, Elem: core.Binary}},
+		core.Field{Name: "video_row", Type: core.Type{Kind: core.Int64}},
+	)
+}
+
+// MediaSchema returns the media-table row schema.
+func MediaSchema() []mediastore.FieldDef {
+	return []mediastore.FieldDef{
+		{Name: "id", Type: mediastore.Long},
+		{Name: "video", Type: mediastore.Bytes},
+	}
+}
+
+// WriteDataset writes samples into a meta table (metaOut) and media table
+// (mediaOut). presort enables quality-aware row organization.
+func WriteDataset(metaOut, mediaOut io.Writer, samples []Sample, presort bool) error {
+	mw, err := mediastore.NewWriter(mediaOut, MediaSchema(), 8)
+	if err != nil {
+		return err
+	}
+	for i := range samples {
+		video := samples[i].videoPayload()
+		if err := mw.Append([]any{samples[i].ID, video}); err != nil {
+			return err
+		}
+		samples[i].VideoRow = int64(i)
+	}
+	if err := mw.Close(); err != nil {
+		return err
+	}
+
+	schema, err := MetaSchema()
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.RowsPerPage = 128
+	opts.GroupRows = 4096
+	if presort {
+		opts.QualityColumn = "quality"
+	}
+	w, err := core.NewWriter(metaOut, schema, opts)
+	if err != nil {
+		return err
+	}
+	n := len(samples)
+	id := make(core.Int64Data, n)
+	textHash := make(core.Int64Data, n)
+	tags := make(core.BytesData, n)
+	caption := make(core.BytesData, n)
+	audio := make(core.BytesData, n)
+	quality := make(core.Float64Data, n)
+	frameIdx := make(core.ListInt64Data, n)
+	frames := make(core.ListBytesData, n)
+	videoRow := make(core.Int64Data, n)
+	for i, s := range samples {
+		id[i] = s.ID
+		textHash[i] = s.TextHash
+		tags[i] = s.Tags
+		caption[i] = s.Caption
+		audio[i] = s.AudioSnippet
+		quality[i] = s.Quality
+		frameIdx[i] = s.FrameIdx
+		frames[i] = s.Frames
+		videoRow[i] = s.VideoRow
+	}
+	batch, err := core.NewBatch(schema, []core.ColumnData{
+		id, textHash, tags, caption, audio, quality, frameIdx, frames, videoRow,
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Write(batch); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// videoPayload synthesizes the full-size video blob for a sample (a
+// deterministic pseudo-random payload sized like a short clip).
+func (s *Sample) videoPayload() []byte {
+	rng := rand.New(rand.NewSource(s.ID))
+	b := make([]byte, 4096+rng.Intn(4096))
+	rng.Read(b)
+	return b
+}
+
+// GenerateSamples synthesizes n multimodal samples with Beta-ish skewed
+// quality scores (most content is low quality, as curation pipelines see).
+func GenerateSamples(rng *rand.Rand, n int) []Sample {
+	samples := make([]Sample, n)
+	for i := range samples {
+		q := rng.Float64()
+		q = q * q // skew toward low quality
+		frames := make([][]byte, 3)
+		for f := range frames {
+			fr := make([]byte, 256)
+			rng.Read(fr)
+			frames[f] = fr
+		}
+		audio := make([]byte, 128)
+		rng.Read(audio)
+		samples[i] = Sample{
+			ID:           int64(i),
+			TextHash:     rng.Int63(),
+			Tags:         []byte(fmt.Sprintf("tag%d,tag%d", rng.Intn(20), rng.Intn(20))),
+			Caption:      []byte(fmt.Sprintf("auto caption for sample %d", i)),
+			AudioSnippet: audio,
+			Quality:      q,
+			FrameIdx:     []int64{0, 3, 6},
+			Frames:       frames,
+		}
+	}
+	return samples
+}
+
+// TrainingStats reports the I/O profile of one filtered training read.
+type TrainingStats struct {
+	SamplesRead  int
+	RowsScanned  int // rows touched to find qualifying samples
+	ReadOps      int64
+	ReadBytes    int64
+	Seeks        int64
+	MediaLookups int // full-size video fetches (the rare path)
+	MediaReadOps int64
+	MediaBytes   int64
+}
+
+// TrainingRead performs a quality-thresholded epoch read against the meta
+// table: select every sample with quality >= threshold, fetching the
+// caption, frames, and audio columns; a fraction fullVideoRate of selected
+// samples additionally fetches full-size video from the media table.
+//
+// When the file was written presorted, the reader exploits §2.5's layout:
+// it locates the qualifying prefix via the quality column and issues one
+// contiguous range read per column. Otherwise it must fetch every page and
+// filter row-by-row.
+func TrainingRead(metaFile *core.File, metaCounters *iostats.Counters,
+	media *mediastore.Reader, mediaCounters *iostats.Counters,
+	threshold float64, fullVideoRate float64, presorted bool) (TrainingStats, error) {
+
+	var stats TrainingStats
+	before := metaCounters.Snapshot()
+
+	qcol, ok := metaFile.LookupColumn("quality")
+	if !ok {
+		return stats, fmt.Errorf("multimodal: meta table has no quality column")
+	}
+	qData, err := metaFile.ReadColumnByIndex(qcol)
+	if err != nil {
+		return stats, err
+	}
+	quality := qData.(core.Float64Data)
+	n := len(quality)
+	stats.RowsScanned = n
+
+	var selected []int
+	if presorted {
+		// Quality is presorted descending *within each row group* (the
+		// writer sorts as groups are cut), so the qualifying rows form one
+		// contiguous prefix per group: binary search each group segment,
+		// then issue one range read per group per column.
+		type span struct{ lo, hi int }
+		var spans []span
+		start := 0
+		for _, cnt := range metaFile.GroupRowCounts() {
+			seg := quality[start : start+cnt]
+			lo, hi := 0, len(seg)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if seg[mid] >= threshold {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo > 0 {
+				spans = append(spans, span{start, start + lo})
+				for i := start; i < start+lo; i++ {
+					selected = append(selected, i)
+				}
+			}
+			start += cnt
+		}
+		for _, name := range []string{"caption", "frames", "audio", "video_row"} {
+			ci, ok := metaFile.LookupColumn(name)
+			if !ok {
+				return stats, fmt.Errorf("multimodal: missing column %q", name)
+			}
+			for _, sp := range spans {
+				if _, err := metaFile.ReadRows(ci, uint64(sp.lo), uint64(sp.hi)); err != nil {
+					return stats, err
+				}
+			}
+		}
+	} else {
+		for i, q := range quality {
+			if q >= threshold {
+				selected = append(selected, i)
+			}
+		}
+		// Unsorted: qualifying rows are scattered; every page of every
+		// needed column must be fetched and filtered.
+		for _, name := range []string{"caption", "frames", "audio", "video_row"} {
+			if _, err := metaFile.ReadColumn(name); err != nil {
+				return stats, err
+			}
+		}
+	}
+	stats.SamplesRead = len(selected)
+	d := metaCounters.Snapshot().Sub(before)
+	stats.ReadOps, stats.ReadBytes, stats.Seeks = d.ReadOps, d.ReadBytes, d.Seeks
+
+	// Rare full-video lookups through the media table.
+	if media != nil && fullVideoRate > 0 {
+		mBefore := mediaCounters.Snapshot()
+		rng := rand.New(rand.NewSource(99))
+		for _, row := range selected {
+			if rng.Float64() < fullVideoRate {
+				if _, err := media.Get(int64(row) % media.NumRecords()); err != nil {
+					return stats, err
+				}
+				stats.MediaLookups++
+			}
+		}
+		md := mediaCounters.Snapshot().Sub(mBefore)
+		stats.MediaReadOps, stats.MediaBytes = md.ReadOps, md.ReadBytes
+	}
+	return stats, nil
+}

@@ -1,0 +1,195 @@
+package multimodal
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"bullion/internal/core"
+	"bullion/internal/iostats"
+	"bullion/internal/mediastore"
+)
+
+type memFile struct{ data []byte }
+
+func (m *memFile) Write(p []byte) (int, error) {
+	m.data = append(m.data, p...)
+	return len(p), nil
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func buildDataset(t *testing.T, n int, presort bool) (*core.File, *iostats.Counters, *mediastore.Reader, *iostats.Counters) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	samples := GenerateSamples(rng, n)
+	metaOut := &memFile{}
+	mediaOut := &memFile{}
+	if err := WriteDataset(metaOut, mediaOut, samples, presort); err != nil {
+		t.Fatal(err)
+	}
+	var mc, vc iostats.Counters
+	mc.Reset()
+	vc.Reset()
+	metaFile, err := core.Open(&iostats.ReaderAt{R: metaOut, C: &mc}, int64(len(metaOut.data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	media, err := mediastore.Open(&iostats.ReaderAt{R: mediaOut, C: &vc}, int64(len(mediaOut.data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metaFile, &mc, media, &vc
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	metaFile, _, media, _ := buildDataset(t, 500, false)
+	if metaFile.NumRows() != 500 {
+		t.Fatalf("meta rows = %d", metaFile.NumRows())
+	}
+	if media.NumRecords() != 500 {
+		t.Fatalf("media records = %d", media.NumRecords())
+	}
+	ids, err := metaFile.ReadColumn("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idd := ids.(core.Int64Data)
+	seen := map[int64]bool{}
+	for _, id := range idd {
+		seen[id] = true
+	}
+	if len(seen) != 500 {
+		t.Fatalf("distinct ids = %d", len(seen))
+	}
+	frames, err := metaFile.ReadColumn("frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := frames.(core.ListBytesData)
+	if len(fd[0]) != 3 || len(fd[0][0]) != 256 {
+		t.Fatalf("frame highlights wrong shape: %d x %d", len(fd[0]), len(fd[0][0]))
+	}
+}
+
+func TestPresortOrdersQualityDescending(t *testing.T) {
+	metaFile, _, _, _ := buildDataset(t, 2000, true)
+	q, err := metaFile.ReadColumn("quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd := q.(core.Float64Data)
+	// Presorting is per row group (4096 rows > 2000, so globally here).
+	for i := 1; i < len(qd); i++ {
+		if qd[i] > qd[i-1] {
+			t.Fatalf("quality not descending at %d", i)
+		}
+	}
+}
+
+func TestTrainingReadEquivalence(t *testing.T) {
+	// Presorted and unsorted reads must select the same number of samples —
+	// across MULTIPLE row groups (presorting is per group, so the
+	// qualifying rows are one prefix per group, not one global prefix).
+	const n = 9000 // > 2 groups at GroupRows=4096
+	const threshold = 0.5
+	sortedFile, sc, media, vc := buildDataset(t, n, true)
+	unsortedFile, uc, _, _ := buildDataset(t, n, false)
+
+	sortedStats, err := TrainingRead(sortedFile, sc, media, vc, threshold, 0.02, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsortedStats, err := TrainingRead(unsortedFile, uc, media, vc, threshold, 0.02, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sortedStats.SamplesRead != unsortedStats.SamplesRead {
+		t.Fatalf("selected %d (sorted) vs %d (unsorted)", sortedStats.SamplesRead, unsortedStats.SamplesRead)
+	}
+	if sortedStats.SamplesRead == 0 {
+		t.Fatal("threshold selected nothing; test is vacuous")
+	}
+}
+
+// The §2.5 claim: quality-aware presorting turns filtered reads into
+// contiguous I/O — fewer bytes and fewer read ops than the unsorted layout.
+func TestQualityAwareReadAdvantage(t *testing.T) {
+	const n = 5000
+	const threshold = 0.7 // selects ~16% of samples (quality = U^2)
+	sortedFile, sc, _, _ := buildDataset(t, n, true)
+	unsortedFile, uc, _, _ := buildDataset(t, n, false)
+
+	sortedStats, err := TrainingRead(sortedFile, sc, nil, nil, threshold, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsortedStats, err := TrainingRead(unsortedFile, uc, nil, nil, threshold, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sortedStats.ReadBytes >= unsortedStats.ReadBytes {
+		t.Fatalf("presorted read %d bytes >= unsorted %d", sortedStats.ReadBytes, unsortedStats.ReadBytes)
+	}
+	ratio := float64(unsortedStats.ReadBytes) / float64(sortedStats.ReadBytes)
+	t.Logf("fig7: presorted %d bytes / %d ops vs unsorted %d bytes / %d ops (%.1fx fewer bytes)",
+		sortedStats.ReadBytes, sortedStats.ReadOps,
+		unsortedStats.ReadBytes, unsortedStats.ReadOps, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("presorting advantage only %.2fx", ratio)
+	}
+}
+
+func TestMediaLookupPath(t *testing.T) {
+	metaFile, mc, media, vc := buildDataset(t, 1000, true)
+	stats, err := TrainingRead(metaFile, mc, media, vc, 0.3, 0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MediaLookups == 0 {
+		t.Fatal("no media lookups despite fullVideoRate > 0")
+	}
+	if stats.MediaBytes == 0 {
+		t.Fatal("media lookups read no bytes")
+	}
+	// The rare path must stay rare: lookups well below selected samples.
+	if stats.MediaLookups*5 > stats.SamplesRead {
+		t.Fatalf("media lookups %d too frequent for %d samples", stats.MediaLookups, stats.SamplesRead)
+	}
+}
+
+func TestGenerateSamplesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := GenerateSamples(rng, 100)
+	if len(samples) != 100 {
+		t.Fatalf("generated %d", len(samples))
+	}
+	lowQ := 0
+	for i, s := range samples {
+		if s.ID != int64(i) {
+			t.Fatalf("sample %d has id %d", i, s.ID)
+		}
+		if s.Quality < 0 || s.Quality > 1 {
+			t.Fatalf("quality %v out of range", s.Quality)
+		}
+		if s.Quality < 0.25 {
+			lowQ++
+		}
+		if len(s.Frames) != 3 {
+			t.Fatalf("sample %d has %d frames", i, len(s.Frames))
+		}
+	}
+	// The U^2 skew: at least half the samples below 0.25.
+	if lowQ < 40 {
+		t.Fatalf("quality distribution not skewed low: %d/100 below 0.25", lowQ)
+	}
+}

@@ -1,0 +1,68 @@
+package quant
+
+import "math"
+
+// Dual-column decomposition (paper §2.4, opportunity 3): business-critical
+// FP32 features are split into two 16-bit columns so that precision-
+// insensitive models read only the primary column while critical models
+// reconstruct full FP32 precision through a 1:1 join.
+//
+// Two variants are provided:
+//
+//   - SplitBF16: the primary column is the value truncated to bfloat16
+//     (directly usable as a BF16 feature) and the residual column holds the
+//     dropped low 16 mantissa bits. The join (hi<<16 | lo) reconstructs the
+//     original FP32 *bit-exactly*.
+//
+//   - SplitFP16: the paper's literal description — primary = fp16(v),
+//     residual = fp16(v - float32(primary)). The join hi+lo recovers most
+//     of the precision but is approximate outside fp16's exponent range;
+//     prefer SplitBF16 when exactness matters.
+
+// SplitBF16 decomposes v into a truncated-bfloat16 primary and a 16-bit
+// mantissa residual. JoinBF16(hi, lo) == v bit-exactly for every v.
+func SplitBF16(v float32) (hi, lo uint16) {
+	b := math.Float32bits(v)
+	return uint16(b >> 16), uint16(b)
+}
+
+// JoinBF16 reconstructs the exact FP32 value from a SplitBF16 pair.
+func JoinBF16(hi, lo uint16) float32 {
+	return math.Float32frombits(uint32(hi)<<16 | uint32(lo))
+}
+
+// SplitFP16 decomposes v into an fp16 primary and an fp16 residual
+// (hi = fp16(v), lo = fp16(v - hi)).
+func SplitFP16(v float32) (hi, lo uint16) {
+	hi = FP16FromFloat32(v)
+	rem := v - Float32FromFP16(hi)
+	lo = FP16FromFloat32(rem)
+	return hi, lo
+}
+
+// JoinFP16 reconstructs an approximation of the original value from a
+// SplitFP16 pair.
+func JoinFP16(hi, lo uint16) float32 {
+	return Float32FromFP16(hi) + Float32FromFP16(lo)
+}
+
+// SplitBF16Columns decomposes a column; the two outputs are stored as
+// separate Bullion columns and joined 1:1 on read.
+func SplitBF16Columns(vs []float32) (hi, lo []int64) {
+	hi = make([]int64, len(vs))
+	lo = make([]int64, len(vs))
+	for i, v := range vs {
+		h, l := SplitBF16(v)
+		hi[i], lo[i] = int64(h), int64(l)
+	}
+	return hi, lo
+}
+
+// JoinBF16Columns reconstructs the FP32 column from its two halves.
+func JoinBF16Columns(hi, lo []int64) []float32 {
+	out := make([]float32, len(hi))
+	for i := range hi {
+		out[i] = JoinBF16(uint16(hi[i]), uint16(lo[i]))
+	}
+	return out
+}

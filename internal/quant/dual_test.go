@@ -1,0 +1,67 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: SplitBF16/JoinBF16 is bit-exact for every float32.
+func TestSplitBF16Exact(t *testing.T) {
+	f := func(bits uint32) bool {
+		v := math.Float32frombits(bits)
+		hi, lo := SplitBF16(v)
+		return math.Float32bits(JoinBF16(hi, lo)) == bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The primary column of SplitBF16 must itself be a usable BF16 value close
+// to the original (truncation, so within one BF16 ulp).
+func TestSplitBF16PrimaryUsable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := float32(rng.NormFloat64())
+		hi, _ := SplitBF16(v)
+		approx := Float32FromBF16(hi)
+		rel := math.Abs(float64(approx-v)) / math.Abs(float64(v))
+		if rel > 1.0/128 { // 2^-7: BF16 truncation bound
+			t.Fatalf("primary column error %v too large for %v", rel, v)
+		}
+	}
+}
+
+func TestSplitFP16Approximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		// Values in fp16's normal range: the residual stays normal too.
+		// (Outside it the residual goes subnormal and precision degrades —
+		// that is why SplitBF16 is the recommended exact variant.)
+		v := float32(0.5 + math.Abs(rng.NormFloat64())*10)
+		hi, lo := SplitFP16(v)
+		joined := JoinFP16(hi, lo)
+		rel := math.Abs(float64(joined-v)) / float64(v)
+		// Two fp16s give ~21 mantissa bits; demand much better than fp16 alone.
+		if rel > 1e-5 {
+			t.Fatalf("join error %v too large for %v (hi=%04x lo=%04x)", rel, v, hi, lo)
+		}
+	}
+}
+
+func TestSplitBF16Columns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vs := make([]float32, 500)
+	for i := range vs {
+		vs[i] = float32(rng.NormFloat64() * 100)
+	}
+	hi, lo := SplitBF16Columns(vs)
+	back := JoinBF16Columns(hi, lo)
+	for i := range vs {
+		if math.Float32bits(back[i]) != math.Float32bits(vs[i]) {
+			t.Fatalf("column join lost value %d", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package quant
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Integer quantization (paper §2.4): "for integer features, quantization
+// provides lossless compression by rehashing the input space to a smaller
+// range". IntQuantizer builds a dense code table over the distinct values
+// of a sparse ID feature; codes fit the smallest integer width covering the
+// cardinality (INT8/INT16/INT32) and remain losslessly invertible through
+// the table.
+
+// IntQuantizer maps a sparse int64 domain onto dense codes.
+type IntQuantizer struct {
+	codeOf map[int64]int64
+	values []int64 // code -> original value
+}
+
+// NewIntQuantizer builds the code table from the distinct values of vs.
+// Codes are assigned in sorted value order so that ordered inputs stay
+// ordered after quantization (helps downstream delta/FOR encodings).
+func NewIntQuantizer(vs []int64) *IntQuantizer {
+	uniq := make(map[int64]struct{}, len(vs))
+	for _, v := range vs {
+		uniq[v] = struct{}{}
+	}
+	values := make([]int64, 0, len(uniq))
+	for v := range uniq {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	codeOf := make(map[int64]int64, len(values))
+	for i, v := range values {
+		codeOf[v] = int64(i)
+	}
+	return &IntQuantizer{codeOf: codeOf, values: values}
+}
+
+// Cardinality returns the number of distinct values in the table.
+func (q *IntQuantizer) Cardinality() int { return len(q.values) }
+
+// CodeBits returns the narrowest standard integer width (8/16/32/64) that
+// holds every code.
+func (q *IntQuantizer) CodeBits() int {
+	n := len(q.values)
+	switch {
+	case n <= 1<<8:
+		return 8
+	case n <= 1<<16:
+		return 16
+	case n <= 1<<32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// Quantize maps values to codes. Unknown values error: the table is the
+// source of truth for losslessness.
+func (q *IntQuantizer) Quantize(vs []int64) ([]int64, error) {
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		c, ok := q.codeOf[v]
+		if !ok {
+			return nil, fmt.Errorf("quant: value %d not in code table", v)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Dequantize maps codes back to original values.
+func (q *IntQuantizer) Dequantize(codes []int64) ([]int64, error) {
+	out := make([]int64, len(codes))
+	for i, c := range codes {
+		if c < 0 || c >= int64(len(q.values)) {
+			return nil, fmt.Errorf("quant: code %d out of range [0,%d)", c, len(q.values))
+		}
+		out[i] = q.values[c]
+	}
+	return out, nil
+}
+
+// Table returns the code table (code -> value), for persisting alongside
+// the quantized column.
+func (q *IntQuantizer) Table() []int64 { return q.values }
+
+// IntQuantizerFromTable reconstructs a quantizer from a persisted table.
+func IntQuantizerFromTable(values []int64) *IntQuantizer {
+	codeOf := make(map[int64]int64, len(values))
+	for i, v := range values {
+		codeOf[v] = int64(i)
+	}
+	return &IntQuantizer{codeOf: codeOf, values: values}
+}
+
+// DowncastBits returns the narrowest standard width (8/16/32/64) that
+// represents every value in vs without loss, for direct downcasting when
+// the domain is already small.
+func DowncastBits(vs []int64) int {
+	bits := 8
+	for _, v := range vs {
+		for v < minOfBits(bits) || v > maxOfBits(bits) {
+			bits *= 2
+			if bits == 64 {
+				return 64
+			}
+		}
+	}
+	return bits
+}
+
+func minOfBits(b int) int64 { return -(int64(1) << uint(b-1)) }
+func maxOfBits(b int) int64 { return int64(1)<<uint(b-1) - 1 }

@@ -1,0 +1,122 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntQuantizerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Sparse ad IDs: huge domain, few distinct.
+	domain := make([]int64, 200)
+	for i := range domain {
+		domain[i] = rng.Int63()
+	}
+	vs := make([]int64, 5000)
+	for i := range vs {
+		vs[i] = domain[rng.Intn(len(domain))]
+	}
+	q := NewIntQuantizer(vs)
+	if q.Cardinality() > 200 {
+		t.Fatalf("cardinality %d > 200", q.Cardinality())
+	}
+	if q.CodeBits() != 8 {
+		t.Fatalf("CodeBits = %d, want 8 for <=256 distinct", q.CodeBits())
+	}
+	codes, err := q.Quantize(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := q.Dequantize(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if back[i] != vs[i] {
+			t.Fatalf("value %d lost", i)
+		}
+	}
+}
+
+func TestIntQuantizerOrderPreserving(t *testing.T) {
+	q := NewIntQuantizer([]int64{100, -5, 7, 100, 7})
+	codes, err := q.Quantize([]int64{-5, 7, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(codes[0] < codes[1] && codes[1] < codes[2]) {
+		t.Fatalf("codes not order preserving: %v", codes)
+	}
+}
+
+func TestIntQuantizerUnknownValue(t *testing.T) {
+	q := NewIntQuantizer([]int64{1, 2})
+	if _, err := q.Quantize([]int64{3}); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if _, err := q.Dequantize([]int64{99}); err == nil {
+		t.Fatal("out-of-range code accepted")
+	}
+}
+
+func TestIntQuantizerPersistence(t *testing.T) {
+	q := NewIntQuantizer([]int64{10, 20, 30})
+	q2 := IntQuantizerFromTable(q.Table())
+	codes, err := q2.Quantize([]int64{30, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := q2.Dequantize(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 30 || back[1] != 10 {
+		t.Fatalf("persisted table misdecodes: %v", back)
+	}
+}
+
+func TestIntQuantizerProperty(t *testing.T) {
+	f := func(vs []int64) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		q := NewIntQuantizer(vs)
+		codes, err := q.Quantize(vs)
+		if err != nil {
+			return false
+		}
+		back, err := q.Dequantize(codes)
+		if err != nil {
+			return false
+		}
+		for i := range vs {
+			if back[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDowncastBits(t *testing.T) {
+	cases := []struct {
+		vs   []int64
+		want int
+	}{
+		{[]int64{0, 1, -1}, 8},
+		{[]int64{127, -128}, 8},
+		{[]int64{128}, 16},
+		{[]int64{40000}, 32},
+		{[]int64{1 << 40}, 64},
+		{[]int64{}, 8},
+	}
+	for _, c := range cases {
+		if got := DowncastBits(c.vs); got != c.want {
+			t.Errorf("DowncastBits(%v) = %d, want %d", c.vs, got, c.want)
+		}
+	}
+}

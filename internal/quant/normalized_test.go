@@ -1,0 +1,122 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizedBF16RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	patterns := make([]uint16, 5000)
+	for i := range patterns {
+		v := float32(rng.Float64()*2 - 1) // in (-1,1): the target domain
+		patterns[i] = BF16FromFloat32(v)
+	}
+	encoded := EncodeNormalizedBF16(patterns)
+	got, err := DecodeNormalizedBF16(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range patterns {
+		if got[i] != patterns[i] {
+			t.Fatalf("pattern %d = %04x, want %04x", i, got[i], patterns[i])
+		}
+	}
+	// 12 bits/value + small header: must be well under raw bf16 (16 bits).
+	if len(encoded) >= 2*len(patterns) {
+		t.Fatalf("normalized packing %d bytes >= raw bf16 %d", len(encoded), 2*len(patterns))
+	}
+	ratio := float64(len(encoded)) / float64(2*len(patterns))
+	if ratio > 0.78 {
+		t.Fatalf("packing ratio %.2f, want ~0.75", ratio)
+	}
+}
+
+func TestNormalizedBF16Exceptions(t *testing.T) {
+	// Zeros, values >= 1, tiny subnormal-exponent values, infinities, NaN:
+	// all must round-trip exactly via the exception path.
+	vals := []float32{0, float32(math.Copysign(0, -1)), 1.0, -2.5, 1e-20,
+		float32(math.Inf(1)), float32(math.NaN()), 0.5, -0.25}
+	patterns := make([]uint16, len(vals))
+	for i, v := range vals {
+		patterns[i] = BF16FromFloat32(v)
+	}
+	encoded := EncodeNormalizedBF16(patterns)
+	got, err := DecodeNormalizedBF16(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range patterns {
+		if got[i] != patterns[i] {
+			t.Fatalf("value %v: pattern %04x, want %04x", vals[i], got[i], patterns[i])
+		}
+	}
+}
+
+// Property: every possible BF16 pattern survives (exceptions included).
+func TestNormalizedBF16Property(t *testing.T) {
+	f := func(raw []uint16) bool {
+		encoded := EncodeNormalizedBF16(raw)
+		got, err := DecodeNormalizedBF16(encoded)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedEmbeddingHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vs := make([]float32, 1000)
+	for i := range vs {
+		vs[i] = float32(rng.NormFloat64() * 0.3)
+	}
+	encoded := EncodeNormalizedEmbedding(vs)
+	got, err := DecodeNormalizedEmbedding(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		want := Float32FromBF16(BF16FromFloat32(vs[i]))
+		if got[i] != want {
+			t.Fatalf("value %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestNormalizedBF16Corrupt(t *testing.T) {
+	patterns := []uint16{BF16FromFloat32(0.5), BF16FromFloat32(-0.25)}
+	encoded := EncodeNormalizedBF16(patterns)
+	for cut := 0; cut < len(encoded); cut++ {
+		if _, err := DecodeNormalizedBF16(encoded[:cut]); err == nil && cut < len(encoded) {
+			t.Fatalf("truncation to %d decoded without error", cut)
+		}
+	}
+	if _, err := DecodeNormalizedBF16(nil); err == nil {
+		t.Fatal("empty stream decoded")
+	}
+}
+
+func TestNormalizedBF16Empty(t *testing.T) {
+	encoded := EncodeNormalizedBF16(nil)
+	got, err := DecodeNormalizedBF16(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d patterns from empty input", len(got))
+	}
+}

@@ -1,0 +1,217 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFP16Exhaustive checks that every representable FP16 pattern survives
+// decode→encode exactly (canonical NaN excepted).
+func TestFP16Exhaustive(t *testing.T) {
+	for b := 0; b < 1<<16; b++ {
+		bits := uint16(b)
+		v := Float32FromFP16(bits)
+		if v != v { // NaN patterns re-encode to the canonical NaN
+			back := Float32FromFP16(FP16FromFloat32(v))
+			if back == back {
+				t.Fatalf("bits %04x: NaN did not survive", bits)
+			}
+			continue
+		}
+		got := FP16FromFloat32(v)
+		// -0 and +0 are distinct patterns and must both survive.
+		if got != bits {
+			t.Fatalf("bits %04x decode to %v re-encode to %04x", bits, v, got)
+		}
+	}
+}
+
+// TestFP8Exhaustive does the same for both FP8 variants (256 patterns).
+func TestFP8Exhaustive(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		bits := uint8(b)
+		{
+			v := Float32FromFP8E4M3(bits)
+			if v == v {
+				if got := FP8E4M3FromFloat32(v); got != bits {
+					t.Fatalf("e4m3 bits %02x decode to %v re-encode to %02x", bits, v, got)
+				}
+			}
+		}
+		{
+			v := Float32FromFP8E5M2(bits)
+			if v == v && !math.IsInf(float64(v), 0) {
+				if got := FP8E5M2FromFloat32(v); got != bits {
+					t.Fatalf("e5m2 bits %02x decode to %v re-encode to %02x", bits, v, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFP16KnownValues(t *testing.T) {
+	cases := []struct {
+		v    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF}, // max finite half
+		{float32(math.Inf(1)), 0x7C00},
+		{float32(math.Inf(-1)), 0xFC00},
+		{5.9604645e-8, 0x0001}, // smallest subnormal half
+	}
+	for _, c := range cases {
+		if got := FP16FromFloat32(c.v); got != c.bits {
+			t.Errorf("FP16(%v) = %04x, want %04x", c.v, got, c.bits)
+		}
+	}
+	// Overflow saturates to infinity in IEEE half.
+	if got := FP16FromFloat32(1e6); got != 0x7C00 {
+		t.Errorf("FP16(1e6) = %04x, want Inf (7C00)", got)
+	}
+}
+
+func TestE4M3KnownValues(t *testing.T) {
+	if got := Float32FromFP8E4M3(FP8E4M3FromFloat32(448)); got != 448 {
+		t.Errorf("E4M3 max finite: got %v, want 448", got)
+	}
+	// No infinity: overflow saturates.
+	if got := Float32FromFP8E4M3(FP8E4M3FromFloat32(1e9)); got != 448 {
+		t.Errorf("E4M3 overflow: got %v, want saturation to 448", got)
+	}
+	// S.1111.111 is NaN.
+	if v := Float32FromFP8E4M3(0x7F); v == v {
+		t.Error("E4M3 0x7F must be NaN")
+	}
+	if got := Float32FromFP8E4M3(FP8E4M3FromFloat32(1.0)); got != 1.0 {
+		t.Errorf("E4M3(1.0) round-trips to %v", got)
+	}
+}
+
+func TestE5M2Specials(t *testing.T) {
+	inf := FP8E5M2FromFloat32(float32(math.Inf(1)))
+	if !math.IsInf(float64(Float32FromFP8E5M2(inf)), 1) {
+		t.Error("E5M2 +Inf lost")
+	}
+	if v := Float32FromFP8E5M2(FP8E5M2FromFloat32(float32(math.NaN()))); v == v {
+		t.Error("E5M2 NaN lost")
+	}
+	if got := Float32FromFP8E5M2(FP8E5M2FromFloat32(1e9)); !math.IsInf(float64(got), 1) {
+		t.Errorf("E5M2 overflow should be Inf, got %v", got)
+	}
+}
+
+func TestBF16Truncation(t *testing.T) {
+	if got := Float32FromBF16(BF16FromFloat32(1.0)); got != 1.0 {
+		t.Errorf("BF16(1.0) = %v", got)
+	}
+	// BF16 keeps FP32's exponent range: a huge value survives.
+	if got := Float32FromBF16(BF16FromFloat32(1e38)); math.IsInf(float64(got), 0) {
+		t.Errorf("BF16(1e38) overflowed to %v", got)
+	}
+	if v := Float32FromBF16(BF16FromFloat32(float32(math.NaN()))); v == v {
+		t.Error("BF16 NaN lost")
+	}
+}
+
+func TestTF32ClearsMantissaTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := float32(rng.NormFloat64())
+		bits := TF32FromFloat32(v)
+		if bits&0x1FFF != 0 {
+			t.Fatalf("TF32(%v) = %08x has low mantissa bits set", v, bits)
+		}
+	}
+	if bits := TF32FromFloat32(float32(math.Inf(1))); math.Float32frombits(bits) != float32(math.Inf(1)) {
+		t.Error("TF32 Inf lost")
+	}
+	if v := Float32FromTF32(TF32FromFloat32(float32(math.NaN()))); v == v {
+		t.Error("TF32 NaN lost")
+	}
+}
+
+// Property: relative error of each lossy format stays within its bound for
+// values in the format's normal range.
+func TestRelativeErrorBounds(t *testing.T) {
+	formats := []struct {
+		f         Format
+		normalMin float64
+		normalMax float64
+	}{
+		{FP16, 6.2e-5, 65000},
+		{BF16, 1.2e-38, 3e38},
+		{TF32, 1.2e-38, 3e38},
+		{FP8E4M3, 0.016, 448},
+		{FP8E5M2, 6.2e-5, 57344},
+	}
+	for _, tc := range formats {
+		f := func(raw float64) bool {
+			mag := tc.normalMin + math.Mod(math.Abs(raw), tc.normalMax-tc.normalMin)
+			v := float32(mag)
+			q, err := Quantize([]float32{v}, tc.f)
+			if err != nil {
+				return false
+			}
+			d, err := Dequantize(q, tc.f)
+			if err != nil {
+				return false
+			}
+			rel := math.Abs(float64(d[0])-float64(v)) / math.Abs(float64(v))
+			return rel <= tc.f.MaxRelError()*1.0000001
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", tc.f, err)
+		}
+	}
+}
+
+func TestQuantizeVectorFP32Lossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vs := make([]float32, 1000)
+	for i := range vs {
+		vs[i] = float32(rng.NormFloat64())
+	}
+	bits, err := Quantize(vs, FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Dequantize(bits, FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if back[i] != vs[i] {
+			t.Fatalf("FP32 roundtrip lost value %d", i)
+		}
+	}
+}
+
+func TestQuantizeRejectsFP64(t *testing.T) {
+	if _, err := Quantize([]float32{1}, FP64); err == nil {
+		t.Fatal("Quantize accepted FP64")
+	}
+	if _, err := Dequantize([]int64{0}, FP64); err == nil {
+		t.Fatal("Dequantize accepted FP64")
+	}
+}
+
+func TestFormatMetadata(t *testing.T) {
+	if FP16.Bits() != 16 || FP8E4M3.Bits() != 8 || FP64.Bits() != 64 || TF32.Bits() != 32 {
+		t.Fatal("Bits() wrong")
+	}
+	if FP16.Bytes() != 2 {
+		t.Fatal("Bytes() wrong")
+	}
+	for _, f := range []Format{FP64, FP32, TF32, FP16, BF16, FP8E4M3, FP8E5M2} {
+		if f.String() == "" || f.String()[0] == 'F' == false && f != TF32 && f != BF16 {
+			t.Fatalf("bad name for %d", f)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package sparse implements Bullion's delta encoding for long-sequence
+// sparse features (paper §2.2, Figures 3–4).
+//
+// Sequence features such as clk_seq_cids (a list<int64> of recently
+// clicked ad IDs per user) are written sorted by user and time, so
+// consecutive vectors of the same user overlap in a sliding window: a few
+// new IDs appear at the head, a few old ones fall off the tail, and the
+// middle is shared verbatim with the previous vector.
+//
+// Following Figure 4, the first vector of a column chunk is stored whole
+// (delta flag 0, the "base vector"); each subsequent vector is encoded as
+//
+//	<delta flag=1> <delta range into previous> <len(head), head data>
+//	                                           <len(tail), tail data>
+//
+// meaning: current = head ++ previous[range] ++ tail. Feature metadata and
+// indexes are placed at the beginning of the stream (varint/bit-packed,
+// they are small); the bulk value data follows and is compressed with the
+// integer cascade (the paper uses zstd — mini-batch training reads rarely
+// filter, so bulk compression is cheap to afford).
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bullion/internal/enc"
+)
+
+// Options configures the sparse encoder.
+type Options struct {
+	// MinOverlap is the minimum shared-run length worth delta-encoding;
+	// vectors with less overlap are stored as new base vectors.
+	MinOverlap int
+	// RestartInterval forces a base vector every N vectors so page-local
+	// decodes never chase long delta chains. 0 disables forced restarts.
+	RestartInterval int
+	// Enc configures the cascade used for the bulk value stream.
+	Enc *enc.Options
+}
+
+// DefaultOptions returns the writer defaults: 8-element minimum overlap,
+// restart every 64 vectors.
+func DefaultOptions() *Options {
+	return &Options{MinOverlap: 8, RestartInterval: 64, Enc: enc.DefaultOptions()}
+}
+
+// vectorMeta is the per-vector index entry (Figure 4's metadata section).
+type vectorMeta struct {
+	isDelta    bool
+	rangeStart int // into the previous vector
+	rangeLen   int
+	headLen    int
+	tailLen    int
+	baseLen    int // for base vectors
+}
+
+// EncodeColumn encodes a column chunk of sequence vectors.
+//
+// Stream layout:
+//
+//	nVectors(uvarint)
+//	meta: per vector — flag(1B) + varint fields
+//	childValues: one cascaded int64 stream of all base/head/tail values
+func EncodeColumn(vectors [][]int64, opts *Options) ([]byte, error) {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	metas := make([]vectorMeta, len(vectors))
+	var values []int64
+	var prev []int64
+	sinceBase := 0
+	for i, cur := range vectors {
+		forceBase := prev == nil ||
+			(opts.RestartInterval > 0 && sinceBase >= opts.RestartInterval)
+		var m vectorMeta
+		if !forceBase {
+			if start, l, ok := longestCommonRun(prev, cur); ok && l >= opts.MinOverlap {
+				curStart := indexOfRun(cur, prev[start:start+l])
+				if curStart < 0 {
+					return nil, fmt.Errorf("sparse: internal: common run not found in current vector %d", i)
+				}
+				m = vectorMeta{
+					isDelta:    true,
+					rangeStart: start,
+					rangeLen:   l,
+					headLen:    curStart,
+					tailLen:    len(cur) - curStart - l,
+				}
+				values = append(values, cur[:curStart]...)
+				values = append(values, cur[curStart+l:]...)
+			}
+		}
+		if !m.isDelta {
+			m = vectorMeta{baseLen: len(cur)}
+			values = append(values, cur...)
+			sinceBase = 0
+		} else {
+			sinceBase++
+		}
+		metas[i] = m
+		prev = cur
+	}
+
+	dst := binary.AppendUvarint(nil, uint64(len(vectors)))
+	for _, m := range metas {
+		if m.isDelta {
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(m.rangeStart))
+			dst = binary.AppendUvarint(dst, uint64(m.rangeLen))
+			dst = binary.AppendUvarint(dst, uint64(m.headLen))
+			dst = binary.AppendUvarint(dst, uint64(m.tailLen))
+		} else {
+			dst = append(dst, 0)
+			dst = binary.AppendUvarint(dst, uint64(m.baseLen))
+		}
+	}
+	valueStream, err := enc.EncodeInts(nil, values, opts.Enc)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(valueStream)))
+	return append(dst, valueStream...), nil
+}
+
+// DecodeColumn decodes a column chunk produced by EncodeColumn.
+func DecodeColumn(src []byte) ([][]int64, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return nil, fmt.Errorf("sparse: bad vector count")
+	}
+	src = src[sz:]
+	// Every vector costs at least one metadata byte; hostile counts must
+	// not drive allocations.
+	if n > uint64(len(src)) {
+		return nil, fmt.Errorf("sparse: %d vectors cannot fit in %d bytes", n, len(src))
+	}
+	metas := make([]vectorMeta, n)
+	totalValues := 0
+	for i := range metas {
+		if len(src) < 1 {
+			return nil, fmt.Errorf("sparse: truncated metadata at vector %d", i)
+		}
+		flag := src[0]
+		src = src[1:]
+		var m vectorMeta
+		if flag == 1 {
+			m.isDelta = true
+			fields := [4]*int{&m.rangeStart, &m.rangeLen, &m.headLen, &m.tailLen}
+			for _, f := range fields {
+				v, sz := binary.Uvarint(src)
+				if sz <= 0 {
+					return nil, fmt.Errorf("sparse: truncated delta meta at vector %d", i)
+				}
+				*f = int(v)
+				src = src[sz:]
+			}
+			totalValues += m.headLen + m.tailLen
+		} else {
+			v, sz := binary.Uvarint(src)
+			if sz <= 0 {
+				return nil, fmt.Errorf("sparse: truncated base meta at vector %d", i)
+			}
+			m.baseLen = int(v)
+			src = src[sz:]
+			totalValues += m.baseLen
+		}
+		metas[i] = m
+	}
+	streamLen, sz := binary.Uvarint(src)
+	if sz <= 0 || streamLen > uint64(len(src)-sz) {
+		return nil, fmt.Errorf("sparse: bad value stream length")
+	}
+	values, err := enc.DecodeInts(src[sz:sz+int(streamLen)], totalValues)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]int64, n)
+	var prev []int64
+	pos := 0
+	take := func(k int) ([]int64, error) {
+		if pos+k > len(values) {
+			return nil, fmt.Errorf("sparse: value stream exhausted")
+		}
+		v := values[pos : pos+k]
+		pos += k
+		return v, nil
+	}
+	for i, m := range metas {
+		if !m.isDelta {
+			base, err := take(m.baseLen)
+			if err != nil {
+				return nil, err
+			}
+			cur := make([]int64, m.baseLen)
+			copy(cur, base)
+			out[i] = cur
+			prev = cur
+			continue
+		}
+		if prev == nil {
+			return nil, fmt.Errorf("sparse: vector %d is a delta with no base", i)
+		}
+		if m.rangeStart < 0 || m.rangeStart+m.rangeLen > len(prev) {
+			return nil, fmt.Errorf("sparse: vector %d range [%d,%d) outside previous of %d",
+				i, m.rangeStart, m.rangeStart+m.rangeLen, len(prev))
+		}
+		head, err := take(m.headLen)
+		if err != nil {
+			return nil, err
+		}
+		tail, err := take(m.tailLen)
+		if err != nil {
+			return nil, err
+		}
+		cur := make([]int64, 0, m.headLen+m.rangeLen+m.tailLen)
+		cur = append(cur, head...)
+		cur = append(cur, prev[m.rangeStart:m.rangeStart+m.rangeLen]...)
+		cur = append(cur, tail...)
+		out[i] = cur
+		prev = cur
+	}
+	return out, nil
+}
+
+// longestCommonRun finds the longest contiguous run shared between prev and
+// cur, returning its start in prev. Sliding windows make the common run
+// almost always a small head/tail shift, so those alignments are probed
+// first in O(k·n); the general O(n·m) search remains as the fallback for
+// arbitrary drift.
+func longestCommonRun(prev, cur []int64) (start, length int, ok bool) {
+	if len(prev) == 0 || len(cur) == 0 {
+		return 0, 0, false
+	}
+	// Fast path: probe shift alignments cur[c:] vs prev[p:] for small
+	// c,p — the shapes a sliding window produces (new head elements, old
+	// tail elements dropped). Accept when the aligned run covers most of
+	// the shorter vector; anything weirder falls through to the DP.
+	const maxShift = 8
+	bestLen, bestStart := 0, 0
+	for c := 0; c <= maxShift && c < len(cur); c++ {
+		for p := 0; p <= maxShift && p < len(prev); p++ {
+			l := 0
+			for c+l < len(cur) && p+l < len(prev) && cur[c+l] == prev[p+l] {
+				l++
+			}
+			if l > bestLen {
+				bestLen, bestStart = l, p
+			}
+		}
+	}
+	minLen := len(prev)
+	if len(cur) < minLen {
+		minLen = len(cur)
+	}
+	if bestLen*4 >= minLen*3 { // covers >= 75% of the shorter vector
+		return bestStart, bestLen, true
+	}
+	// dp[j] = length of common run ending at prev[i-1], cur[j-1].
+	dp := make([]int, len(cur)+1)
+	bestLen, bestPrevEnd := 0, 0
+	for i := 1; i <= len(prev); i++ {
+		prevDiag := 0
+		for j := 1; j <= len(cur); j++ {
+			cell := 0
+			if prev[i-1] == cur[j-1] {
+				cell = prevDiag + 1
+			}
+			prevDiag = dp[j]
+			dp[j] = cell
+			if cell > bestLen {
+				bestLen, bestPrevEnd = cell, i
+			}
+		}
+	}
+	if bestLen == 0 {
+		return 0, 0, false
+	}
+	return bestPrevEnd - bestLen, bestLen, true
+}
+
+// indexOfRun returns the position of run inside cur (first occurrence).
+func indexOfRun(cur, run []int64) int {
+	if len(run) == 0 {
+		return 0
+	}
+outer:
+	for i := 0; i+len(run) <= len(cur); i++ {
+		for k := range run {
+			if cur[i+k] != run[k] {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// Stats reports how a column chunk was encoded, for the fig4 experiment.
+type Stats struct {
+	Vectors      int
+	BaseVectors  int
+	DeltaVectors int
+	ValuesStored int // values physically written (bases + heads + tails)
+	ValuesTotal  int // logical values across all vectors
+}
+
+// Analyze computes encoding statistics without serializing.
+func Analyze(vectors [][]int64, opts *Options) Stats {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	var s Stats
+	s.Vectors = len(vectors)
+	var prev []int64
+	sinceBase := 0
+	for _, cur := range vectors {
+		s.ValuesTotal += len(cur)
+		forceBase := prev == nil ||
+			(opts.RestartInterval > 0 && sinceBase >= opts.RestartInterval)
+		encodedAsDelta := false
+		if !forceBase {
+			if _, l, ok := longestCommonRun(prev, cur); ok && l >= opts.MinOverlap {
+				s.DeltaVectors++
+				s.ValuesStored += len(cur) - l
+				sinceBase++
+				encodedAsDelta = true
+			}
+		}
+		if !encodedAsDelta {
+			s.BaseVectors++
+			s.ValuesStored += len(cur)
+			sinceBase = 0
+		}
+		prev = cur
+	}
+	return s
+}

@@ -1,0 +1,305 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bullion/internal/enc"
+)
+
+// genSlidingWindows produces clk_seq_cids-style vectors: per "user", each
+// step pushes a few new IDs at the head and drops as many from the tail.
+func genSlidingWindows(rng *rand.Rand, nVectors, width int) [][]int64 {
+	out := make([][]int64, 0, nVectors)
+	cur := make([]int64, width)
+	for i := range cur {
+		cur[i] = rng.Int63n(1 << 32)
+	}
+	for len(out) < nVectors {
+		cp := make([]int64, len(cur))
+		copy(cp, cur)
+		out = append(out, cp)
+		churn := rng.Intn(3) // 0-2 new IDs per step
+		for c := 0; c < churn; c++ {
+			next := make([]int64, 0, width)
+			next = append(next, rng.Int63n(1<<32))
+			next = append(next, cur[:width-1]...)
+			cur = next
+		}
+	}
+	return out
+}
+
+func TestPaperFigure4Example(t *testing.T) {
+	// The exact running example from Figures 3-4.
+	base := []int64{92, 82, 66, 18, 67, 13, 96, 63, 33, 49, 80, 85, 59, 30, 47, 55}
+	v2 := append([]int64{76}, base[:15]...)          // new 76 at head, overlap [0-14]
+	v3 := append([]int64{}, v2...)                   // identical: overlap [0-15]
+	v4 := append(append([]int64{}, base...), 55)[1:] // drifted window
+
+	vectors := [][]int64{base, v2, v3, v4}
+	opts := DefaultOptions()
+	encoded, err := EncodeColumn(vectors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumn(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vectors) {
+		t.Fatalf("decoded %d vectors, want %d", len(got), len(vectors))
+	}
+	for i := range vectors {
+		if len(got[i]) != len(vectors[i]) {
+			t.Fatalf("vector %d length %d, want %d", i, len(got[i]), len(vectors[i]))
+		}
+		for j := range vectors[i] {
+			if got[i][j] != vectors[i][j] {
+				t.Fatalf("vector %d element %d = %d, want %d", i, j, got[i][j], vectors[i][j])
+			}
+		}
+	}
+
+	// Per Figure 4: vector 2 stores only the new head element, vector 3
+	// stores nothing, vector 4 only its churn.
+	s := Analyze(vectors, opts)
+	if s.BaseVectors != 1 {
+		t.Fatalf("base vectors = %d, want 1", s.BaseVectors)
+	}
+	if s.DeltaVectors != 3 {
+		t.Fatalf("delta vectors = %d, want 3", s.DeltaVectors)
+	}
+	// base 16 + head 1 (v2) + 0 (v3) + churn (v4: window shifted by one,
+	// new tail 55 appears once) = at most 19 stored values.
+	if s.ValuesStored > 19 {
+		t.Fatalf("stored %d values, want <= 19 (of %d logical)", s.ValuesStored, s.ValuesTotal)
+	}
+}
+
+func TestSlidingWindowRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vectors := genSlidingWindows(rng, 500, 256)
+	encoded, err := EncodeColumn(vectors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumn(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vectors {
+		for j := range vectors[i] {
+			if got[i][j] != vectors[i][j] {
+				t.Fatalf("vector %d element %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// The headline §2.2 claim: substantial storage savings on sliding windows.
+func TestSlidingWindowCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vectors := genSlidingWindows(rng, 1000, 256)
+	opts := DefaultOptions()
+	encoded, err := EncodeColumn(vectors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSize := 0
+	for _, v := range vectors {
+		plainSize += 8 * len(v)
+	}
+	ratio := float64(len(encoded)) / float64(plainSize)
+	if ratio > 0.25 {
+		t.Fatalf("sparse delta achieved only %.1f%% of plain (want < 25%%)", 100*ratio)
+	}
+	t.Logf("sparse delta: %d -> %d bytes (%.1f%%)", plainSize, len(encoded), 100*ratio)
+}
+
+func TestUnrelatedVectorsFallBackToBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vectors := make([][]int64, 20)
+	for i := range vectors {
+		v := make([]int64, 64)
+		for j := range v {
+			v[j] = rng.Int63()
+		}
+		vectors[i] = v
+	}
+	s := Analyze(vectors, DefaultOptions())
+	if s.BaseVectors != len(vectors) {
+		t.Fatalf("unrelated vectors produced %d bases of %d", s.BaseVectors, len(vectors))
+	}
+	encoded, err := EncodeColumn(vectors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumn(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vectors {
+		for j := range vectors[i] {
+			if got[i][j] != vectors[i][j] {
+				t.Fatalf("vector %d element %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestRestartInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vectors := genSlidingWindows(rng, 200, 64)
+	opts := DefaultOptions()
+	opts.RestartInterval = 10
+	s := Analyze(vectors, opts)
+	if s.BaseVectors < len(vectors)/11 {
+		t.Fatalf("restart interval ignored: %d bases for %d vectors", s.BaseVectors, s.Vectors)
+	}
+	encoded, err := EncodeColumn(vectors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeColumn(encoded); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	cases := [][][]int64{
+		{},                      // no vectors
+		{{}},                    // one empty vector
+		{{1}},                   // one single-element vector
+		{{}, {}, {}},            // all empty
+		{{1, 2, 3}, {}, {1, 2}}, // empties interleaved
+	}
+	for i, vectors := range cases {
+		encoded, err := EncodeColumn(vectors, DefaultOptions())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := DecodeColumn(encoded)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(vectors) {
+			t.Fatalf("case %d: %d vectors, want %d", i, len(got), len(vectors))
+		}
+		for vi := range vectors {
+			if len(got[vi]) != len(vectors[vi]) {
+				t.Fatalf("case %d vector %d: length %d, want %d", i, vi, len(got[vi]), len(vectors[vi]))
+			}
+		}
+	}
+}
+
+func TestLongestCommonRun(t *testing.T) {
+	cases := []struct {
+		prev, cur   []int64
+		start, len_ int
+		ok          bool
+	}{
+		{[]int64{1, 2, 3, 4}, []int64{9, 2, 3, 4}, 1, 3, true},
+		{[]int64{1, 2, 3}, []int64{4, 5, 6}, 0, 0, false},
+		{[]int64{1, 2, 3}, []int64{1, 2, 3}, 0, 3, true},
+		{[]int64{5, 1, 2, 9}, []int64{1, 2}, 1, 2, true},
+		{nil, []int64{1}, 0, 0, false},
+	}
+	for i, c := range cases {
+		start, l, ok := longestCommonRun(c.prev, c.cur)
+		if ok != c.ok || (ok && (start != c.start || l != c.len_)) {
+			t.Errorf("case %d: got (%d,%d,%v), want (%d,%d,%v)", i, start, l, ok, c.start, c.len_, c.ok)
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	vectors := [][]int64{{1, 2, 3}, {2, 3, 4}}
+	encoded, err := EncodeColumn(vectors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 3, len(encoded) - 2} {
+		if _, err := DecodeColumn(encoded[:cut]); err == nil {
+			t.Errorf("truncation to %d decoded without error", cut)
+		}
+	}
+}
+
+// Property: any vector sequence round-trips.
+func TestSparseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		vectors := make([][]int64, n)
+		for i := range vectors {
+			v := make([]int64, rng.Intn(40))
+			for j := range v {
+				v[j] = rng.Int63n(50) // small domain: accidental overlaps
+			}
+			vectors[i] = v
+		}
+		opts := DefaultOptions()
+		opts.MinOverlap = 2
+		encoded, err := EncodeColumn(vectors, opts)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeColumn(encoded)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range vectors {
+			if len(got[i]) != len(vectors[i]) {
+				return false
+			}
+			for j := range vectors[i] {
+				if got[i][j] != vectors[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vectors := genSlidingWindows(rng, 300, 128)
+	opts := DefaultOptions()
+	s := Analyze(vectors, opts)
+	if s.Vectors != 300 || s.BaseVectors+s.DeltaVectors != 300 {
+		t.Fatalf("inconsistent stats: %+v", s)
+	}
+	if s.ValuesStored >= s.ValuesTotal {
+		t.Fatalf("no savings on sliding windows: %+v", s)
+	}
+}
+
+// A read-optimized cascade must still round-trip the bulk stream.
+func TestCustomEncOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	vectors := genSlidingWindows(rng, 100, 64)
+	opts := DefaultOptions()
+	opts.Enc = &enc.Options{MaxDepth: 1, SampleSize: 256, ReadWeight: 1}
+	encoded, err := EncodeColumn(vectors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumn(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vectors {
+		for j := range vectors[i] {
+			if got[i][j] != vectors[i][j] {
+				t.Fatalf("vector %d element %d mismatch", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package workload synthesizes the ML storage workloads the paper
+// evaluates on: the Table 1 ads schema (16,256 list<int64> columns and
+// the long tail of other types), clk_seq_cids sliding windows (Figure 3),
+// the skewed ad-table size census of Figure 1, Zipf-distributed sparse
+// IDs, and normalized embeddings. Generators are deterministic per seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bullion/internal/core"
+	"bullion/internal/quant"
+)
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	TypeName string
+	Count    int
+}
+
+// Table1 is the exact column-type histogram of the paper's example ads
+// Parquet file (Table 1), 17,733 columns total.
+var Table1 = []Table1Row{
+	{"list<int64>", 16256},
+	{"list<float>", 812},
+	{"list<list<int64>>", 277},
+	{"struct<list<int64>, list<float>>", 143},
+	{"struct<list<int64>>", 120},
+	{"struct<list<binary>>", 46},
+	{"struct<list<float>>", 29},
+	{"struct<list<binary>, list<binary>>", 18},
+	{"struct<list<double>>", 10},
+	{"list<binary>", 8},
+	{"struct<list<list<int64>>>", 5},
+	{"struct<list<binary>, list<float>>", 5},
+	{"string", 3},
+	{"int64", 1},
+}
+
+// Table1Total returns the total column count of Table 1.
+func Table1Total() int {
+	n := 0
+	for _, r := range Table1 {
+		n += r.Count
+	}
+	return n
+}
+
+// AdsSchema generates a Bullion schema with the Table 1 type mix, scaled
+// by 1/scaleDown (scaleDown=1 reproduces all 17,733 columns; struct
+// columns are flattened into leaf columns, Alpha-style, so the leaf count
+// exceeds the logical count for struct types). Every list<int64> feature
+// column is marked Sparse when markSparse is set.
+func AdsSchema(scaleDown int, markSparse bool) (*core.Schema, error) {
+	if scaleDown < 1 {
+		scaleDown = 1
+	}
+	var fields []core.Field
+	add := func(name string, t core.Type, sparse bool) {
+		fields = append(fields, core.Field{Name: name, Type: t, Sparse: sparse})
+	}
+	scaled := func(n int) int {
+		s := n / scaleDown
+		if s == 0 && n > 0 {
+			s = 1
+		}
+		return s
+	}
+	listI64 := core.Type{Kind: core.List, Elem: core.Int64}
+	listF32 := core.Type{Kind: core.List, Elem: core.Float32}
+	listF64 := core.Type{Kind: core.List, Elem: core.Float64}
+	listBin := core.Type{Kind: core.List, Elem: core.Binary}
+	listListI64 := core.Type{Kind: core.ListList, Elem: core.Int64}
+
+	for i := 0; i < scaled(16256); i++ {
+		add(fmt.Sprintf("sparse_ids_%05d", i), listI64, markSparse)
+	}
+	for i := 0; i < scaled(812); i++ {
+		add(fmt.Sprintf("dense_vec_%04d", i), listF32, false)
+	}
+	for i := 0; i < scaled(277); i++ {
+		add(fmt.Sprintf("nested_ids_%03d", i), listListI64, false)
+	}
+	// struct<list<int64>, list<float>> flattens to two leaf columns.
+	for i := 0; i < scaled(143); i++ {
+		add(fmt.Sprintf("pair_%03d.ids", i), listI64, markSparse)
+		add(fmt.Sprintf("pair_%03d.weights", i), listF32, false)
+	}
+	for i := 0; i < scaled(120); i++ {
+		add(fmt.Sprintf("wrap_ids_%03d.ids", i), listI64, markSparse)
+	}
+	for i := 0; i < scaled(46); i++ {
+		add(fmt.Sprintf("wrap_bin_%02d.blob", i), listBin, false)
+	}
+	for i := 0; i < scaled(29); i++ {
+		add(fmt.Sprintf("wrap_vec_%02d.vec", i), listF32, false)
+	}
+	for i := 0; i < scaled(18); i++ {
+		add(fmt.Sprintf("bin_pair_%02d.a", i), listBin, false)
+		add(fmt.Sprintf("bin_pair_%02d.b", i), listBin, false)
+	}
+	for i := 0; i < scaled(10); i++ {
+		add(fmt.Sprintf("wrap_dbl_%02d.vals", i), listF64, false)
+	}
+	for i := 0; i < scaled(8); i++ {
+		add(fmt.Sprintf("raw_bin_%d", i), listBin, false)
+	}
+	for i := 0; i < scaled(5); i++ {
+		add(fmt.Sprintf("deep_ids_%d.lists", i), listListI64, false)
+	}
+	for i := 0; i < scaled(5); i++ {
+		add(fmt.Sprintf("bin_vec_%d.blob", i), listBin, false)
+		add(fmt.Sprintf("bin_vec_%d.vec", i), listF32, false)
+	}
+	for i := 0; i < scaled(3); i++ {
+		add(fmt.Sprintf("req_id_%d", i), core.Type{Kind: core.String}, false)
+	}
+	add("uid", core.Type{Kind: core.Int64}, false)
+	return core.NewSchema(fields...)
+}
+
+// SchemaBreakdown histograms a schema by rendered type string.
+func SchemaBreakdown(s *core.Schema) []Table1Row {
+	counts := map[string]int{}
+	var order []string
+	for _, f := range s.Fields {
+		k := f.Type.String()
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	out := make([]Table1Row, 0, len(order))
+	for _, k := range order {
+		out = append(out, Table1Row{TypeName: k, Count: counts[k]})
+	}
+	return out
+}
+
+// SlidingWindows generates nVectors clk_seq_cids-style vectors of the
+// given width: a per-user sliding window over recently clicked ad IDs,
+// with churnRate new IDs per step on average (Figure 3).
+func SlidingWindows(rng *rand.Rand, nVectors, width int, churnRate float64) [][]int64 {
+	out := make([][]int64, nVectors)
+	window := make([]int64, width)
+	for i := range window {
+		window[i] = rng.Int63n(1 << 48)
+	}
+	for i := range out {
+		churn := 0
+		if rng.Float64() < churnRate {
+			churn = 1 + rng.Intn(2)
+		}
+		for c := 0; c < churn; c++ {
+			next := make([]int64, width)
+			next[0] = rng.Int63n(1 << 48)
+			copy(next[1:], window[:width-1])
+			window = next
+		}
+		out[i] = append([]int64{}, window...)
+	}
+	return out
+}
+
+// ZipfIDs draws n sparse IDs from a Zipf distribution over a domain of
+// the given cardinality — the long-tail shape of entity/interaction IDs.
+func ZipfIDs(rng *rand.Rand, n int, cardinality uint64, skew float64) []int64 {
+	if skew <= 1 {
+		skew = 1.2
+	}
+	z := rand.NewZipf(rng, skew, 1, cardinality-1)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+// Embeddings generates n normalized d-dimensional float32 embeddings
+// (each component in (-1,1), unit-ish norm), the §2.4 quantization target.
+func Embeddings(rng *rand.Rand, n, d int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, d)
+		var norm float64
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+			norm += float64(v[j]) * float64(v[j])
+		}
+		if norm > 0 {
+			inv := float32(1 / math.Sqrt(norm))
+			for j := range v {
+				v[j] *= inv
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// AdsColumns generates realistic per-type content for every field of an
+// AdsSchema: sliding windows for sparse sequence features, Zipf IDs for
+// other ID lists, normalized embeddings for float lists, request IDs for
+// strings, and a user-sorted uid column.
+func AdsColumns(rng *rand.Rand, schema *core.Schema, rows int) []core.ColumnData {
+	cols := make([]core.ColumnData, len(schema.Fields))
+	for ci, f := range schema.Fields {
+		cols[ci] = adsColumn(rng, f, rows)
+	}
+	return cols
+}
+
+func adsColumn(rng *rand.Rand, f core.Field, rows int) core.ColumnData {
+	switch {
+	case f.Sparse:
+		return core.ListInt64Data(SlidingWindows(rng, rows, 32, 0.3))
+	case f.Type.Kind == core.List && f.Type.Elem == core.Int64:
+		out := make(core.ListInt64Data, rows)
+		for i := range out {
+			out[i] = ZipfIDs(rng, 4+rng.Intn(8), 1<<24, 1.3)
+		}
+		return out
+	case f.Type.Kind == core.List && f.Type.Elem == core.Float32:
+		embs := Embeddings(rng, rows, 16)
+		out := make(core.ListFloat32Data, rows)
+		for i := range out {
+			out[i] = embs[i]
+		}
+		return out
+	case f.Type.Kind == core.List && f.Type.Elem == core.Float64:
+		out := make(core.ListFloat64Data, rows)
+		for i := range out {
+			v := make([]float64, 4)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			out[i] = v
+		}
+		return out
+	case f.Type.Kind == core.List && f.Type.Elem == core.Binary:
+		out := make(core.ListBytesData, rows)
+		for i := range out {
+			b := make([]byte, 16)
+			rng.Read(b)
+			out[i] = [][]byte{b}
+		}
+		return out
+	case f.Type.Kind == core.ListList:
+		out := make(core.ListListInt64Data, rows)
+		for i := range out {
+			out[i] = [][]int64{ZipfIDs(rng, 3, 1<<20, 1.3)}
+		}
+		return out
+	case f.Type.Kind == core.String:
+		out := make(core.BytesData, rows)
+		for i := range out {
+			out[i] = []byte(fmt.Sprintf("req-%016x", rng.Uint64()))
+		}
+		return out
+	default: // int64 uid
+		out := make(core.Int64Data, rows)
+		for i := range out {
+			out[i] = int64(i / 8)
+		}
+		return out
+	}
+}
+
+// AdTableSize is one bar of Figure 1.
+type AdTableSize struct {
+	Name   string
+	SizePB float64
+}
+
+// Figure1Census reproduces Figure 1's skewed top-10 ad-table size
+// distribution for the CN region: the largest approaches 100 PB with a
+// long concave tail, matching the shape of the published bar chart.
+func Figure1Census() []AdTableSize {
+	sizes := []float64{97, 82, 70, 61, 54, 48, 43, 39, 36, 33}
+	out := make([]AdTableSize, len(sizes))
+	for i, s := range sizes {
+		out[i] = AdTableSize{Name: string(rune('A' + i)), SizePB: s}
+	}
+	return out
+}
+
+// QuantTargets lists the Figure 6 formats exercised by the fig6 experiment.
+func QuantTargets() []quant.Format {
+	return []quant.Format{quant.FP32, quant.TF32, quant.FP16, quant.BF16, quant.FP8E4M3, quant.FP8E5M2}
+}
