@@ -15,7 +15,7 @@
 //   - quality-aware row organization for multimodal training data (§2.5,
 //     Figure 7)
 //
-// Quickstart:
+// Quickstart — writing and whole-column projection:
 //
 //	schema, _ := bullion.NewSchema(
 //	    bullion.Field{Name: "uid", Type: bullion.Type{Kind: bullion.Int64}},
@@ -30,6 +30,36 @@
 //	f, _ := bullion.OpenPath("ads.bln")
 //	defer f.Close()
 //	cols, _ := f.Project("clk_seq_cids")
+//
+// Streaming scans — the training-loader read path. Instead of
+// materializing whole columns, Scan iterates the projection in row
+// batches (BatchRows rows each, default DefaultScanBatchRows = 4096),
+// decoding the columns of in-flight batches on a GOMAXPROCS-bounded
+// worker pool while emitting batches in file order:
+//
+//	sc, _ := f.Scan(bullion.ScanOptions{
+//	    Columns:   []string{"uid", "clk_seq_cids"},
+//	    BatchRows: 4096, // rows per batch (0 = default)
+//	    Workers:   0,    // 0 = GOMAXPROCS
+//	    // Optional: Range restricts the scan; Hi must not exceed
+//	    // f.NumRows(), e.g. &bullion.RowRange{Lo: 0, Hi: f.NumRows()}.
+//	})
+//	defer sc.Close()
+//	for {
+//	    batch, err := sc.Next()
+//	    if err == io.EOF {
+//	        break
+//	    }
+//	    if err != nil {
+//	        return err
+//	    }
+//	    feed(batch) // aligned columns, deleted rows already filtered
+//	}
+//
+// Scans prune work before any I/O: batches outside Range are never
+// planned, all-deleted batches are dropped, and ColumnFilter zone
+// predicates skip batches whose footer min/max page statistics prove no
+// match (int64/int32 columns; pruning is page-granular and conservative).
 package bullion
 
 import (
@@ -91,7 +121,23 @@ type (
 	SparseOptions = sparse.Options
 	// QuantFormat is a §2.4 storage float format.
 	QuantFormat = quant.Format
+
+	// ScanOptions configures a streaming scan (File.Scan).
+	ScanOptions = core.ScanOptions
+	// Scanner streams a projected column set in row batches.
+	Scanner = core.Scanner
+	// RowRange restricts a scan to global rows [Lo, Hi).
+	RowRange = core.RowRange
+	// ColumnFilter is a zone-map batch-pruning predicate.
+	ColumnFilter = core.ColumnFilter
+	// ScanStats reports a scan's physical work.
+	ScanStats = core.ScanStats
+	// PageStats is the per-page min/max/null zone map.
+	PageStats = core.PageStats
 )
+
+// DefaultScanBatchRows is the default Scanner batch size.
+const DefaultScanBatchRows = core.DefaultScanBatchRows
 
 // Column kinds.
 const (
@@ -263,6 +309,11 @@ func (f *File) ReadRows(c int, lo, hi uint64) (ColumnData, error) { return f.cf.
 // Project reads the named columns — the §2.3 feature-projection path.
 func (f *File) Project(names ...string) (*Batch, error) { return f.cf.Project(names...) }
 
+// Scan starts a streaming scan over the projected columns, decoding
+// batches in parallel while preserving file order. See the package
+// Quickstart for the iteration loop; Next returns io.EOF at end of scan.
+func (f *File) Scan(opts ScanOptions) (*Scanner, error) { return f.cf.Scan(opts) }
+
 // ProjectCoalesced reads the named columns, bundling physically adjacent
 // column chunks into single reads of up to core.CoalesceLimit bytes — the
 // §2.5 column-reordering + coalesced-read path for hot feature sets.
@@ -300,6 +351,12 @@ type ColumnStats = core.ColumnStats
 
 // Stats walks the footer (no data reads) and reports per-column storage.
 func (f *File) Stats() *FileStats { return f.cf.Stats() }
+
+// PageStats returns the min/max/null zone map of global page p (indices
+// run over Stats().NumPages), or ok=false when the writer recorded no
+// statistics section. These are the zone maps ScanOptions.Filters prune
+// with.
+func (f *File) PageStats(p int) (PageStats, bool) { return f.cf.PageStats(p) }
 
 // DeleteRows deletes rows per the file's compliance level. For files
 // opened with OpenPath the in-place write goes to the same file; otherwise

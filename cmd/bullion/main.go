@@ -5,17 +5,22 @@
 //	bullion inspect <file>             print header, schema summary, stats
 //	bullion verify <file>              verify the Merkle checksum tree
 //	bullion project <file> <col>...    print the first rows of columns
+//	bullion scan <file> [flags] [col]  stream batches, report rows/sec
 //	bullion delete <file> <row>...     delete rows (per the file's level)
 //	bullion demo <file>                write a small demo ads file
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
+	"time"
 
 	"bullion"
+	"bullion/internal/iostats"
 )
 
 func main() {
@@ -31,6 +36,8 @@ func main() {
 		err = verify(path)
 	case "project":
 		err = project(path, os.Args[3:])
+	case "scan":
+		err = scan(path, os.Args[3:])
 	case "delete":
 		err = deleteRows(path, os.Args[3:])
 	case "demo":
@@ -49,6 +56,7 @@ func usage() {
   bullion inspect <file>
   bullion verify <file>
   bullion project <file> <column>...
+  bullion scan <file> [-batch N] [-workers N] [column]...
   bullion delete <file> <row>...
   bullion demo <file>`)
 	os.Exit(2)
@@ -152,6 +160,68 @@ func cellString(col bullion.ColumnData, r int) string {
 	default:
 		return fmt.Sprintf("%T", col)
 	}
+}
+
+// scan streams the projected columns (default: all) through the parallel
+// Scanner and reports throughput plus physical I/O from iostats.
+func scan(path string, args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	batchRows := fs.Int("batch", bullion.DefaultScanBatchRows, "rows per batch")
+	workers := fs.Int("workers", 0, "decode workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cols := fs.Args()
+
+	osf, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer osf.Close()
+	st, err := osf.Stat()
+	if err != nil {
+		return err
+	}
+	var counters iostats.Counters
+	counters.Reset()
+	f, err := bullion.Open(&iostats.ReaderAt{R: osf, C: &counters}, st.Size())
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sc, err := f.Scan(bullion.ScanOptions{Columns: cols, BatchRows: *batchRows, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+
+	start := time.Now()
+	var rows, batches int64
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		rows += int64(batch.NumRows())
+		batches++
+	}
+	elapsed := time.Since(start)
+	stats := sc.Stats()
+	phys := counters.Snapshot()
+	fmt.Printf("scanned %d rows in %d batches (%d columns) in %v\n",
+		rows, batches, len(sc.Schema().Fields), elapsed.Round(time.Microsecond))
+	fmt.Printf("throughput:     %.0f rows/sec\n", float64(rows)/elapsed.Seconds())
+	fmt.Printf("bytes decoded:  %d (%.1f MB/s)\n", stats.BytesRead,
+		float64(stats.BytesRead)/elapsed.Seconds()/1e6)
+	fmt.Printf("physical I/O:   %d reads, %d bytes, %d seeks\n",
+		phys.ReadOps, phys.ReadBytes, phys.Seeks)
+	fmt.Printf("pages:          %d decoded, %d skipped; batches: %d emitted, %d skipped\n",
+		stats.PagesDecoded, stats.PagesSkipped, stats.BatchesEmitted, stats.BatchesSkipped)
+	return nil
 }
 
 func deleteRows(path string, args []string) error {

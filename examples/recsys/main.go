@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -93,13 +94,36 @@ func main() {
 	}
 	defer f.Close()
 
-	// Training projection: the model reads 3 of 6 columns.
-	proj, err := f.Project("clk_seq_cids", "user_embed", "label")
+	// Training loop: stream 3 of 6 columns batch-by-batch through the
+	// parallel scanner — the shape a data loader consumes — instead of
+	// materializing whole columns.
+	sc, err := f.Scan(bullion.ScanOptions{
+		Columns:   []string{"clk_seq_cids", "user_embed", "label"},
+		BatchRows: 4096,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("projected %d columns x %d rows for training\n",
-		len(proj.Columns), proj.NumRows())
+	trainRows, trainBatches, positives := 0, 0, 0
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainRows += batch.NumRows()
+		trainBatches++
+		for _, v := range batch.Columns[2].(bullion.Float64Data) {
+			if v == 1 {
+				positives++
+			}
+		}
+	}
+	sc.Close()
+	fmt.Printf("streamed %d training rows in %d batches (%d positive labels, %d bytes decoded)\n",
+		trainRows, trainBatches, positives, sc.Stats().BytesRead)
 
 	// The critical model joins the dual columns back to exact FP32.
 	bidBatch, err := f.Project("bid_hi", "bid_lo")

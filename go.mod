@@ -1,0 +1,3 @@
+module bullion
+
+go 1.22

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
+	"sync"
 
 	"bullion/internal/footer"
 	"bullion/internal/merkle"
@@ -18,7 +20,9 @@ type File struct {
 	footerOff   int64
 	view        *footer.View
 	footerLen   int
+	groupOnce   sync.Once
 	groupRows   []int    // lazy: logical rows per group
+	groupStarts []uint64 // lazy: global row id of each group's first row
 	rewriteOpts *Options // encoding options for Level-2 page rewrites
 }
 
@@ -97,32 +101,32 @@ func (f *File) Schema() *Schema {
 func (f *File) LookupColumn(name string) (int, bool) { return f.view.LookupColumn(name) }
 
 // GroupRowCounts returns logical rows per group (computed from column 0's
-// page index once, then cached).
+// page index once, then cached; safe for concurrent readers).
 func (f *File) GroupRowCounts() []int {
-	if f.groupRows != nil {
-		return f.groupRows
-	}
-	out := make([]int, f.view.NumGroups())
-	for g := range out {
-		first, count := f.view.ChunkPages(g, 0)
-		rows := 0
-		for p := first; p < first+count; p++ {
-			rows += f.view.PageRows(p)
+	f.groupOnce.Do(func() {
+		out := make([]int, f.view.NumGroups())
+		starts := make([]uint64, f.view.NumGroups())
+		var row uint64
+		for g := range out {
+			starts[g] = row
+			first, count := f.view.ChunkPages(g, 0)
+			rows := 0
+			for p := first; p < first+count; p++ {
+				rows += f.view.PageRows(p)
+			}
+			out[g] = rows
+			row += uint64(rows)
 		}
-		out[g] = rows
-	}
-	f.groupRows = out
-	return out
+		f.groupRows = out
+		f.groupStarts = starts
+	})
+	return f.groupRows
 }
 
 // groupRowStart returns the global row id of the first row in group g.
 func (f *File) groupRowStart(g int) uint64 {
-	counts := f.GroupRowCounts()
-	var start uint64
-	for i := 0; i < g; i++ {
-		start += uint64(counts[i])
-	}
-	return start
+	f.GroupRowCounts()
+	return f.groupStarts[g]
 }
 
 // pageByteRange returns the file byte span of global page p.
@@ -134,13 +138,27 @@ func (f *File) pageByteRange(p int) (off, end int64) {
 	return off, f.footerOff
 }
 
-// deletedInRange counts deleted rows among global rows [lo, hi).
+// deletedInRange counts deleted rows among global rows [lo, hi), one
+// popcount per 64-row word of the deletion vector.
 func (f *File) deletedInRange(lo, hi uint64) int {
+	words := f.view.DeletionWords()
+	if words == 0 || lo >= hi {
+		return 0
+	}
 	n := 0
-	for r := lo; r < hi; r++ {
-		if f.view.RowDeleted(r) {
-			n++
+	for w := int(lo >> 6); w <= int((hi-1)>>6) && w < words; w++ {
+		word := f.view.DeletionWord(w)
+		if word == 0 {
+			continue
 		}
+		base := uint64(w) << 6
+		if base < lo {
+			word &= ^uint64(0) << (lo - base)
+		}
+		if base+64 > hi {
+			word &= (uint64(1) << (hi - base)) - 1
+		}
+		n += bits.OnesCount64(word)
 	}
 	return n
 }

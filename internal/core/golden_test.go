@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.bullion")
+
+const goldenPath = "testdata/golden.bullion"
+
+// goldenTable builds a deterministic multi-type table: the writer must
+// reproduce testdata/golden.bullion byte-for-byte from this data. Any
+// intentional format change requires regenerating the file with
+//
+//	go test ./internal/core -run TestGoldenFile -update
+func goldenTable(t *testing.T) (*Schema, *Batch, *Options) {
+	t.Helper()
+	schema, err := NewSchema(
+		Field{Name: "uid", Type: Type{Kind: Int64}},
+		Field{Name: "clicks", Type: Type{Kind: Int64}, Nullable: true},
+		Field{Name: "score", Type: Type{Kind: Float64}},
+		Field{Name: "embed", Type: Type{Kind: Float32}},
+		Field{Name: "flag", Type: Type{Kind: Bool}},
+		Field{Name: "tag", Type: Type{Kind: String}},
+		Field{Name: "seq", Type: Type{Kind: List, Elem: Int64}},
+		Field{Name: "clk_seq_cids", Type: Type{Kind: List, Elem: Int64}, Sparse: true},
+		Field{Name: "nested", Type: Type{Kind: ListList, Elem: Int64}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	rng := rand.New(rand.NewSource(20250728))
+	uid := make(Int64Data, n)
+	clicks := NullableInt64Data{Values: make([]int64, n), Valid: make([]bool, n)}
+	score := make(Float64Data, n)
+	embed := make(Float32Data, n)
+	flagc := make(BoolData, n)
+	tag := make(BytesData, n)
+	seq := make(ListInt64Data, n)
+	clk := make(ListInt64Data, n)
+	nested := make(ListListInt64Data, n)
+	window := make([]int64, 24)
+	for i := range window {
+		window[i] = rng.Int63n(1 << 28)
+	}
+	for i := 0; i < n; i++ {
+		uid[i] = int64(i / 8)
+		clicks.Valid[i] = i%5 != 0
+		if clicks.Valid[i] {
+			clicks.Values[i] = rng.Int63n(1000)
+		}
+		score[i] = float64(i) / 7
+		embed[i] = float32(i%97) * 0.25
+		flagc[i] = i%4 == 0
+		tag[i] = []byte([]string{"news", "video", "ads", "social"}[i%4])
+		seq[i] = []int64{int64(i), int64(i * 2), int64(i % 13)}
+		if rng.Intn(3) == 0 {
+			window = append([]int64{rng.Int63n(1 << 28)}, window[:len(window)-1]...)
+		}
+		clk[i] = append([]int64{}, window...)
+		nested[i] = [][]int64{{int64(i % 7)}, {int64(i), int64(i + 1)}}
+	}
+	batch, err := NewBatch(schema, []ColumnData{
+		uid, clicks, score, embed, flagc, tag, seq, clk, nested,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema, batch, &Options{RowsPerPage: 256, GroupRows: 1000, Compliance: Level2}
+}
+
+func marshalGolden(t *testing.T) []byte {
+	t.Helper()
+	schema, batch, opts := goldenTable(t)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenFile pins the on-disk format: the writer must regenerate the
+// committed golden file byte-for-byte, and reading it back — via Project
+// and via the streaming Scanner — must reproduce the source table.
+func TestGoldenFile(t *testing.T) {
+	got := marshalGolden(t)
+	if again := marshalGolden(t); !bytes.Equal(got, again) {
+		t.Fatal("writer is nondeterministic: two runs produced different bytes")
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", len(got), goldenPath)
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden file drift: generated %d bytes != committed %d bytes; "+
+			"the on-disk format changed (run with -update if intentional)", len(got), len(want))
+	}
+
+	// Re-open the committed bytes and verify the projected batches.
+	f, err := Open(bytes.NewReader(want), int64(len(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	schema, batch, _ := goldenTable(t)
+	names := make([]string, len(schema.Fields))
+	for i, fd := range schema.Fields {
+		names[i] = fd.Name
+	}
+	proj, err := f.Project(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range batch.Columns {
+		compareGoldenColumn(t, names[i], proj.Columns[i], want)
+	}
+
+	// The streaming scanner must produce the identical batches.
+	sc, err := f.Scan(ScanOptions{Columns: names, Workers: 4, BatchRows: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	var scanned []ColumnData
+	for {
+		b, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scanned == nil {
+			scanned = make([]ColumnData, len(b.Columns))
+		}
+		for i, c := range b.Columns {
+			scanned[i] = appendColumn(scanned[i], c)
+		}
+	}
+	for i := range proj.Columns {
+		if !reflect.DeepEqual(scanned[i], proj.Columns[i]) {
+			t.Errorf("scanner column %q differs from Project", names[i])
+		}
+	}
+}
+
+// compareGoldenColumn compares a decoded column to the source data.
+// Nullable columns compare mask-aware: values under null slots are
+// unspecified on disk.
+func compareGoldenColumn(t *testing.T, name string, got, want ColumnData) {
+	t.Helper()
+	if g, ok := got.(NullableInt64Data); ok {
+		w := want.(NullableInt64Data)
+		if !reflect.DeepEqual(g.Valid, w.Valid) {
+			t.Errorf("column %q: validity mask differs", name)
+			return
+		}
+		for i, v := range w.Valid {
+			if v && g.Values[i] != w.Values[i] {
+				t.Errorf("column %q: row %d = %d, want %d", name, i, g.Values[i], w.Values[i])
+				return
+			}
+		}
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("column %q: decoded data differs from source", name)
+	}
+}

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bullion/internal/footer"
+)
+
+// This file implements the streaming scan subsystem: instead of
+// materializing whole columns (ReadColumnByIndex / Project), a Scanner
+// iterates the projected column set in fixed-size row batches — the shape
+// ML data loaders consume — decoding the columns of in-flight batches on a
+// GOMAXPROCS-bounded worker pool while preserving file order. Batches that
+// provably contain no useful rows are skipped before any I/O happens:
+//   - batches outside ScanOptions.Range are never planned,
+//   - batches whose rows are all deleted are dropped (deleted-heavy files
+//     touch proportionally less I/O),
+//   - batches where the footer's per-page min/max zone maps prove that no
+//     page can satisfy a ColumnFilter are dropped.
+
+// DefaultScanBatchRows is the default Scanner batch size: 4 default-sized
+// pages, small enough to keep workers*batch resident, large enough to
+// amortize per-batch overhead.
+const DefaultScanBatchRows = 4096
+
+// maxScanWorkers bounds explicit ScanOptions.Workers requests.
+const maxScanWorkers = 256
+
+// RowRange restricts a scan to global rows [Lo, Hi).
+type RowRange struct {
+	Lo, Hi uint64
+}
+
+// ColumnFilter is a zone-map predicate on one column: a batch survives
+// only if some overlapping page of the column may hold a value in
+// [Min, Max] (nil bounds are open). Pruning is page-granular and
+// conservative — surviving batches are returned in full and may still
+// contain non-matching rows; exact filtering is the caller's job. Columns
+// without recorded min/max statistics (anything but int64/int32) never
+// prune.
+type ColumnFilter struct {
+	Column string
+	Min    *int64
+	Max    *int64
+}
+
+// ScanOptions configures File.Scan.
+type ScanOptions struct {
+	// Columns is the projected column set, in output order. Empty means
+	// every column in schema order.
+	Columns []string
+	// BatchRows is the rows per emitted batch (DefaultScanBatchRows when
+	// <= 0). The final batch of a scan may be shorter, and deletions can
+	// shrink any batch. Batches that do not align with page boundaries
+	// re-read and re-decode the shared boundary page per batch, so a
+	// multiple of the writer's RowsPerPage (default 1024) decodes each
+	// page exactly once.
+	BatchRows int
+	// Workers sets the decode parallelism. <= 0 means GOMAXPROCS (the
+	// CPU-bound sweet spot). Explicit values are honored beyond GOMAXPROCS
+	// (capped at maxScanWorkers) — extra workers help when the reader has
+	// latency to hide (object storage, cold NVMe), since blocked reads
+	// don't occupy a CPU.
+	Workers int
+	// Range, when non-nil, restricts the scan to the given global rows.
+	Range *RowRange
+	// Filters prune batches via the footer's page zone maps.
+	Filters []ColumnFilter
+}
+
+// ScanStats reports the physical work a scan performed so far.
+//
+// PagesDecoded and PagesSkipped count page visits: when batches are not
+// page-aligned, a page overlapping several batches contributes once per
+// batch (and a boundary page of a pruned batch can be both skipped there
+// and decoded by its surviving neighbor).
+type ScanStats struct {
+	BytesRead      int64 // encoded bytes fetched from the reader
+	PagesDecoded   int64
+	PagesSkipped   int64 // projected page visits covered by pruned batches
+	BatchesEmitted int64
+	// BatchesSkipped counts batches pruned by deletion or zone-map
+	// filters; rows outside ScanOptions.Range are never planned as
+	// batches and are not counted here.
+	BatchesSkipped int64
+	RowsEmitted    int64
+}
+
+// rowSpan is one planned batch: global rows [lo, hi).
+type rowSpan struct {
+	lo, hi uint64
+}
+
+// scanSlot carries one in-flight batch through the worker pool.
+type scanSlot struct {
+	idx       int
+	span      rowSpan
+	cols      []ColumnData
+	remaining atomic.Int32
+	errMu     sync.Mutex
+	err       error
+}
+
+func (s *scanSlot) setErr(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+type scanTask struct {
+	slot *scanSlot
+	col  int // index into Scanner.cols
+}
+
+// Scanner streams a projected column set in row batches. One Scanner must
+// be used from a single goroutine; any number of Scanners may run
+// concurrently over the same *File.
+type Scanner struct {
+	f      *File
+	cols   []int
+	schema *Schema
+
+	batches []rowSpan
+	workers int
+
+	tasks chan scanTask
+	ready chan *scanSlot
+	sem   chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	next     int
+	pending  map[int]*scanSlot
+	failed   error
+	closed   bool
+	stopOnce sync.Once
+
+	bytesRead    atomic.Int64
+	pagesDecoded atomic.Int64
+	pagesSkipped int64
+	batchesSkip  int64
+	batchesOut   int64
+	rowsOut      int64
+}
+
+// Scan plans a streaming scan and starts its decode pool.
+func (f *File) Scan(opts ScanOptions) (*Scanner, error) {
+	cols, schema, err := f.resolveProjection(opts.Columns)
+	if err != nil {
+		return nil, err
+	}
+	batchRows := opts.BatchRows
+	if batchRows <= 0 {
+		batchRows = DefaultScanBatchRows
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxScanWorkers {
+		workers = maxScanWorkers
+	}
+	lo, hi := uint64(0), f.view.NumRows()
+	if r := opts.Range; r != nil {
+		if r.Lo > r.Hi || r.Hi > f.view.NumRows() {
+			return nil, fmt.Errorf("core: scan range [%d,%d) out of [0,%d]", r.Lo, r.Hi, f.view.NumRows())
+		}
+		lo, hi = r.Lo, r.Hi
+	}
+	filters, err := f.resolveFilters(opts.Filters)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Scanner{
+		f:       f,
+		cols:    cols,
+		schema:  schema,
+		workers: workers,
+		pending: map[int]*scanSlot{},
+		stop:    make(chan struct{}),
+	}
+	for b := lo; b < hi; b += uint64(batchRows) {
+		span := rowSpan{b, min(b+uint64(batchRows), hi)}
+		if s.pruneBatch(span, filters) {
+			s.batchesSkip++
+			for _, ci := range cols {
+				s.pagesSkipped += int64(f.countPagesInSpan(ci, span))
+			}
+			continue
+		}
+		s.batches = append(s.batches, span)
+	}
+	s.start()
+	return s, nil
+}
+
+// resolveProjection maps names to column indices (empty = all columns).
+func (f *File) resolveProjection(names []string) ([]int, *Schema, error) {
+	var cols []int
+	if len(names) == 0 {
+		cols = make([]int, f.view.NumColumns())
+		for i := range cols {
+			cols[i] = i
+		}
+	} else {
+		cols = make([]int, len(names))
+		for i, name := range names {
+			ci, ok := f.LookupColumn(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("core: no column %q", name)
+			}
+			cols[i] = ci
+		}
+	}
+	fields := make([]Field, len(cols))
+	for i, ci := range cols {
+		fields[i] = f.FieldByIndex(ci)
+	}
+	return cols, &Schema{Fields: fields}, nil
+}
+
+type boundFilter struct {
+	col      int
+	min, max *int64
+}
+
+func (f *File) resolveFilters(fs []ColumnFilter) ([]boundFilter, error) {
+	out := make([]boundFilter, 0, len(fs))
+	for _, cf := range fs {
+		ci, ok := f.LookupColumn(cf.Column)
+		if !ok {
+			return nil, fmt.Errorf("core: no column %q", cf.Column)
+		}
+		if cf.Min != nil && cf.Max != nil && *cf.Min > *cf.Max {
+			return nil, fmt.Errorf("core: filter on %q has min %d > max %d", cf.Column, *cf.Min, *cf.Max)
+		}
+		out = append(out, boundFilter{col: ci, min: cf.Min, max: cf.Max})
+	}
+	return out, nil
+}
+
+// pruneBatch reports whether span can be skipped entirely: every row
+// deleted, or some zone-map filter excludes every overlapping page.
+func (s *Scanner) pruneBatch(span rowSpan, filters []boundFilter) bool {
+	if s.f.deletedInRange(span.lo, span.hi) == int(span.hi-span.lo) {
+		return true
+	}
+	for _, bf := range filters {
+		if s.filterExcludesSpan(bf, span) {
+			return true
+		}
+	}
+	return false
+}
+
+// filterExcludesSpan reports whether the zone maps of every page of
+// bf.col overlapping span prove the filter cannot match.
+func (s *Scanner) filterExcludesSpan(bf boundFilter, span rowSpan) bool {
+	excluded := true
+	s.f.forEachPageInSpan(bf.col, span, func(p int, _, _ uint64) bool {
+		st, ok := s.f.view.PageStat(p)
+		if !ok || st.Flags&footer.StatHasMinMax == 0 {
+			excluded = false
+			return false
+		}
+		if (bf.min == nil || st.Max >= *bf.min) && (bf.max == nil || st.Min <= *bf.max) {
+			excluded = false
+			return false
+		}
+		return true
+	})
+	return excluded
+}
+
+// forEachPageInSpan visits the pages of column ci whose rows overlap span,
+// passing the global page index and the page's global row range. The
+// callback returns false to stop early.
+func (f *File) forEachPageInSpan(ci int, span rowSpan, fn func(p int, rowLo, rowHi uint64) bool) {
+	counts := f.GroupRowCounts()
+	// Binary-search the first group overlapping the span; it is called per
+	// batch per column, so a linear walk from group 0 would make full
+	// scans quadratic in the group count.
+	g0 := sort.Search(len(counts), func(g int) bool {
+		return f.groupStarts[g]+uint64(counts[g]) > span.lo
+	})
+	for g := g0; g < f.view.NumGroups(); g++ {
+		groupStart := f.groupStarts[g]
+		if groupStart >= span.hi {
+			return
+		}
+		first, count := f.view.ChunkPages(g, ci)
+		pageStart := groupStart
+		for p := first; p < first+count; p++ {
+			pageEnd := pageStart + uint64(f.view.PageRows(p))
+			if pageEnd > span.lo && pageStart < span.hi {
+				if !fn(p, pageStart, pageEnd) {
+					return
+				}
+			}
+			if pageEnd >= span.hi {
+				return
+			}
+			pageStart = pageEnd
+		}
+	}
+}
+
+func (f *File) countPagesInSpan(ci int, span rowSpan) int {
+	n := 0
+	f.forEachPageInSpan(ci, span, func(int, uint64, uint64) bool { n++; return true })
+	return n
+}
+
+// start launches the producer and the decode pool.
+func (s *Scanner) start() {
+	s.tasks = make(chan scanTask)
+	s.ready = make(chan *scanSlot, s.workers+1)
+	s.sem = make(chan struct{}, s.workers+1)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(s.tasks)
+		for i, span := range s.batches {
+			select {
+			case s.sem <- struct{}{}:
+			case <-s.stop:
+				return
+			}
+			slot := &scanSlot{idx: i, span: span, cols: make([]ColumnData, len(s.cols))}
+			slot.remaining.Store(int32(len(s.cols)))
+			for c := range s.cols {
+				select {
+				case s.tasks <- scanTask{slot: slot, col: c}:
+				case <-s.stop:
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < s.workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for task := range s.tasks {
+				data, err := s.decodeColumnSpan(s.cols[task.col], task.slot.span)
+				if err != nil {
+					task.slot.setErr(err)
+				} else {
+					task.slot.cols[task.col] = data
+				}
+				if task.slot.remaining.Add(-1) == 0 {
+					select {
+					case s.ready <- task.slot:
+					case <-s.stop:
+						return
+					}
+				}
+			}
+		}()
+	}
+}
+
+// Next returns the next batch in file order, or io.EOF when the scan is
+// exhausted. The returned batch is owned by the caller.
+func (s *Scanner) Next() (*Batch, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	if s.closed {
+		return nil, fmt.Errorf("core: scanner closed")
+	}
+	for {
+		if s.next >= len(s.batches) {
+			return nil, io.EOF
+		}
+		if slot, ok := s.pending[s.next]; ok {
+			delete(s.pending, s.next)
+			s.next++
+			<-s.sem
+			if slot.err != nil {
+				s.failed = slot.err
+				s.shutdown()
+				return nil, slot.err
+			}
+			s.batchesOut++
+			s.rowsOut += int64(slot.cols[0].Len())
+			return &Batch{Schema: s.schema, Columns: slot.cols}, nil
+		}
+		slot := <-s.ready
+		s.pending[slot.idx] = slot
+	}
+}
+
+// decodeColumnSpan reads and decodes rows [span.lo, span.hi) of column ci,
+// filtering deleted rows. Pages of one column chunk are physically
+// contiguous, so each overlapping per-group run costs one ReadAt.
+func (s *Scanner) decodeColumnSpan(ci int, span rowSpan) (ColumnData, error) {
+	f := s.f
+	field := f.FieldByIndex(ci)
+	var out ColumnData
+
+	// Collect maximal runs of index-adjacent pages; global pages are laid
+	// out densely, so index adjacency is byte adjacency and each run costs
+	// one ReadAt. Within a group a column's pages are adjacent; across
+	// groups the column's next chunk starts a fresh run.
+	type pageRun struct {
+		first, last   int // global page indices, inclusive
+		firstRowStart uint64
+	}
+	var runs []pageRun
+	f.forEachPageInSpan(ci, span, func(p int, rowLo, _ uint64) bool {
+		if n := len(runs); n > 0 && runs[n-1].last == p-1 {
+			runs[n-1].last = p
+			return true
+		}
+		runs = append(runs, pageRun{first: p, last: p, firstRowStart: rowLo})
+		return true
+	})
+
+	for _, run := range runs {
+		off := int64(f.view.PageOffset(run.first))
+		_, end := f.pageByteRange(run.last)
+		buf := make([]byte, end-off)
+		if _, err := f.r.ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("core: reading pages %d-%d of column %q: %w",
+				run.first, run.last, field.Name, err)
+		}
+		s.bytesRead.Add(int64(len(buf)))
+		rowStart := run.firstRowStart
+		for p := run.first; p <= run.last; p++ {
+			pOff, pEnd := f.pageByteRange(p)
+			logical := f.view.PageRows(p)
+			data, err := decodePage(field, buf[pOff-off:pEnd-off], logical)
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
+			}
+			s.pagesDecoded.Add(1)
+			rowEnd := rowStart + uint64(logical)
+
+			// Clip to the span, then drop deleted rows (only when any
+			// exist — the common clean page is appended as-is).
+			clipLo, clipHi := 0, logical
+			if rowStart < span.lo {
+				clipLo = int(span.lo - rowStart)
+			}
+			if rowEnd > span.hi {
+				clipHi = logical - int(rowEnd-span.hi)
+			}
+			if clipLo != 0 || clipHi != logical {
+				data = sliceColumn(data, clipLo, clipHi)
+			}
+			clipStart := rowStart + uint64(clipLo)
+			if f.deletedInRange(clipStart, rowStart+uint64(clipHi)) > 0 {
+				data = filterDeleted(data, f.view, clipStart, clipHi-clipLo)
+			}
+			out = appendColumn(out, data)
+			rowStart = rowEnd
+		}
+	}
+	if out == nil {
+		out = emptyColumn(field)
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the scan's physical work so far.
+func (s *Scanner) Stats() ScanStats {
+	return ScanStats{
+		BytesRead:      s.bytesRead.Load(),
+		PagesDecoded:   s.pagesDecoded.Load(),
+		PagesSkipped:   s.pagesSkipped,
+		BatchesEmitted: s.batchesOut,
+		BatchesSkipped: s.batchesSkip,
+		RowsEmitted:    s.rowsOut,
+	}
+}
+
+// NumBatches returns the number of batches the scan will emit (after
+// range, deletion, and zone-map pruning).
+func (s *Scanner) NumBatches() int { return len(s.batches) }
+
+// Schema returns the projected schema, in output column order.
+func (s *Scanner) Schema() *Schema { return s.schema }
+
+// Close stops the decode pool. It is safe to call Close more than once,
+// and after a scan has returned io.EOF or an error.
+func (s *Scanner) Close() error {
+	if !s.closed {
+		s.closed = true
+		s.shutdown()
+	}
+	return nil
+}
+
+func (s *Scanner) shutdown() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		// Drain ready so no worker stays blocked on a full channel.
+		go func() {
+			for range s.ready {
+			}
+		}()
+		s.wg.Wait()
+		close(s.ready)
+	})
+}

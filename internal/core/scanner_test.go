@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// drainScanner collects every batch of a scan into one concatenated
+// column set.
+func drainScanner(t *testing.T, sc *Scanner) []ColumnData {
+	t.Helper()
+	var out []ColumnData
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			out = make([]ColumnData, len(batch.Columns))
+		}
+		for i, c := range batch.Columns {
+			out[i] = appendColumn(out[i], c)
+		}
+	}
+}
+
+// scanEquivalence verifies Scan output matches Project for the given
+// options, across every column of the full-type test schema.
+func scanEquivalence(t *testing.T, workers, batchRows int) {
+	t.Helper()
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(41))
+	batch := testBatch(t, schema, rng, 5000)
+	_, f := writeTestFile(t, schema, batch, &Options{RowsPerPage: 256, GroupRows: 1500, Compliance: Level1})
+
+	names := make([]string, len(schema.Fields))
+	for i, fd := range schema.Fields {
+		names[i] = fd.Name
+	}
+	want, err := f.Project(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := f.Scan(ScanOptions{Columns: names, Workers: workers, BatchRows: batchRows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	got := drainScanner(t, sc)
+	for i := range want.Columns {
+		if !reflect.DeepEqual(got[i], want.Columns[i]) {
+			t.Errorf("workers=%d batch=%d: column %q differs from Project",
+				workers, batchRows, names[i])
+		}
+	}
+}
+
+func TestScanMatchesProject(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		for _, batchRows := range []int{97, 256, 1024, 100000} {
+			t.Run(fmt.Sprintf("w%d_b%d", workers, batchRows), func(t *testing.T) {
+				scanEquivalence(t, workers, batchRows)
+			})
+		}
+	}
+}
+
+func TestScanDefaultsAllColumns(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(5))
+	batch := testBatch(t, schema, rng, 1200)
+	_, f := writeTestFile(t, schema, batch, nil)
+
+	sc, err := f.Scan(ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if got := len(sc.Schema().Fields); got != len(schema.Fields) {
+		t.Fatalf("default projection has %d fields, want %d", got, len(schema.Fields))
+	}
+	got := drainScanner(t, sc)
+	if got[0].Len() != 1200 {
+		t.Fatalf("scanned %d rows, want 1200", got[0].Len())
+	}
+	st := sc.Stats()
+	if st.RowsEmitted != 1200 || st.BatchesEmitted == 0 || st.BytesRead == 0 || st.PagesDecoded == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(17))
+	batch := testBatch(t, schema, rng, 4000)
+	_, f := writeTestFile(t, schema, batch, &Options{RowsPerPage: 128, GroupRows: 1024, Compliance: Level1})
+
+	lo, hi := uint64(300), uint64(2600)
+	want, err := f.ReadRows(0, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Scan(ScanOptions{Columns: []string{"uid"}, Range: &RowRange{Lo: lo, Hi: hi}, Workers: 3, BatchRows: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	got := drainScanner(t, sc)
+	if !reflect.DeepEqual(got[0], want) {
+		t.Fatal("ranged scan differs from ReadRows")
+	}
+
+	if _, err := f.Scan(ScanOptions{Range: &RowRange{Lo: 10, Hi: 5}}); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := f.Scan(ScanOptions{Range: &RowRange{Lo: 0, Hi: 4001}}); err == nil {
+		t.Fatal("out-of-bounds range accepted")
+	}
+	if _, err := f.Scan(ScanOptions{Columns: []string{"nope"}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := f.Scan(ScanOptions{Filters: []ColumnFilter{{Column: "nope"}}}); err == nil {
+		t.Fatal("unknown filter column accepted")
+	}
+}
+
+// TestScanZoneMapPruning writes a uid column that increases monotonically,
+// so page min/max zone maps make out-of-band filters prune every batch.
+func TestScanZoneMapPruning(t *testing.T) {
+	schema, err := NewSchema(
+		Field{Name: "uid", Type: Type{Kind: Int64}},
+		Field{Name: "payload", Type: Type{Kind: Int64}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8192
+	uid := make(Int64Data, n)
+	payload := make(Int64Data, n)
+	for i := range uid {
+		uid[i] = int64(i)
+		payload[i] = int64(i) * 3
+	}
+	b, err := NewBatch(schema, []ColumnData{uid, payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f := writeTestFile(t, schema, b, &Options{RowsPerPage: 512, GroupRows: 4096, Compliance: Level1})
+
+	lo, hi := int64(6000), int64(6500)
+	sc, err := f.Scan(ScanOptions{
+		BatchRows: 512,
+		Filters:   []ColumnFilter{{Column: "uid", Min: &lo, Max: &hi}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	got := drainScanner(t, sc)
+	st := sc.Stats()
+	if st.BatchesSkipped == 0 || st.PagesSkipped == 0 {
+		t.Fatalf("expected zone-map pruning, stats: %+v", st)
+	}
+	// Every row in [6000, 6500] must survive (pruning is conservative).
+	seen := map[int64]bool{}
+	for _, v := range got[0].(Int64Data) {
+		seen[v] = true
+	}
+	for v := lo; v <= hi; v++ {
+		if !seen[v] {
+			t.Fatalf("row with uid=%d pruned away", v)
+		}
+	}
+	// With 512-row batches aligned to 512-row pages, exactly one page per
+	// column survives per overlapping batch: rows 6000..6500 span batches
+	// [5632,6144) and [6144,6656), i.e. 2 of 16 batches.
+	if st.BatchesEmitted != 2 {
+		t.Fatalf("emitted %d batches, want 2: %+v", st.BatchesEmitted, st)
+	}
+
+	// A filter below every uid prunes the whole scan before any I/O.
+	none := int64(-5)
+	sc2, err := f.Scan(ScanOptions{Filters: []ColumnFilter{{Column: "uid", Max: &none}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc2.Close()
+	if _, err := sc2.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if st := sc2.Stats(); st.BytesRead != 0 {
+		t.Fatalf("fully pruned scan read %d bytes", st.BytesRead)
+	}
+
+	// Filters on columns without zone maps (float64) must not prune.
+	schema2, _ := NewSchema(Field{Name: "score", Type: Type{Kind: Float64}})
+	score := make(Float64Data, 100)
+	b2, _ := NewBatch(schema2, []ColumnData{score})
+	_, f2 := writeTestFile(t, schema2, b2, nil)
+	big := int64(1 << 40)
+	sc3, err := f2.Scan(ScanOptions{Filters: []ColumnFilter{{Column: "score", Min: &big}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc3.Close()
+	if got := drainScanner(t, sc3); got[0].Len() != 100 {
+		t.Fatalf("statless column pruned: %d rows", got[0].Len())
+	}
+}
+
+// TestScanSkipsDeletedBatches deletes a dense row region and checks the
+// scan never reads its pages, while the remaining rows match Project.
+func TestScanSkipsDeletedBatches(t *testing.T) {
+	schema := deleteSchema(t)
+	batch := deleteBatch(t, schema, 6000)
+	mf, f := writeTestFile(t, schema, batch, &Options{RowsPerPage: 250, GroupRows: 2000, Compliance: Level1})
+
+	rows := make([]uint64, 0, 2000)
+	for r := uint64(2000); r < 4000; r++ {
+		rows = append(rows, r)
+	}
+	if err := f.DeleteRows(mf, rows); err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.Project("uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := f.Scan(ScanOptions{Columns: []string{"uid"}, BatchRows: 1000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	got := drainScanner(t, sc)
+	if !reflect.DeepEqual(got[0], want.Columns[0]) {
+		t.Fatal("scan over deleted file differs from Project")
+	}
+	if st := sc.Stats(); st.BatchesSkipped != 2 {
+		t.Fatalf("want 2 all-deleted batches skipped, got %+v", st)
+	}
+}
+
+// TestScanConcurrent runs many scanners over one *File from parallel
+// goroutines (exercised under -race in CI) without priming any caches.
+func TestScanConcurrent(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(23))
+	batch := testBatch(t, schema, rng, 3000)
+	_, f := writeTestFile(t, schema, batch, &Options{RowsPerPage: 200, GroupRows: 1000, Compliance: Level1})
+
+	want, err := f.Project("uid", "tag", "emb")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sc, err := f.Scan(ScanOptions{
+				Columns:   []string{"uid", "tag", "emb"},
+				Workers:   1 + seed%4,
+				BatchRows: 300 + 77*seed,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sc.Close()
+			var cols []ColumnData
+			for {
+				b, err := sc.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if cols == nil {
+					cols = make([]ColumnData, len(b.Columns))
+				}
+				for i, c := range b.Columns {
+					cols[i] = appendColumn(cols[i], c)
+				}
+			}
+			for i := range want.Columns {
+				if !reflect.DeepEqual(cols[i], want.Columns[i]) {
+					errs <- fmt.Errorf("goroutine %d: column %d differs", seed, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestScanCloseEarly(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(3))
+	batch := testBatch(t, schema, rng, 4000)
+	_, f := writeTestFile(t, schema, batch, &Options{RowsPerPage: 128, GroupRows: 1024, Compliance: Level1})
+
+	sc, err := f.Scan(ScanOptions{Workers: 4, BatchRows: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil { // double close is fine
+		t.Fatal(err)
+	}
+	if _, err := sc.Next(); err == nil {
+		t.Fatal("Next after Close succeeded")
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(9))
+	batch := testBatch(t, schema, rng, 100)
+	_, f := writeTestFile(t, schema, batch, nil)
+
+	sc, err := f.Scan(ScanOptions{Range: &RowRange{Lo: 50, Hi: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF on empty range, got %v", err)
+	}
+}
+
+// TestPageStatsRecorded checks the writer's zone maps directly.
+func TestPageStatsRecorded(t *testing.T) {
+	schema, err := NewSchema(
+		Field{Name: "v", Type: Type{Kind: Int64}},
+		Field{Name: "n", Type: Type{Kind: Int64}, Nullable: true},
+		Field{Name: "f", Type: Type{Kind: Float64}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	v := make(Int64Data, n)
+	nn := NullableInt64Data{Values: make([]int64, n), Valid: make([]bool, n)}
+	fl := make(Float64Data, n)
+	for i := 0; i < n; i++ {
+		v[i] = int64(i) - 100
+		nn.Valid[i] = i%2 == 0
+		nn.Values[i] = int64(i)
+		fl[i] = float64(i)
+	}
+	b, err := NewBatch(schema, []ColumnData{v, nn, fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f := writeTestFile(t, schema, b, &Options{RowsPerPage: 500, GroupRows: 1 << 16, Compliance: Level1})
+
+	// Page 0: column "v" rows 0..499 → [-100, 399].
+	st, ok := f.PageStats(0)
+	if !ok || st.Flags == 0 {
+		t.Fatalf("no stats for page 0: %+v ok=%v", st, ok)
+	}
+	if st.Min != -100 || st.Max != 399 || st.NullCount != 0 {
+		t.Fatalf("page 0 stats wrong: %+v", st)
+	}
+	// Pages 2,3: nullable column, 250 nulls per 500-row page.
+	st2, _ := f.PageStats(2)
+	if st2.NullCount != 250 || st2.Min != 0 || st2.Max != 498 {
+		t.Fatalf("nullable page stats wrong: %+v", st2)
+	}
+	// Pages 4,5: float64 → flagless entries.
+	st4, _ := f.PageStats(4)
+	if st4.Flags != 0 {
+		t.Fatalf("float page has flags %x", st4.Flags)
+	}
+}

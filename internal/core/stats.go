@@ -4,7 +4,65 @@ import (
 	"sort"
 
 	"bullion/internal/enc"
+	"bullion/internal/footer"
 )
+
+// PageStats is the per-page zone map recorded by the writer: min/max over
+// the page's non-null int64/int32 values plus the null count. Pages of
+// other types carry an empty (flagless) entry and are never skipped.
+type PageStats = footer.PageStat
+
+// PageStats returns the zone map of global page p, or ok=false when the
+// writer recorded no statistics section.
+func (f *File) PageStats(p int) (PageStats, bool) { return f.view.PageStat(p) }
+
+// computePageStats derives the zone map of one page's data before
+// encoding. Bounds cover the values as written; deletions only remove
+// rows, so they remain conservative bounds for the page's live rows.
+func computePageStats(data ColumnData) footer.PageStat {
+	switch d := data.(type) {
+	case Int64Data:
+		st := footer.PageStat{Flags: footer.StatHasNullCount}
+		if len(d) > 0 {
+			st.Flags |= footer.StatHasMinMax
+			st.Min, st.Max = d[0], d[0]
+			for _, v := range d[1:] {
+				if v < st.Min {
+					st.Min = v
+				}
+				if v > st.Max {
+					st.Max = v
+				}
+			}
+		}
+		return st
+	case NullableInt64Data:
+		st := footer.PageStat{Flags: footer.StatHasNullCount}
+		seen := false
+		for i, v := range d.Values {
+			if !d.Valid[i] {
+				st.NullCount++
+				continue
+			}
+			if !seen {
+				st.Min, st.Max = v, v
+				seen = true
+				continue
+			}
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+		}
+		if seen {
+			st.Flags |= footer.StatHasMinMax
+		}
+		return st
+	}
+	return footer.PageStat{}
+}
 
 // ColumnStats summarizes one column's physical storage.
 type ColumnStats struct {

@@ -258,10 +258,12 @@ func (w *Writer) flushGroup(group []ColumnData, n int) error {
 			if hi > n {
 				hi = n
 			}
-			payload, scheme, err := encodePage(field, sliceColumn(col, lo, hi), w.opts)
+			page := sliceColumn(col, lo, hi)
+			payload, scheme, err := encodePage(field, page, w.opts)
 			if err != nil {
 				return fmt.Errorf("core: column %q: %w", field.Name, err)
 			}
+			w.ftr.PageStats = append(w.ftr.PageStats, computePageStats(page))
 			if w.opts.Compliance == Level2 {
 				// Reserve slack so masked re-encodes always fit in place.
 				payload = append(payload, make([]byte, level2Slack(len(payload)))...)

@@ -154,15 +154,16 @@ func decodeSparseBools(src []byte, n int) ([]bool, error) {
 			out[i] = true
 		}
 	}
-	pos := 0
+	pos := uint64(0)
 	for i := uint64(0); i < nPos; i++ {
 		d, sz := binary.Uvarint(src)
 		if sz <= 0 {
 			return nil, corruptf("sparsebool: truncated positions")
 		}
 		src = src[sz:]
-		pos += int(d)
-		if pos >= n {
+		// Accumulate unsigned and reject wrap-around: a hostile delta must
+		// not turn into a negative index.
+		if pos += d; pos < d || pos >= uint64(n) {
 			return nil, corruptf("sparsebool: position %d out of range", pos)
 		}
 		out[pos] = rareIsTrue

@@ -11,7 +11,7 @@
 //
 //	Footer := magic "BFTR" version(u32) numRows(u64)
 //	          numColumns(u32) numGroups(u32) numPages(u32)
-//	          directory[14] of (offset u64, byteLen u64)
+//	          directory[15] of (offset u64, byteLen u64)
 //	          sections...
 //
 // Sections (faithful to the paper's BullionFooter fields, widened to u64
@@ -31,6 +31,9 @@
 //	11 name_offsets            u32[numColumns + 1]
 //	12 name_blob               bytes
 //	13 types                   u8[4*numColumns]
+//	14 page_stats              24 bytes per page (min i64, max i64,
+//	                           nullCount u32, flags u32) or empty when the
+//	                           writer recorded no statistics
 package footer
 
 import (
@@ -44,10 +47,14 @@ import (
 // Magic marks the start of a serialized footer.
 const Magic = "BFTR"
 
-// Version is the current footer format version.
-const Version = 1
+// Version is the current footer format version. Version 2 added the
+// page_stats section (min/max/null zone maps consumed by the scanner's
+// page-skipping path). This is a format break: the section directory
+// grew, so v1 footers are rejected rather than read without stats — no
+// v1 files exist outside this repository's own history.
+const Version = 2
 
-const numSections = 14
+const numSections = 15
 
 const (
 	secPageCompression = iota
@@ -64,7 +71,28 @@ const (
 	secNameOffsets
 	secNameBlob
 	secTypes
+	secPageStats
 )
+
+// PageStatSize is the fixed on-disk size of one PageStat entry.
+const PageStatSize = 24
+
+// PageStat flag bits.
+const (
+	// StatHasMinMax marks Min/Max as valid bounds over the page's non-null
+	// values (in int64 order; Float32/Float64 pages never set it).
+	StatHasMinMax = 1 << 0
+	// StatHasNullCount marks NullCount as valid.
+	StatHasNullCount = 1 << 1
+)
+
+// PageStat is the per-page zone map: value bounds and null count. A page
+// whose flags are zero carries no usable statistics and is never skipped.
+type PageStat struct {
+	Min, Max  int64
+	NullCount uint32
+	Flags     uint32
+}
 
 // headerSize is the fixed prefix before the sections begin:
 // magic, version, flags, numRows, numColumns, numGroups, numPages,
@@ -161,6 +189,9 @@ type Footer struct {
 	DeletionVec     []uint64
 	Checksums       []uint64 // page leaves, then group hashes, then root
 	Columns         []Column
+	// PageStats holds one zone map per page (global page order). Either
+	// empty (no statistics recorded) or exactly one entry per page.
+	PageStats []PageStat
 }
 
 // NameHash is the hash used by the column-name index.
@@ -192,6 +223,9 @@ func (f *Footer) Marshal() ([]byte, error) {
 	}
 	if want := nPages + f.NumGroups + 1; len(f.Checksums) != want {
 		return nil, fmt.Errorf("footer: %d checksums, want %d", len(f.Checksums), want)
+	}
+	if len(f.PageStats) != 0 && len(f.PageStats) != nPages {
+		return nil, fmt.Errorf("footer: %d page stats, want 0 or %d", len(f.PageStats), nPages)
 	}
 
 	// Name index, offsets, blob.
@@ -231,6 +265,7 @@ func (f *Footer) Marshal() ([]byte, error) {
 		secNameOffsets:     4 * (f.NumColumns + 1),
 		secNameBlob:        len(blob),
 		secTypes:           4 * f.NumColumns,
+		secPageStats:       PageStatSize * len(f.PageStats),
 	}
 	total := headerSize
 	var offsets [numSections]int
@@ -276,6 +311,13 @@ func (f *Footer) Marshal() ([]byte, error) {
 		out[p+1] = byte(c.Type.Elem)
 		out[p+2] = c.Type.Quant
 		out[p+3] = c.Type.Flags
+	}
+	for i, st := range f.PageStats {
+		p := offsets[secPageStats] + PageStatSize*i
+		le.PutUint64(out[p:], uint64(st.Min))
+		le.PutUint64(out[p+8:], uint64(st.Max))
+		le.PutUint32(out[p+16:], st.NullCount)
+		le.PutUint32(out[p+20:], st.Flags)
 	}
 	return out, nil
 }

@@ -78,6 +78,11 @@ func OpenView(buf []byte) (*View, error) {
 				ErrCorrupt, c.sec, v.size[c.sec], c.want)
 		}
 	}
+	// Page stats are optional: absent entirely or one entry per page.
+	if s := v.size[secPageStats]; s != 0 && s != PageStatSize*v.numPages {
+		return nil, fmt.Errorf("%w: page-stats section is %d bytes, want 0 or %d",
+			ErrCorrupt, s, PageStatSize*v.numPages)
+	}
 	return v, nil
 }
 
@@ -202,6 +207,26 @@ func (v *View) RowDeleted(r uint64) bool {
 	return v.u64(secDeletionVec, w)&(1<<(r&63)) != 0
 }
 
+// HasPageStats reports whether the file recorded per-page zone maps.
+func (v *View) HasPageStats() bool { return v.size[secPageStats] != 0 }
+
+// PageStat returns the zone map of global page p. ok is false when the
+// writer recorded no statistics section; a present entry may still have
+// zero flags (no usable bounds for that page).
+func (v *View) PageStat(p int) (PageStat, bool) {
+	if !v.HasPageStats() {
+		return PageStat{}, false
+	}
+	base := v.off[secPageStats] + PageStatSize*p
+	le := binary.LittleEndian
+	return PageStat{
+		Min:       int64(le.Uint64(v.buf[base:])),
+		Max:       int64(le.Uint64(v.buf[base+8:])),
+		NullCount: le.Uint32(v.buf[base+16:]),
+		Flags:     le.Uint32(v.buf[base+20:]),
+	}, true
+}
+
 // Checksum returns entry i of the checksum section (pages, then groups,
 // then root).
 func (v *View) Checksum(i int) uint64 { return v.u64(secChecksums, i) }
@@ -256,6 +281,12 @@ func (v *View) Materialize() (*Footer, error) {
 	}
 	for i := range f.Columns {
 		f.Columns[i] = Column{Name: v.ColumnName(i), Type: v.ColumnType(i)}
+	}
+	if v.HasPageStats() {
+		f.PageStats = make([]PageStat, v.numPages)
+		for i := range f.PageStats {
+			f.PageStats[i], _ = v.PageStat(i)
+		}
 	}
 	return f, nil
 }

@@ -1,0 +1,170 @@
+package bullion
+
+// Streaming-scan benchmarks: the whole-column Project path (decode on the
+// calling goroutine, one column at a time) against the batch-streaming
+// Scanner at 1/4/8 workers, over a 64-column feature table. Two storage
+// models bracket the regimes the paper targets:
+//
+//   - in-memory (page-cache-hot local file): decode-bound, so the Scanner
+//     win tracks available cores;
+//   - "blob": every ReadAt carries fixed latency (object storage / cold
+//     NVMe). Scanner workers overlap reads with each other and with
+//     decode, so the win appears even on a single core.
+//
+// Recorded in BENCH_scan.json (see that file for the capture command).
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+const (
+	scanBenchCols    = 64
+	scanBenchRows    = 32768
+	scanBenchGroup   = 8192 // 4 row groups
+	scanBenchLatency = time.Millisecond
+)
+
+var scanBench struct {
+	once  sync.Once
+	file  *benchFile
+	names []string
+}
+
+// scanBenchFile writes the shared 64-column table once per process.
+func scanBenchFile(b *testing.B) (*benchFile, []string) {
+	b.Helper()
+	scanBench.once.Do(func() {
+		rng := rand.New(rand.NewSource(1759))
+		fields := make([]Field, scanBenchCols)
+		cols := make([]ColumnData, scanBenchCols)
+		names := make([]string, scanBenchCols)
+		for c := 0; c < scanBenchCols; c++ {
+			names[c] = fmt.Sprintf("feat_%03d", c)
+			fields[c] = Field{Name: names[c], Type: Type{Kind: Int64}}
+			vals := make(Int64Data, scanBenchRows)
+			for r := range vals {
+				vals[r] = rng.Int63n(1 << 20)
+			}
+			cols[c] = vals
+		}
+		schema, err := NewSchema(fields...)
+		if err != nil {
+			panic(err)
+		}
+		batch, err := NewBatch(schema, cols)
+		if err != nil {
+			panic(err)
+		}
+		mf := &benchFile{}
+		w, err := NewWriter(mf, schema, &Options{
+			RowsPerPage: 1024,
+			GroupRows:   scanBenchGroup,
+			Compliance:  Level1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := w.Write(batch); err != nil {
+			panic(err)
+		}
+		if err := w.Close(); err != nil {
+			panic(err)
+		}
+		scanBench.file = mf
+		scanBench.names = names
+	})
+	return scanBench.file, scanBench.names
+}
+
+// latencyReaderAt adds a fixed delay to every ReadAt — a first-order
+// model of blob-storage TTFB. Sleeping goroutines release the CPU, so
+// concurrent readers genuinely overlap.
+type latencyReaderAt struct {
+	r io.ReaderAt
+	d time.Duration
+}
+
+func (l *latencyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(l.d)
+	return l.r.ReadAt(p, off)
+}
+
+func openScanBench(b *testing.B, latency time.Duration) (*File, []string) {
+	b.Helper()
+	mf, names := scanBenchFile(b)
+	var r io.ReaderAt = mf
+	if latency > 0 {
+		r = &latencyReaderAt{r: mf, d: latency}
+	}
+	f, err := Open(r, mf.Size())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, names
+}
+
+func reportScanRate(b *testing.B) {
+	rows := float64(scanBenchRows) * float64(b.N)
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/sec")
+}
+
+func benchWholeColumn(b *testing.B, latency time.Duration) {
+	f, names := openScanBench(b, latency)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch, err := f.Project(names...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if batch.NumRows() != scanBenchRows {
+			b.Fatalf("projected %d rows", batch.NumRows())
+		}
+	}
+	reportScanRate(b)
+}
+
+func benchStreaming(b *testing.B, workers int, latency time.Duration) {
+	f, names := openScanBench(b, latency)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := f.Scan(ScanOptions{
+			Columns:   names,
+			Workers:   workers,
+			BatchRows: 8192,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for {
+			batch, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += batch.NumRows()
+		}
+		sc.Close()
+		if rows != scanBenchRows {
+			b.Fatalf("scanned %d rows", rows)
+		}
+	}
+	reportScanRate(b)
+}
+
+func BenchmarkScanWholeColumn(b *testing.B) { benchWholeColumn(b, 0) }
+func BenchmarkScanStreaming1(b *testing.B)  { benchStreaming(b, 1, 0) }
+func BenchmarkScanStreaming4(b *testing.B)  { benchStreaming(b, 4, 0) }
+func BenchmarkScanStreaming8(b *testing.B)  { benchStreaming(b, 8, 0) }
+
+func BenchmarkScanWholeColumnBlob(b *testing.B) { benchWholeColumn(b, scanBenchLatency) }
+func BenchmarkScanStreamingBlob1(b *testing.B)  { benchStreaming(b, 1, scanBenchLatency) }
+func BenchmarkScanStreamingBlob4(b *testing.B)  { benchStreaming(b, 4, scanBenchLatency) }
+func BenchmarkScanStreamingBlob8(b *testing.B)  { benchStreaming(b, 8, scanBenchLatency) }
