@@ -60,6 +60,48 @@
 // planned, all-deleted batches are dropped, and ColumnFilter zone
 // predicates skip batches whose footer min/max page statistics prove no
 // match (int64/int32 columns; pruning is page-granular and conservative).
+//
+// # Writing at scale
+//
+// The write path is a pipeline, mirroring the streaming scan: the calling
+// goroutine only assembles row groups (batch buffering, §2.5 quality
+// presorting); each full group's columns are encoded as independent tasks
+// — cascade selection, page encoding, zone-map statistics, Merkle leaf
+// hashes — on a worker pool, while a single serializer goroutine writes
+// finished groups to the file strictly in order:
+//
+//	w, _ := bullion.Create("ads.bln", schema, &bullion.Options{
+//	    EncodeWorkers:     0, // encode parallelism; 0 = GOMAXPROCS
+//	    MaxInflightGroups: 0, // memory bound; 0 = EncodeWorkers + 2
+//	})
+//	for batch := range batches {
+//	    if err := w.Write(batch); err != nil { // full groups encode behind Write
+//	        return err
+//	    }
+//	}
+//	if err := w.Close(); err != nil { // drains the pipeline, writes the footer
+//	    return err
+//	}
+//
+// Always Close a writer, even when abandoning the file after an unrelated
+// error: Close (or a failed Write) is what stops the pipeline's encode and
+// serializer goroutines.
+//
+// Output bytes are identical at every EncodeWorkers setting: each column's
+// pages are encoded in file order and the serializer alone assigns
+// offsets, so worker scheduling never reaches the file layout. Writer
+// errors are sticky — after any encode or write failure every subsequent
+// Write/Close returns the original error and no footer is written, so a
+// failed file can never look complete.
+//
+// Cascade selection itself is amortized (the LEA-style advisor pattern):
+// each column remembers its chosen scheme per stream and reuses it for
+// subsequent pages, re-running the §2.6 sampling pass only when the
+// encoded-size ratio drifts past EncodingOptions.ResampleDrift (default
+// ±25% relative). Set ResampleDrift negative to re-select on every page
+// (the pre-pipeline behavior); Writer.SelectorStats reports the realized
+// reuse. Sparse (§2.2) columns use their own composite codec and bypass
+// the selector cache.
 package bullion
 
 import (
@@ -181,7 +223,8 @@ func NewBatch(schema *Schema, columns []ColumnData) (*Batch, error) {
 }
 
 // DefaultOptions returns the writer defaults: 1024-row pages, 64Ki-row
-// groups, compliance Level 2, the default cascade.
+// groups, compliance Level 2, the default cascade, GOMAXPROCS encode
+// workers.
 func DefaultOptions() *Options { return core.DefaultOptions() }
 
 // DefaultEncodingOptions returns the default cascade selector settings.
@@ -216,8 +259,14 @@ func Create(path string, schema *Schema, opts *Options) (*Writer, error) {
 	return &Writer{cw: cw, file: f}, nil
 }
 
-// Write appends a batch.
+// Write appends a batch. Full row groups are encoded on the writer's
+// worker pool behind this call; an error from a previous group's encode
+// or write surfaces here (sticky).
 func (w *Writer) Write(batch *Batch) error { return w.cw.Write(batch) }
+
+// SelectorStats reports cascade-selector cache reuse (decisions reused vs
+// full sampling passes) across all columns. Call it after Close.
+func (w *Writer) SelectorStats() (hits, resamples int64) { return w.cw.SelectorStats() }
 
 // Close flushes buffered rows, writes the footer, and closes the file when
 // the writer owns one.

@@ -49,8 +49,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The ingest pipeline encodes the 5,000 column chunks as independent
+	// tasks on a GOMAXPROCS worker pool (EncodeWorkers: 0); the file bytes
+	// are identical at any worker count.
+	opts := bullion.DefaultOptions()
+	opts.EncodeWorkers = 0
 	start := time.Now()
-	w, err := bullion.Create(path, schema, nil)
+	w, err := bullion.Create(path, schema, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,9 +65,11 @@ func main() {
 	if err := w.Close(); err != nil {
 		log.Fatal(err)
 	}
+	ingestTime := time.Since(start)
 	st, _ := os.Stat(path)
-	fmt.Printf("wrote %d columns x %d rows in %v (%d bytes)\n",
-		nCols, nRows, time.Since(start).Round(time.Millisecond), st.Size())
+	fmt.Printf("wrote %d columns x %d rows in %v (%d bytes, %.0f rows/sec)\n",
+		nCols, nRows, ingestTime.Round(time.Millisecond), st.Size(),
+		float64(nRows)/ingestTime.Seconds())
 
 	// A training job projects 10 features (0.2% of the schema).
 	want := []string{

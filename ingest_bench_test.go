@@ -1,0 +1,144 @@
+package bullion
+
+// Ingest benchmarks: the pipelined parallel write path against the seed's
+// sequential design, over the same 64-column widetable workload the scan
+// benchmarks use. The baseline configuration reproduces the pre-pipeline
+// writer: one encode worker and per-page cascade selection (selector
+// cache disabled). BenchmarkIngest{1,4,8} run the pipeline with the
+// per-column selector cache at 1/4/8 encode workers. Two storage models
+// bracket the regimes:
+//
+//   - in-memory sink: encode-bound, so the win comes from amortized
+//     cascade selection plus (on multi-core hosts) parallel column encode;
+//   - "blob": every Write carries fixed latency (object-storage PUT /
+//     cold NVMe). The serializer goroutine absorbs that latency while
+//     encode workers keep running, so pipelining wins even on one core.
+//
+// Recorded in BENCH_ingest.json (see that file for the capture command).
+// All configurations emit byte-identical files — asserted per iteration.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+const (
+	ingestBenchCols    = 64
+	ingestBenchRows    = 32768
+	ingestBenchGroup   = 8192 // 4 row groups
+	ingestBenchBatch   = 4096
+	ingestBenchLatency = time.Millisecond
+)
+
+var ingestBench struct {
+	once    sync.Once
+	schema  *Schema
+	batches []*Batch
+	size    int64 // encoded size, fixed by determinism
+}
+
+// ingestBenchData builds the widetable batches once per process.
+func ingestBenchData(b *testing.B) (*Schema, []*Batch) {
+	b.Helper()
+	ingestBench.once.Do(func() {
+		rng := rand.New(rand.NewSource(1759))
+		fields := make([]Field, ingestBenchCols)
+		cols := make([]ColumnData, ingestBenchCols)
+		for c := 0; c < ingestBenchCols; c++ {
+			fields[c] = Field{Name: fmt.Sprintf("feat_%03d", c), Type: Type{Kind: Int64}}
+			vals := make(Int64Data, ingestBenchRows)
+			for r := range vals {
+				vals[r] = rng.Int63n(1 << 20)
+			}
+			cols[c] = vals
+		}
+		schema, err := NewSchema(fields...)
+		if err != nil {
+			panic(err)
+		}
+		for lo := 0; lo < ingestBenchRows; lo += ingestBenchBatch {
+			bcols := make([]ColumnData, ingestBenchCols)
+			for c := range bcols {
+				bcols[c] = cols[c].(Int64Data)[lo : lo+ingestBenchBatch]
+			}
+			batch, err := NewBatch(schema, bcols)
+			if err != nil {
+				panic(err)
+			}
+			ingestBench.batches = append(ingestBench.batches, batch)
+		}
+		ingestBench.schema = schema
+	})
+	return ingestBench.schema, ingestBench.batches
+}
+
+// latencyWriter adds a fixed delay to every Write — a first-order model
+// of per-request blob-storage latency. Sleeping releases the CPU, so the
+// encode workers genuinely overlap with the serializer's writes.
+type latencyWriter struct {
+	n int64
+	d time.Duration
+}
+
+func (l *latencyWriter) Write(p []byte) (int, error) {
+	if l.d > 0 {
+		time.Sleep(l.d)
+	}
+	l.n += int64(len(p))
+	return len(p), nil
+}
+
+func benchIngest(b *testing.B, workers int, cache bool, latency time.Duration) {
+	schema, batches := ingestBenchData(b)
+	opts := &Options{
+		RowsPerPage:   1024,
+		GroupRows:     ingestBenchGroup,
+		Compliance:    Level1,
+		EncodeWorkers: workers,
+	}
+	if !cache {
+		opts.Enc = DefaultEncodingOptions()
+		opts.Enc.ResampleDrift = -1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := &latencyWriter{d: latency}
+		w, err := NewWriter(sink, schema, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			if err := w.Write(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		// Determinism guard: every cached configuration must emit the
+		// same bytes regardless of worker count.
+		if cache {
+			if ingestBench.size == 0 {
+				ingestBench.size = sink.n
+			} else if sink.n != ingestBench.size {
+				b.Fatalf("encoded size %d != %d: output depends on configuration", sink.n, ingestBench.size)
+			}
+		}
+	}
+	rows := float64(ingestBenchRows) * float64(b.N)
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/sec")
+}
+
+// The single-threaded baseline reproduces the seed's write path: one
+// encode worker, full cascade selection on every page.
+func BenchmarkIngestBaseline(b *testing.B) { benchIngest(b, 1, false, 0) }
+func BenchmarkIngest1(b *testing.B)        { benchIngest(b, 1, true, 0) }
+func BenchmarkIngest4(b *testing.B)        { benchIngest(b, 4, true, 0) }
+func BenchmarkIngest8(b *testing.B)        { benchIngest(b, 8, true, 0) }
+
+func BenchmarkIngestBlobBaseline(b *testing.B) { benchIngest(b, 1, false, ingestBenchLatency) }
+func BenchmarkIngestBlob1(b *testing.B)        { benchIngest(b, 1, true, ingestBenchLatency) }
+func BenchmarkIngestBlob8(b *testing.B)        { benchIngest(b, 8, true, ingestBenchLatency) }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzWriterRoundTrip drives the pipelined writer across odd
+// GroupRows/RowsPerPage boundaries (1 row, group-1, group, group+1, …)
+// and asserts that a streaming Scan reproduces the input exactly. The
+// corpus pins the boundary cases; the fuzzer then explores the rest of
+// the (rows, groupRows, rowsPerPage, workers, seed) space.
+func FuzzWriterRoundTrip(f *testing.F) {
+	const g = 64 // baseline group size for the seeded boundaries
+	f.Add(uint16(1), uint16(g), uint16(16), uint8(1), int64(1))
+	f.Add(uint16(g-1), uint16(g), uint16(16), uint8(4), int64(2))
+	f.Add(uint16(g), uint16(g), uint16(16), uint8(8), int64(3))
+	f.Add(uint16(g+1), uint16(g), uint16(16), uint8(2), int64(4))
+	f.Add(uint16(3*g+7), uint16(g), uint16(17), uint8(3), int64(5))
+	f.Add(uint16(200), uint16(1), uint16(1), uint8(4), int64(6)) // 1-row groups
+	f.Add(uint16(97), uint16(13), uint16(5), uint8(0), int64(7)) // nothing aligns
+
+	f.Fuzz(func(t *testing.T, rows, groupRows, rowsPerPage uint16, workers uint8, seed int64) {
+		nRows := int(rows)%2048 + 1
+		gr := int(groupRows)%512 + 1
+		rpp := int(rowsPerPage)%512 + 1
+
+		schema, err := NewSchema(
+			Field{Name: "id", Type: Type{Kind: Int64}},
+			Field{Name: "val", Type: Type{Kind: Int64}, Nullable: true},
+			Field{Name: "score", Type: Type{Kind: Float64}},
+			Field{Name: "tag", Type: Type{Kind: String}},
+			Field{Name: "seq", Type: Type{Kind: List, Elem: Int64}},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		id := make(Int64Data, nRows)
+		val := NullableInt64Data{Values: make([]int64, nRows), Valid: make([]bool, nRows)}
+		score := make(Float64Data, nRows)
+		tag := make(BytesData, nRows)
+		seq := make(ListInt64Data, nRows)
+		for i := 0; i < nRows; i++ {
+			id[i] = rng.Int63n(1 << 20)
+			val.Valid[i] = rng.Intn(4) != 0
+			if val.Valid[i] {
+				val.Values[i] = rng.Int63n(1000)
+			}
+			score[i] = float64(rng.Intn(5000)) / 16
+			tag[i] = []byte([]string{"a", "bb", "ccc", ""}[rng.Intn(4)])
+			lst := make([]int64, rng.Intn(4))
+			for j := range lst {
+				lst[j] = rng.Int63n(256)
+			}
+			seq[i] = lst
+		}
+		batch, err := NewBatch(schema, []ColumnData{id, val, score, tag, seq})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, schema, &Options{
+			RowsPerPage:   rpp,
+			GroupRows:     gr,
+			Compliance:    Level2,
+			EncodeWorkers: int(workers) % 9, // 0 = GOMAXPROCS
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		file, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if file.NumRows() != uint64(nRows) {
+			t.Fatalf("file has %d rows, want %d", file.NumRows(), nRows)
+		}
+		sc, err := file.Scan(ScanOptions{
+			Columns:   []string{"id", "val", "score", "tag", "seq"},
+			BatchRows: rpp + 1, // deliberately misaligned with pages
+			Workers:   2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		var got []ColumnData
+		for {
+			b, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == nil {
+				got = make([]ColumnData, len(b.Columns))
+			}
+			for i, c := range b.Columns {
+				got[i] = appendColumn(got[i], c)
+			}
+		}
+		want := []ColumnData{id, val, score, tag, seq}
+		names := []string{"id", "val", "score", "tag", "seq"}
+		for i := range want {
+			compareFuzzColumn(t, names[i], got[i], want[i])
+		}
+	})
+}
+
+// compareFuzzColumn mirrors compareGoldenColumn: nullable columns compare
+// mask-aware (values under null slots are unspecified on disk), and a
+// nil scanned column is only legal for zero expected rows.
+func compareFuzzColumn(t *testing.T, name string, got, want ColumnData) {
+	t.Helper()
+	if got == nil {
+		if want.Len() != 0 {
+			t.Fatalf("column %q: scan returned nothing for %d rows", name, want.Len())
+		}
+		return
+	}
+	if g, ok := got.(NullableInt64Data); ok {
+		w := want.(NullableInt64Data)
+		if !reflect.DeepEqual(g.Valid, w.Valid) {
+			t.Fatalf("column %q: validity mask differs", name)
+		}
+		for i, v := range w.Valid {
+			if v && g.Values[i] != w.Values[i] {
+				t.Fatalf("column %q: row %d = %d, want %d", name, i, g.Values[i], w.Values[i])
+			}
+		}
+		return
+	}
+	// Scan normalizes empty list slots; compare element-wise via string
+	// form only when DeepEqual disagrees on empties.
+	if !reflect.DeepEqual(got, want) && !columnsEquivalent(got, want) {
+		t.Fatalf("column %q: scanned data differs from source", name)
+	}
+}
+
+// columnsEquivalent treats nil and empty list slots as equal.
+func columnsEquivalent(a, b ColumnData) bool {
+	ga, ok := a.(ListInt64Data)
+	if !ok {
+		return false
+	}
+	gb, ok := b.(ListInt64Data)
+	if !ok || len(ga) != len(gb) {
+		return false
+	}
+	for i := range ga {
+		if len(ga[i]) == 0 && len(gb[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(ga[i], gb[i]) {
+			return false
+		}
+	}
+	return true
+}

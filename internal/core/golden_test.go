@@ -77,9 +77,13 @@ func goldenTable(t *testing.T) (*Schema, *Batch, *Options) {
 	return schema, batch, &Options{RowsPerPage: 256, GroupRows: 1000, Compliance: Level2}
 }
 
-func marshalGolden(t *testing.T) []byte {
+// marshalGolden writes the golden table with the given encode-worker
+// count (0 = writer default, GOMAXPROCS).
+func marshalGolden(t *testing.T, workers int) []byte {
 	t.Helper()
 	schema, batch, opts := goldenTable(t)
+	opts = opts.clone()
+	opts.EncodeWorkers = workers
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, schema, opts)
 	if err != nil {
@@ -95,12 +99,21 @@ func marshalGolden(t *testing.T) []byte {
 }
 
 // TestGoldenFile pins the on-disk format: the writer must regenerate the
-// committed golden file byte-for-byte, and reading it back — via Project
-// and via the streaming Scanner — must reproduce the source table.
+// committed golden file byte-for-byte — sequentially AND through the
+// parallel ingest pipeline at 8 encode workers — and reading it back, via
+// Project and via the streaming Scanner, must reproduce the source table.
+// The committed file predates the pipelined writer and the selector
+// cache, so this test is also the proof that neither changed the format.
 func TestGoldenFile(t *testing.T) {
-	got := marshalGolden(t)
-	if again := marshalGolden(t); !bytes.Equal(got, again) {
+	got := marshalGolden(t, 0)
+	if again := marshalGolden(t, 0); !bytes.Equal(got, again) {
 		t.Fatal("writer is nondeterministic: two runs produced different bytes")
+	}
+	if w1 := marshalGolden(t, 1); !bytes.Equal(got, w1) {
+		t.Fatal("EncodeWorkers=1 output differs from the default writer")
+	}
+	if w8 := marshalGolden(t, 8); !bytes.Equal(got, w8) {
+		t.Fatal("EncodeWorkers=8 output differs from the default writer")
 	}
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bullion/internal/enc"
+)
+
+// failAfterWriter fails with errInjected once limit bytes have been
+// accepted — an io.Writer dying mid-group.
+type failAfterWriter struct {
+	buf     bytes.Buffer
+	limit   int
+	written int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.limit {
+		room := f.limit - f.written
+		if room > 0 {
+			f.buf.Write(p[:room])
+			f.written += room
+		}
+		return room, errInjected
+	}
+	f.buf.Write(p)
+	f.written += len(p)
+	return len(p), nil
+}
+
+// TestWriterStickyWriteError: a write failure mid-group must poison every
+// subsequent Write and Close with the original error, and no footer may
+// reach the output.
+func TestWriterStickyWriteError(t *testing.T) {
+	schema, batch, opts := goldenTable(t)
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			o := opts.clone()
+			o.EncodeWorkers = workers
+			// Fail inside the second row group's pages (groups are 1000
+			// rows; the first group of the golden table is ~30KB).
+			fw := &failAfterWriter{limit: 40000}
+			w, err := NewWriter(fw, schema, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := w.Write(batch)
+			if first == nil {
+				first = w.Close()
+			}
+			if !errors.Is(first, errInjected) {
+				t.Fatalf("got %v, want injected failure", first)
+			}
+			// Sticky: both entry points keep returning the original error.
+			if err := w.Write(batch); !errors.Is(err, errInjected) {
+				t.Fatalf("Write after failure = %v", err)
+			}
+			if err := w.Close(); !errors.Is(err, errInjected) {
+				t.Fatalf("Close after failure = %v", err)
+			}
+			// No partial footer: the truncated bytes must not open.
+			data := fw.buf.Bytes()
+			if _, err := Open(bytes.NewReader(data), int64(len(data))); err == nil {
+				t.Fatal("truncated file opened as a complete Bullion file")
+			}
+		})
+	}
+}
+
+// TestWriterErrorAtFooter: a failure injected in the footer region still
+// yields a sticky error and an unopenable file.
+func TestWriterErrorAtFooter(t *testing.T) {
+	schema, batch, opts := goldenTable(t)
+	// Measure the data region of a successful file, then fail ~100 bytes
+	// into the footer.
+	dataLen := 0
+	{
+		var buf bytes.Buffer
+		cw, err := NewWriter(&buf, schema, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Write(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		dataLen = int(cw.offset)
+	}
+	fw := &failAfterWriter{limit: dataLen + 100}
+	cw, err := NewWriter(fw, schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); !errors.Is(err, errInjected) {
+		t.Fatalf("Close = %v, want injected failure", err)
+	}
+	if err := cw.Close(); !errors.Is(err, errInjected) {
+		t.Fatalf("second Close = %v, want sticky injected failure", err)
+	}
+	data := fw.buf.Bytes()
+	if _, err := Open(bytes.NewReader(data), int64(len(data))); err == nil {
+		t.Fatal("file with truncated footer opened successfully")
+	}
+}
+
+// TestParallelWriterDeterminism: the pipelined writer must emit
+// byte-identical files at every worker count and in-flight bound.
+func TestParallelWriterDeterminism(t *testing.T) {
+	schema, batch, opts := goldenTable(t)
+	write := func(workers, inflight int) []byte {
+		o := opts.clone()
+		o.EncodeWorkers = workers
+		o.MaxInflightGroups = inflight
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, schema, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := write(1, 1)
+	for _, cfg := range [][2]int{{2, 2}, {4, 3}, {8, 0}, {0, 0}} {
+		if got := write(cfg[0], cfg[1]); !bytes.Equal(got, base) {
+			t.Fatalf("EncodeWorkers=%d MaxInflightGroups=%d produced different bytes (%d vs %d)",
+				cfg[0], cfg[1], len(got), len(base))
+		}
+	}
+}
+
+// TestSelectorCacheAmortizesAcrossGroups: on a multi-group file the
+// cascade must mostly reuse cached decisions, and disabling the cache
+// (negative ResampleDrift) must still produce a readable file.
+func TestSelectorCacheAmortizesAcrossGroups(t *testing.T) {
+	schema, batch, opts := goldenTable(t)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hits, resamples := w.SelectorStats()
+	if resamples == 0 || hits == 0 {
+		t.Fatalf("selector stats: %d hits, %d resamples", hits, resamples)
+	}
+	if hits < resamples {
+		t.Fatalf("cache barely amortizes: %d hits vs %d resamples", hits, resamples)
+	}
+
+	// Cache disabled: per-page selection, still a valid file.
+	off := opts.clone()
+	off.Enc = enc.DefaultOptions()
+	off.Enc.ResampleDrift = -1
+	var buf2 bytes.Buffer
+	w2, err := NewWriter(&buf2, schema, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h, r := w2.SelectorStats(); h != 0 || r != 0 {
+		t.Fatalf("disabled cache reported stats %d/%d", h, r)
+	}
+	f, err := Open(bytes.NewReader(buf2.Bytes()), int64(buf2.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadColumn("uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch.Columns[0]) {
+		t.Fatal("uncached file decodes differently")
+	}
+}
+
+// TestWriterRecycledBatchBuffer: Write copies the batch's top-level
+// column slices, so a caller may refill the same buffers for the next
+// batch even while earlier groups are still encoding asynchronously.
+func TestWriterRecycledBatchBuffer(t *testing.T) {
+	schema, err := NewSchema(Field{Name: "v", Type: Type{Kind: Int64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchRows, nBatches = 512, 16
+	buf := make(Int64Data, batchRows) // recycled across every Write
+	batch, err := NewBatch(schema, []ColumnData{buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	w, err := NewWriter(&out, schema, &Options{
+		RowsPerPage:   128,
+		GroupRows:     512, // every batch cuts (and dispatches) a group
+		Compliance:    Level1,
+		EncodeWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := 0; bi < nBatches; bi++ {
+		for r := range buf {
+			buf[r] = int64(bi*batchRows + r)
+		}
+		if err := w.Write(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(bytes.NewReader(out.Bytes()), int64(out.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadColumn("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := got.(Int64Data)
+	for i, v := range vals {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d, want %d: writer aliased the recycled batch buffer", i, v, i)
+		}
+	}
+}
+
+// TestWriterRejectsForeignSchemaTypes: a batch from a different schema
+// with the same column count but mismatched types must be rejected, not
+// panic in appendColumn.
+func TestWriterRejectsForeignSchemaTypes(t *testing.T) {
+	intSchema, err := NewSchema(Field{Name: "a", Type: Type{Kind: Int64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floatSchema, err := NewSchema(Field{Name: "a", Type: Type{Kind: Float64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := NewBatch(floatSchema, []ColumnData{Float64Data{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	w, err := NewWriter(&out, intSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(batch); err == nil {
+		t.Fatal("writer accepted a type-mismatched batch")
+	}
+}
+
+// TestWriterBoundedInflight: MaxInflightGroups=1 forces full pipeline
+// drain between groups and must still complete and verify.
+func TestWriterBoundedInflight(t *testing.T) {
+	schema, batch, opts := goldenTable(t)
+	o := opts.clone()
+	o.EncodeWorkers = 4
+	o.MaxInflightGroups = 1
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != uint64(batch.NumRows()) {
+		t.Fatalf("rows = %d, want %d", f.NumRows(), batch.NumRows())
+	}
+}

@@ -78,6 +78,17 @@ type Options struct {
 	// presorted by it in descending order before each row group is cut
 	// (§2.5's quality-aware data organization).
 	QualityColumn string
+	// EncodeWorkers bounds how many column-encode tasks (cascade selection
+	// + page encoding + statistics + checksum leaves) run concurrently in
+	// the writer's ingest pipeline. <= 0 means GOMAXPROCS. The file bytes
+	// are identical at every setting: columns are encoded in file order
+	// against per-column selector caches and serialized by a single
+	// goroutine.
+	EncodeWorkers int
+	// MaxInflightGroups caps how many cut row groups (raw plus encoded
+	// bytes) the ingest pipeline may hold at once, bounding writer memory.
+	// <= 0 means EncodeWorkers + 2.
+	MaxInflightGroups int
 }
 
 // Level is a deletion-compliance level (§2.1).
@@ -120,6 +131,9 @@ const SparsePageScheme = 0
 // own scheme for scalar pages, the value stream's scheme for list pages,
 // and SparsePageScheme for sliding-window pages.
 func encodePage(f Field, data ColumnData, opts *Options) ([]byte, enc.SchemeID, error) {
+	if opts.Enc.Cache != nil {
+		opts.Enc.Cache.BeginPage()
+	}
 	switch d := data.(type) {
 	case Int64Data:
 		out, err := enc.EncodeInts(nil, d, opts.Enc)

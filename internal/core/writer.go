@@ -36,8 +36,17 @@ func fieldFromDesc(name string, d footer.TypeDesc) Field {
 }
 
 // Writer streams batches into a Bullion file. Batches are buffered until a
-// full row group accumulates; Close flushes the remainder and writes the
-// footer. The Writer writes strictly sequentially, so any io.Writer works.
+// full row group accumulates; full groups flow through the ingest pipeline
+// (ingest.go), which encodes columns in parallel and serializes finished
+// groups to the underlying io.Writer strictly in file order, so any
+// io.Writer works. Close flushes the remainder and writes the footer.
+//
+// A Writer must be used from a single goroutine, and Close must always be
+// called — including when abandoning the file after an unrelated error —
+// since the pipeline's goroutines run until Close (or a failed Write)
+// joins them. Errors are sticky: once any encode or write fails, every
+// subsequent Write/Close call returns the original error and no footer is
+// ever written (a failed file can never look complete).
 type Writer struct {
 	w      io.Writer
 	schema *Schema
@@ -45,10 +54,15 @@ type Writer struct {
 
 	pending     []ColumnData
 	pendingRows int
+	dispatched  uint64 // rows handed to the pipeline (caller-side)
 
-	offset  uint64
-	numRows uint64
+	pipe     *ingestPipeline
+	pipeDown bool
 
+	// Serializer-owned while the pipeline runs; the Writer touches them
+	// again only after teardown joins the pipeline goroutines.
+	offset     uint64
+	numRows    uint64
 	ftr        footer.Footer
 	pageHashes [][]merkle.Hash // per group, in page order
 
@@ -108,33 +122,60 @@ func NewWriter(w io.Writer, schema *Schema, opts *Options) (*Writer, error) {
 }
 
 // Write appends a batch. The batch schema must match the writer's.
+//
+// The batch's top-level column slices are copied into the writer's buffer,
+// so the caller may recycle them immediately; interior arrays (the byte
+// strings of a BytesData column, the element slices of list columns) are
+// shared and must not be mutated until Close returns.
 func (w *Writer) Write(batch *Batch) error {
+	if w.err == nil && w.pipe != nil {
+		// Surface asynchronous pipeline failures as early as possible.
+		w.err = w.pipe.firstErr()
+		if w.err != nil {
+			w.teardown()
+		}
+	}
 	if w.err != nil {
 		return w.err
 	}
 	if w.closed {
 		return fmt.Errorf("core: writer closed")
 	}
-	if batch.Schema != w.schema && len(batch.Columns) != len(w.schema.Fields) {
-		return fmt.Errorf("core: batch schema mismatch")
+	if batch.Schema != w.schema {
+		if len(batch.Columns) != len(w.schema.Fields) {
+			return fmt.Errorf("core: batch schema mismatch")
+		}
+		for i, c := range batch.Columns {
+			if err := checkColumnType(w.schema.Fields[i], c); err != nil {
+				return fmt.Errorf("core: batch schema mismatch: %w", err)
+			}
+		}
 	}
 	if w.pending == nil {
 		w.pending = make([]ColumnData, len(w.schema.Fields))
 	}
 	for i, c := range batch.Columns {
+		if w.pending[i] == nil {
+			// Seed with an owned empty column so the append below copies:
+			// buffered (and, since the pipelined writer, dispatched) rows
+			// must never alias memory the caller may reuse.
+			w.pending[i] = emptyColumn(w.schema.Fields[i])
+		}
 		w.pending[i] = appendColumn(w.pending[i], c)
 	}
 	w.pendingRows += batch.NumRows()
 	for w.pendingRows >= w.opts.GroupRows {
 		if err := w.cutGroup(w.opts.GroupRows); err != nil {
 			w.err = err
+			w.teardown()
 			return err
 		}
 	}
 	return nil
 }
 
-// cutGroup flushes the first n pending rows as a row group.
+// cutGroup assembles the first n pending rows as a row group and hands it
+// to the ingest pipeline.
 func (w *Writer) cutGroup(n int) error {
 	group := make([]ColumnData, len(w.pending))
 	for i := range w.pending {
@@ -143,9 +184,13 @@ func (w *Writer) cutGroup(n int) error {
 	if w.opts.QualityColumn != "" {
 		group = w.sortByQuality(group, n)
 	}
-	if err := w.flushGroup(group, n); err != nil {
+	if w.pipe == nil {
+		w.pipe = newIngestPipeline(w)
+	}
+	if err := w.pipe.dispatch(group, n); err != nil {
 		return err
 	}
+	w.dispatched += uint64(n)
 	for i := range w.pending {
 		w.pending[i] = sliceColumn(w.pending[i], n, w.pendingRows)
 	}
@@ -243,39 +288,28 @@ func permuteColumn(c ColumnData, perm []int) ColumnData {
 	panic(fmt.Sprintf("core: unknown column type %T", c))
 }
 
-// flushGroup encodes and writes one row group.
-func (w *Writer) flushGroup(group []ColumnData, n int) error {
+// serializeGroup appends one encoded row group to the file and records its
+// footer metadata. It runs on the pipeline's serializer goroutine, which
+// owns offset/ftr/pageHashes until teardown.
+func (w *Writer) serializeGroup(g *groupJob) error {
 	w.ftr.GroupOffsets = append(w.ftr.GroupOffsets, w.offset)
 	groupPageStart := len(w.ftr.PageOffsets)
 	var groupHashes []merkle.Hash
 
-	for ci, field := range w.schema.Fields {
+	for ci := range w.schema.Fields {
+		chunk := &g.chunks[ci]
 		w.ftr.ChunkFirstPage = append(w.ftr.ChunkFirstPage, uint32(len(w.ftr.PageOffsets)))
 		chunkStart := w.offset
-		col := group[ci]
-		for lo := 0; lo < n; lo += w.opts.RowsPerPage {
-			hi := lo + w.opts.RowsPerPage
-			if hi > n {
-				hi = n
-			}
-			page := sliceColumn(col, lo, hi)
-			payload, scheme, err := encodePage(field, page, w.opts)
-			if err != nil {
-				return fmt.Errorf("core: column %q: %w", field.Name, err)
-			}
-			w.ftr.PageStats = append(w.ftr.PageStats, computePageStats(page))
-			if w.opts.Compliance == Level2 {
-				// Reserve slack so masked re-encodes always fit in place.
-				payload = append(payload, make([]byte, level2Slack(len(payload)))...)
-			}
-			if _, err := w.w.Write(payload); err != nil {
-				return err
-			}
+		if _, err := w.w.Write(chunk.buf); err != nil {
+			return err
+		}
+		for _, pg := range chunk.pages {
+			w.ftr.PageStats = append(w.ftr.PageStats, pg.stats)
 			w.ftr.PageOffsets = append(w.ftr.PageOffsets, w.offset)
-			w.ftr.RowsPerPage = append(w.ftr.RowsPerPage, uint32(hi-lo))
-			w.ftr.PageCompression = append(w.ftr.PageCompression, uint8(scheme))
-			groupHashes = append(groupHashes, merkle.HashPage(payload))
-			w.offset += uint64(len(payload))
+			w.ftr.RowsPerPage = append(w.ftr.RowsPerPage, pg.rows)
+			w.ftr.PageCompression = append(w.ftr.PageCompression, pg.scheme)
+			groupHashes = append(groupHashes, pg.hash)
+			w.offset += uint64(pg.size)
 		}
 		w.ftr.ColumnOffsets = append(w.ftr.ColumnOffsets, chunkStart)
 		w.ftr.ColumnSizes = append(w.ftr.ColumnSizes, w.offset-chunkStart)
@@ -284,13 +318,24 @@ func (w *Writer) flushGroup(group []ColumnData, n int) error {
 	w.ftr.PagesPerGroup = append(w.ftr.PagesPerGroup, uint32(len(w.ftr.PageOffsets)-groupPageStart))
 	w.pageHashes = append(w.pageHashes, groupHashes)
 	w.ftr.NumGroups++
-	w.numRows += uint64(n)
+	w.numRows += uint64(g.rows)
 	return nil
 }
 
-// Close flushes remaining rows, writes the footer, and finalizes the file.
+// teardown joins the pipeline goroutines (idempotent). After it returns
+// the Writer owns all file state again.
+func (w *Writer) teardown() {
+	if w.pipe != nil && !w.pipeDown {
+		w.pipeDown = true
+		w.pipe.shutdown()
+	}
+}
+
+// Close flushes remaining rows, drains the pipeline, writes the footer,
+// and finalizes the file.
 func (w *Writer) Close() error {
 	if w.err != nil {
+		w.teardown()
 		return w.err
 	}
 	if w.closed {
@@ -299,6 +344,14 @@ func (w *Writer) Close() error {
 	w.closed = true
 	if w.pendingRows > 0 {
 		if err := w.cutGroup(w.pendingRows); err != nil {
+			w.err = err
+			w.teardown()
+			return err
+		}
+	}
+	w.teardown()
+	if w.pipe != nil {
+		if err := w.pipe.firstErr(); err != nil {
 			w.err = err
 			return err
 		}
@@ -346,5 +399,17 @@ func checksumArray(tree *merkle.Tree) []uint64 {
 	return append(out, uint64(tree.Root()))
 }
 
-// NumRowsWritten reports rows flushed plus pending.
-func (w *Writer) NumRowsWritten() uint64 { return w.numRows + uint64(w.pendingRows) }
+// NumRowsWritten reports rows handed to the writer: dispatched groups plus
+// the still-buffered remainder.
+func (w *Writer) NumRowsWritten() uint64 { return w.dispatched + uint64(w.pendingRows) }
+
+// SelectorStats reports how often the §2.6 cascade selector reused a
+// cached decision versus running a full sampling pass, summed over all
+// columns. Call it after Close; it returns zeros when selector caching is
+// disabled (negative EncodingOptions.ResampleDrift) or no group was cut.
+func (w *Writer) SelectorStats() (hits, resamples int64) {
+	if w.pipe == nil {
+		return 0, 0
+	}
+	return w.pipe.selectorStats()
+}

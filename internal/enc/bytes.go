@@ -44,6 +44,9 @@ func DecodeBytes(src []byte, n int) ([][]byte, error) {
 }
 
 func encodeBytesDepth(dst []byte, vs [][]byte, opts *Options, depth int) ([]byte, error) {
+	if depth == 0 && opts.Cache != nil {
+		return opts.Cache.encodeBytes(dst, vs, opts)
+	}
 	id := chooseBytesScheme(vs, opts, depth)
 	return encodeBytesWithDepth(dst, id, vs, opts, depth)
 }

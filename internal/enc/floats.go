@@ -62,6 +62,9 @@ func DecodeFloatsInto(dst []float64, src []byte) ([]float64, error) {
 }
 
 func encodeFloatsDepth(dst []byte, vs []float64, opts *Options, depth int) ([]byte, error) {
+	if depth == 0 && opts.Cache != nil {
+		return opts.Cache.encodeFloats(dst, vs, opts)
+	}
 	id := chooseFloatScheme(vs, opts, depth)
 	return encodeFloatsWithDepth(dst, id, vs, opts, depth)
 }

@@ -73,6 +73,9 @@ func DecodeIntsInto(dst []int64, src []byte) ([]int64, error) {
 }
 
 func encodeIntsDepth(dst []byte, vs []int64, opts *Options, depth int) ([]byte, error) {
+	if depth == 0 && opts.Cache != nil {
+		return opts.Cache.encodeInts(dst, vs, opts)
+	}
 	id := chooseIntScheme(vs, opts, depth)
 	return encodeIntsWithDepth(dst, id, vs, opts, depth)
 }

@@ -118,6 +118,17 @@ type Options struct {
 	ReadWeight  float64 // weight on relative decode cost
 	// Allowed restricts the candidate set when non-nil (catalog ablations).
 	Allowed map[SchemeID]bool
+	// Cache, when non-nil, amortizes top-level scheme selection across the
+	// pages these Options encode (see SelectorCache). Because the cache is
+	// stateful and not concurrency-safe, it must not be shared across
+	// columns; the core writer clones Options per column and installs one
+	// cache in each clone.
+	Cache *SelectorCache
+	// ResampleDrift is the relative encoded-size drift beyond which a
+	// cached selector decision is re-sampled (0 selects
+	// DefaultResampleDrift). A negative value tells the core writer not to
+	// install selector caches at all, restoring per-page selection.
+	ResampleDrift float64
 }
 
 // DefaultOptions returns the selector configuration used by the Bullion

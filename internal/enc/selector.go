@@ -1,0 +1,167 @@
+package enc
+
+// Amortized cascade selection. The sampling-based selector (cascade.go)
+// trial-encodes every nominated candidate, which makes scheme selection —
+// not encoding — the dominant ingest cost when it reruns for every page
+// (the per-chunk advisor overhead LEA and the columnar-format evaluations
+// identify). A SelectorCache remembers the winning top-level scheme per
+// stream of a logical column and reuses it for subsequent pages, falling
+// back to a full re-selection only when the cached scheme stops applying
+// or its compression ratio drifts past Options.ResampleDrift.
+
+// DefaultResampleDrift is the relative encoded-size drift that invalidates
+// a cached selector decision when Options.ResampleDrift is zero.
+const DefaultResampleDrift = 0.25
+
+// SelectorCache caches top-level cascade decisions across the successive
+// pages of one logical column. A page may carry several top-level streams
+// (list columns encode a lengths stream and a values stream); entries are
+// keyed by the stream's ordinal within the page, which is fixed by the
+// column's type. The cache is deterministic: given the same sequence of
+// pages it makes the same decisions, regardless of what other columns do —
+// this is what keeps parallel writers byte-identical to sequential ones.
+//
+// A SelectorCache is NOT safe for concurrent use. The core writer gives
+// each column its own cache and encodes that column's pages in file order.
+type SelectorCache struct {
+	drift   float64
+	ordinal int
+	entries []selectorEntry
+
+	hits      int64
+	resamples int64
+}
+
+type selectorEntry struct {
+	valid  bool
+	scheme SchemeID
+	ratio  float64 // encoded/raw size when the full selection last ran
+}
+
+// NewSelectorCache returns a cache that re-samples when the encoded-size
+// ratio moves more than drift (relative) from the ratio observed at
+// selection time. drift <= 0 selects DefaultResampleDrift.
+func NewSelectorCache(drift float64) *SelectorCache {
+	if drift <= 0 {
+		drift = DefaultResampleDrift
+	}
+	return &SelectorCache{drift: drift}
+}
+
+// BeginPage resets the stream ordinal; the writer calls it once per page
+// before the page's top-level Encode* calls.
+func (c *SelectorCache) BeginPage() { c.ordinal = 0 }
+
+// Stats reports how often the cache reused a decision versus running the
+// full sampling-based selection (the first page of every stream counts as
+// a resample).
+func (c *SelectorCache) Stats() (hits, resamples int64) { return c.hits, c.resamples }
+
+func (c *SelectorCache) entry() *selectorEntry {
+	for c.ordinal >= len(c.entries) {
+		c.entries = append(c.entries, selectorEntry{})
+	}
+	e := &c.entries[c.ordinal]
+	c.ordinal++
+	return e
+}
+
+// drifted reports whether ratio moved too far from the entry's baseline.
+// The small absolute slack keeps near-zero baselines (constant pages) from
+// re-sampling on sub-byte noise.
+func (c *SelectorCache) drifted(base, ratio float64) bool {
+	d := ratio - base
+	if d < 0 {
+		d = -d
+	}
+	return d > c.drift*base+1e-3
+}
+
+// encodeInts is the cached path of EncodeInts: try the remembered scheme,
+// fall back to full selection when it errors (e.g. Constant on a page that
+// is no longer constant) or drifts.
+func (c *SelectorCache) encodeInts(dst []byte, vs []int64, opts *Options) ([]byte, error) {
+	if len(vs) == 0 {
+		return encodeIntsWithDepth(dst, chooseIntScheme(vs, opts, 0), vs, opts, 0)
+	}
+	e := c.entry()
+	mark := len(dst)
+	raw := 8 * float64(len(vs))
+	if e.valid {
+		out, err := encodeIntsWithDepth(dst, e.scheme, vs, opts, 0)
+		if err == nil {
+			if ratio := float64(len(out)-mark) / raw; !c.drifted(e.ratio, ratio) {
+				c.hits++
+				return out, nil
+			}
+		}
+		dst = dst[:mark]
+	}
+	c.resamples++
+	id := chooseIntScheme(vs, opts, 0)
+	out, err := encodeIntsWithDepth(dst, id, vs, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	*e = selectorEntry{valid: true, scheme: id, ratio: float64(len(out)-mark) / raw}
+	return out, nil
+}
+
+// encodeFloats mirrors encodeInts for float64 streams.
+func (c *SelectorCache) encodeFloats(dst []byte, vs []float64, opts *Options) ([]byte, error) {
+	if len(vs) == 0 {
+		return encodeFloatsWithDepth(dst, chooseFloatScheme(vs, opts, 0), vs, opts, 0)
+	}
+	e := c.entry()
+	mark := len(dst)
+	raw := 8 * float64(len(vs))
+	if e.valid {
+		out, err := encodeFloatsWithDepth(dst, e.scheme, vs, opts, 0)
+		if err == nil {
+			if ratio := float64(len(out)-mark) / raw; !c.drifted(e.ratio, ratio) {
+				c.hits++
+				return out, nil
+			}
+		}
+		dst = dst[:mark]
+	}
+	c.resamples++
+	id := chooseFloatScheme(vs, opts, 0)
+	out, err := encodeFloatsWithDepth(dst, id, vs, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	*e = selectorEntry{valid: true, scheme: id, ratio: float64(len(out)-mark) / raw}
+	return out, nil
+}
+
+// encodeBytes mirrors encodeInts for byte-string streams.
+func (c *SelectorCache) encodeBytes(dst []byte, vs [][]byte, opts *Options) ([]byte, error) {
+	if len(vs) == 0 {
+		return encodeBytesWithDepth(dst, chooseBytesScheme(vs, opts, 0), vs, opts, 0)
+	}
+	e := c.entry()
+	mark := len(dst)
+	raw := float64(len(vs))
+	for _, v := range vs {
+		raw += float64(len(v))
+	}
+	if e.valid {
+		out, err := encodeBytesWithDepth(dst, e.scheme, vs, opts, 0)
+		if err == nil {
+			if ratio := float64(len(out)-mark) / raw; !c.drifted(e.ratio, ratio) {
+				c.hits++
+				return out, nil
+			}
+		}
+		dst = dst[:mark]
+	}
+	c.resamples++
+	id := chooseBytesScheme(vs, opts, 0)
+	out, err := encodeBytesWithDepth(dst, id, vs, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	*e = selectorEntry{valid: true, scheme: id, ratio: float64(len(out)-mark) / raw}
+	return out, nil
+}

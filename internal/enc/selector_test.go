@@ -1,0 +1,186 @@
+package enc
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// cachedOpts returns default options with a fresh selector cache.
+func cachedOpts() *Options {
+	o := DefaultOptions()
+	o.Cache = NewSelectorCache(0)
+	return o
+}
+
+// TestSelectorCacheReusesScheme: stationary pages must be selected once
+// and reused, and every page must still round-trip.
+func TestSelectorCacheReusesScheme(t *testing.T) {
+	opts := cachedOpts()
+	rng := rand.New(rand.NewSource(42))
+	const pages, n = 16, 512
+	for p := 0; p < pages; p++ {
+		vs := make([]int64, n)
+		for i := range vs {
+			vs[i] = rng.Int63n(1 << 12)
+		}
+		opts.Cache.BeginPage()
+		stream, err := EncodeInts(nil, vs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeInts(stream, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, vs) {
+			t.Fatalf("page %d: round-trip mismatch", p)
+		}
+	}
+	hits, resamples := opts.Cache.Stats()
+	if resamples < 1 {
+		t.Fatal("first page must run a full selection")
+	}
+	if hits < pages/2 {
+		t.Fatalf("stationary pages barely reused the cache: %d hits, %d resamples", hits, resamples)
+	}
+}
+
+// TestSelectorCacheResamplesOnDrift: a distribution shift big enough to
+// move the compression ratio must trigger a fresh selection.
+func TestSelectorCacheResamplesOnDrift(t *testing.T) {
+	opts := cachedOpts()
+	const n = 512
+	encode := func(vs []int64) {
+		t.Helper()
+		opts.Cache.BeginPage()
+		stream, err := EncodeInts(nil, vs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeInts(stream, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, vs) {
+			t.Fatal("round-trip mismatch")
+		}
+	}
+	small := make([]int64, n) // tiny range: bit-packs to almost nothing
+	for i := range small {
+		small[i] = int64(i % 4)
+	}
+	encode(small)
+	_, before := opts.Cache.Stats()
+	wide := make([]int64, n) // full-width values: same scheme would balloon
+	rng := rand.New(rand.NewSource(7))
+	for i := range wide {
+		wide[i] = rng.Int63()
+	}
+	encode(wide)
+	if _, after := opts.Cache.Stats(); after <= before {
+		t.Fatalf("ratio drift did not trigger a resample (resamples %d -> %d)", before, after)
+	}
+}
+
+// TestSelectorCacheConstantFallback: a cached Constant scheme stops
+// applying the moment a page is not constant; the cache must fall back to
+// full selection instead of failing.
+func TestSelectorCacheConstantFallback(t *testing.T) {
+	opts := cachedOpts()
+	const n = 256
+	constant := make([]int64, n)
+	for i := range constant {
+		constant[i] = 99
+	}
+	opts.Cache.BeginPage()
+	stream, err := EncodeInts(nil, constant, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TopScheme(stream) != Constant {
+		t.Fatalf("constant page chose %v", TopScheme(stream))
+	}
+	varied := make([]int64, n)
+	for i := range varied {
+		varied[i] = int64(i)
+	}
+	opts.Cache.BeginPage()
+	stream, err = EncodeInts(nil, varied, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TopScheme(stream) == Constant {
+		t.Fatal("non-constant page kept the Constant scheme")
+	}
+	got, err := DecodeInts(stream, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, varied) {
+		t.Fatal("round-trip mismatch after fallback")
+	}
+}
+
+// TestSelectorCacheDeterministic: two caches fed the same page sequence
+// must emit identical bytes — the property the parallel writer's
+// byte-determinism rests on.
+func TestSelectorCacheDeterministic(t *testing.T) {
+	mkPages := func() [][]float64 {
+		rng := rand.New(rand.NewSource(11))
+		pages := make([][]float64, 12)
+		for p := range pages {
+			vs := make([]float64, 300)
+			for i := range vs {
+				vs[i] = float64(rng.Intn(1000)) / 8
+			}
+			pages[p] = vs
+		}
+		return pages
+	}
+	run := func() []byte {
+		opts := cachedOpts()
+		var all []byte
+		for _, vs := range mkPages() {
+			opts.Cache.BeginPage()
+			stream, err := EncodeFloats(nil, vs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, stream...)
+		}
+		return all
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("identical page sequences produced different bytes")
+	}
+}
+
+// TestSelectorCacheBytesStreams: the bytes cascade path through the cache
+// round-trips and amortizes too.
+func TestSelectorCacheBytesStreams(t *testing.T) {
+	opts := cachedOpts()
+	const pages, n = 8, 200
+	for p := 0; p < pages; p++ {
+		vs := make([][]byte, n)
+		for i := range vs {
+			vs[i] = []byte([]string{"news", "video", "ads", "social"}[(i+p)%4])
+		}
+		opts.Cache.BeginPage()
+		stream, err := EncodeBytes(nil, vs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBytes(stream, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, vs) {
+			t.Fatalf("page %d: round-trip mismatch", p)
+		}
+	}
+	if hits, _ := opts.Cache.Stats(); hits == 0 {
+		t.Fatal("bytes pages never hit the cache")
+	}
+}
