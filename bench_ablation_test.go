@@ -21,11 +21,13 @@ import (
 // BenchmarkAblationCascadeDepth answers §2.6's "what is the ideal recursion
 // depth" with measurements: deeper cascades on composite-friendly data.
 func BenchmarkAblationCascadeDepth(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(43))
 	vs := genBenchRuns(rng, 65536)
 	raw := 8 * len(vs)
 	for depth := 0; depth <= 3; depth++ {
 		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := enc.DefaultOptions()
 			opts.MaxDepth = depth
 			var size int
@@ -45,6 +47,7 @@ func BenchmarkAblationCascadeDepth(b *testing.B) {
 // BenchmarkAblationSparseRestart sweeps the restart interval: shorter
 // intervals bound delta chains (cheaper partial decode) at a size cost.
 func BenchmarkAblationSparseRestart(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(44))
 	vectors := workload.SlidingWindows(rng, 2048, 256, 0.4)
 	raw := 0
@@ -53,6 +56,7 @@ func BenchmarkAblationSparseRestart(b *testing.B) {
 	}
 	for _, interval := range []int{8, 32, 64, 256} {
 		b.Run(fmt.Sprint(interval), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := sparse.DefaultOptions()
 			opts.RestartInterval = interval
 			var size int
@@ -72,6 +76,7 @@ func BenchmarkAblationSparseRestart(b *testing.B) {
 // BenchmarkReorderCoalesced measures §2.5 column reordering: a 20-column
 // hot set projected from a 200-column table, per read strategy.
 func BenchmarkReorderCoalesced(b *testing.B) {
+	b.ReportAllocs()
 	const nCols = 200
 	const nRows = 10000
 	hot := make([]string, 20)
@@ -136,6 +141,7 @@ func BenchmarkReorderCoalesced(b *testing.B) {
 		{"hotfirst-coalesced", true, true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			f, c := build(tc.reorder)
 			b.ResetTimer()
 			var ops int64
@@ -160,6 +166,7 @@ func BenchmarkReorderCoalesced(b *testing.B) {
 // BenchmarkNormalizedBF16 measures the §2.4 opportunity: 12-bit packing of
 // normalized embeddings vs raw BF16 and the general cascade.
 func BenchmarkNormalizedBF16(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(46))
 	embs := workload.Embeddings(rng, 2048, 64)
 	flat := make([]float32, 0, 2048*64)
@@ -169,6 +176,7 @@ func BenchmarkNormalizedBF16(b *testing.B) {
 	rawBF16 := 2 * len(flat)
 
 	b.Run("pack", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(4 * len(flat)))
 		var size int
 		for i := 0; i < b.N; i++ {
@@ -177,6 +185,7 @@ func BenchmarkNormalizedBF16(b *testing.B) {
 		b.ReportMetric(100*float64(size)/float64(rawBF16), "size_%ofbf16")
 	})
 	b.Run("unpack", func(b *testing.B) {
+		b.ReportAllocs()
 		encoded := quant.EncodeNormalizedEmbedding(flat)
 		b.SetBytes(int64(4 * len(flat)))
 		b.ResetTimer()
@@ -187,6 +196,7 @@ func BenchmarkNormalizedBF16(b *testing.B) {
 		}
 	})
 	b.Run("cascade-baseline", func(b *testing.B) {
+		b.ReportAllocs()
 		bits, err := quant.Quantize(flat, quant.BF16)
 		if err != nil {
 			b.Fatal(err)
@@ -208,8 +218,10 @@ func BenchmarkNormalizedBF16(b *testing.B) {
 // BenchmarkFooterRoundTrip measures the compact footer itself: marshal and
 // zero-copy open at production widths.
 func BenchmarkFooterOpen(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1000, 10000, 20000} {
 		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			b.ReportAllocs()
 			mf := buildWideBullion(b, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

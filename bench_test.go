@@ -54,6 +54,7 @@ func (m *benchFile) Size() int64 { return int64(len(m.data)) }
 // ---- Figure 1: observational census (completeness) ----
 
 func BenchmarkFig1Census(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if c := workload.Figure1Census(); len(c) != 10 {
 			b.Fatal("census size")
@@ -79,6 +80,7 @@ func fig2Pages(b *testing.B) [][][]byte {
 }
 
 func BenchmarkFig2MerkleUpdate(b *testing.B) {
+	b.ReportAllocs()
 	gp := fig2Pages(b)
 	tree := merkle.Build(gp)
 	newPage := make([]byte, 64<<10)
@@ -94,6 +96,7 @@ func BenchmarkFig2MerkleUpdate(b *testing.B) {
 }
 
 func BenchmarkFig2MonolithicChecksum(b *testing.B) {
+	b.ReportAllocs()
 	gp := fig2Pages(b)
 	b.ResetTimer()
 	var total int64
@@ -107,6 +110,7 @@ func BenchmarkFig2MonolithicChecksum(b *testing.B) {
 // ---- Table 1: ads schema generation and histogram ----
 
 func BenchmarkTab1AdsSchema(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := workload.AdsSchema(10, true)
 		if err != nil {
@@ -134,6 +138,7 @@ func fig4Vectors(b *testing.B) ([][]int64, []int64, int) {
 }
 
 func BenchmarkFig4SparseDeltaEncode(b *testing.B) {
+	b.ReportAllocs()
 	vectors, _, raw := fig4Vectors(b)
 	b.SetBytes(int64(raw))
 	var size int
@@ -149,6 +154,7 @@ func BenchmarkFig4SparseDeltaEncode(b *testing.B) {
 }
 
 func BenchmarkFig4SparseDeltaDecode(b *testing.B) {
+	b.ReportAllocs()
 	vectors, _, raw := fig4Vectors(b)
 	encoded, err := sparse.EncodeColumn(vectors, sparse.DefaultOptions())
 	if err != nil {
@@ -164,6 +170,7 @@ func BenchmarkFig4SparseDeltaDecode(b *testing.B) {
 }
 
 func BenchmarkFig4BaselineChunked(b *testing.B) {
+	b.ReportAllocs()
 	_, flat, raw := fig4Vectors(b)
 	b.SetBytes(int64(raw))
 	var size int
@@ -179,6 +186,7 @@ func BenchmarkFig4BaselineChunked(b *testing.B) {
 }
 
 func BenchmarkFig4BaselinePlain(b *testing.B) {
+	b.ReportAllocs()
 	_, flat, raw := fig4Vectors(b)
 	b.SetBytes(int64(raw))
 	b.ResetTimer()
@@ -241,8 +249,10 @@ func buildWideLegacy(b *testing.B, n int) *benchFile {
 }
 
 func BenchmarkFig5MetadataBullion(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1000, 5000, 10000, 20000} {
 		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			b.ReportAllocs()
 			mf := buildWideBullion(b, n)
 			target := fmt.Sprintf("feat_%06d", n/2)
 			b.ResetTimer()
@@ -260,8 +270,10 @@ func BenchmarkFig5MetadataBullion(b *testing.B) {
 }
 
 func BenchmarkFig5MetadataLegacy(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1000, 5000, 10000, 20000} {
 		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			b.ReportAllocs()
 			mf := buildWideLegacy(b, n)
 			target := fmt.Sprintf("feat_%06d", n/2)
 			b.ResetTimer()
@@ -292,9 +304,11 @@ func fig6Embeddings(b *testing.B) []float32 {
 }
 
 func BenchmarkFig6Quantize(b *testing.B) {
+	b.ReportAllocs()
 	flat := fig6Embeddings(b)
 	for _, f := range workload.QuantTargets() {
 		b.Run(f.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(4 * len(flat)))
 			var stored int
 			for i := 0; i < b.N; i++ {
@@ -314,9 +328,11 @@ func BenchmarkFig6Quantize(b *testing.B) {
 }
 
 func BenchmarkFig6Dequantize(b *testing.B) {
+	b.ReportAllocs()
 	flat := fig6Embeddings(b)
 	for _, f := range workload.QuantTargets() {
 		b.Run(f.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			bits, err := quant.Quantize(flat, f)
 			if err != nil {
 				b.Fatal(err)
@@ -353,6 +369,7 @@ func fig7Dataset(b *testing.B, presort bool) (*core.File, *iostats.Counters) {
 }
 
 func BenchmarkFig7QualityAwarePresorted(b *testing.B) {
+	b.ReportAllocs()
 	f, c := fig7Dataset(b, true)
 	b.ResetTimer()
 	var bytesRead int64
@@ -371,6 +388,7 @@ func BenchmarkFig7QualityAwarePresorted(b *testing.B) {
 }
 
 func BenchmarkFig7QualityAwareUnsorted(b *testing.B) {
+	b.ReportAllocs()
 	f, c := fig7Dataset(b, false)
 	b.ResetTimer()
 	var bytesRead int64
@@ -391,6 +409,7 @@ func BenchmarkFig7QualityAwareUnsorted(b *testing.B) {
 // ---- Table 2: encoding catalog ----
 
 func benchIntScheme(b *testing.B, id enc.SchemeID, gen func(*rand.Rand, int) []int64) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(19))
 	vs := gen(rng, 65536)
 	raw := 8 * len(vs)
@@ -400,6 +419,7 @@ func benchIntScheme(b *testing.B, id enc.SchemeID, gen func(*rand.Rand, int) []i
 		b.Fatal(err)
 	}
 	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(raw))
 		for i := 0; i < b.N; i++ {
 			if _, err := enc.EncodeIntsWith(nil, id, vs, opts); err != nil {
@@ -409,6 +429,7 @@ func benchIntScheme(b *testing.B, id enc.SchemeID, gen func(*rand.Rand, int) []i
 		b.ReportMetric(100*float64(len(encoded))/float64(raw), "size_%ofplain")
 	})
 	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(raw))
 		for i := 0; i < b.N; i++ {
 			if _, err := enc.DecodeInts(encoded, len(vs)); err != nil {
@@ -479,6 +500,7 @@ func BenchmarkTab2BitShuffle(b *testing.B) { benchIntScheme(b, enc.BitShuffle, g
 func BenchmarkTab2Chunked(b *testing.B)    { benchIntScheme(b, enc.Chunked, genBenchRuns) }
 
 func BenchmarkTab2Gorilla(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(21))
 	vs := make([]float64, 65536)
 	f := 100.0
@@ -495,6 +517,7 @@ func BenchmarkTab2Gorilla(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(raw))
 		for i := 0; i < b.N; i++ {
 			if _, err := enc.EncodeFloatsWith(nil, enc.GorillaF, vs, opts); err != nil {
@@ -504,6 +527,7 @@ func BenchmarkTab2Gorilla(b *testing.B) {
 		b.ReportMetric(100*float64(len(encoded))/float64(raw), "size_%ofplain")
 	})
 	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(raw))
 		for i := 0; i < b.N; i++ {
 			if _, err := enc.DecodeFloats(encoded, len(vs)); err != nil {
@@ -514,6 +538,7 @@ func BenchmarkTab2Gorilla(b *testing.B) {
 }
 
 func BenchmarkTab2FSST(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(23))
 	urls := make([][]byte, 8192)
 	raw := 0
@@ -527,6 +552,7 @@ func BenchmarkTab2FSST(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(raw))
 		for i := 0; i < b.N; i++ {
 			if _, err := enc.EncodeBytesWith(nil, enc.FSST, urls, opts); err != nil {
@@ -536,6 +562,7 @@ func BenchmarkTab2FSST(b *testing.B) {
 		b.ReportMetric(100*float64(len(encoded))/float64(raw), "size_%ofplain")
 	})
 	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(int64(raw))
 		for i := 0; i < b.N; i++ {
 			if _, err := enc.DecodeBytes(encoded, len(urls)); err != nil {
@@ -548,6 +575,7 @@ func BenchmarkTab2FSST(b *testing.B) {
 // BenchmarkTab2Cascade measures the full selector (the adaptive path the
 // writer actually uses).
 func BenchmarkTab2Cascade(b *testing.B) {
+	b.ReportAllocs()
 	for _, tc := range []struct {
 		name string
 		gen  func(*rand.Rand, int) []int64
@@ -556,6 +584,7 @@ func BenchmarkTab2Cascade(b *testing.B) {
 		{"clustered", genBenchClustered}, {"lowcard", genBenchLowCard},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(29))
 			vs := tc.gen(rng, 65536)
 			raw := 8 * len(vs)
@@ -622,6 +651,7 @@ func deletionFixture(b *testing.B) (*benchFile, *core.Schema, *core.Batch, *core
 }
 
 func BenchmarkDeletionInPlace(b *testing.B) {
+	b.ReportAllocs()
 	master, _, _, _ := deletionFixture(b)
 	del := make([]uint64, 1000) // 2% of rows, clustered (one user's span)
 	for i := range del {
@@ -648,6 +678,7 @@ func BenchmarkDeletionInPlace(b *testing.B) {
 }
 
 func BenchmarkDeletionRewrite(b *testing.B) {
+	b.ReportAllocs()
 	master, _, _, opts := deletionFixture(b)
 	f, err := core.Open(master, master.Size())
 	if err != nil {
@@ -678,6 +709,7 @@ func BenchmarkDeletionRewrite(b *testing.B) {
 // bench quantifies that storage overhead against a Level-0 write.
 
 func BenchmarkAblationComplianceOverhead(b *testing.B) {
+	b.ReportAllocs()
 	schema, err := core.NewSchema(
 		core.Field{Name: "ts", Type: core.Type{Kind: core.Int64}},
 		core.Field{Name: "val", Type: core.Type{Kind: core.Float64}},
@@ -729,6 +761,7 @@ func BenchmarkAblationComplianceOverhead(b *testing.B) {
 // ---- End-to-end: write/scan throughput of the full format ----
 
 func BenchmarkEndToEndWrite(b *testing.B) {
+	b.ReportAllocs()
 	_, schema, batch, opts := deletionFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -747,6 +780,7 @@ func BenchmarkEndToEndWrite(b *testing.B) {
 }
 
 func BenchmarkEndToEndProject(b *testing.B) {
+	b.ReportAllocs()
 	master, _, _, _ := deletionFixture(b)
 	f, err := core.Open(master, master.Size())
 	if err != nil {

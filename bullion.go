@@ -61,6 +61,60 @@
 // predicates skip batches whose footer min/max page statistics prove no
 // match (int64/int32 columns; pruning is page-granular and conservative).
 //
+// # Reading at scale
+//
+// The scan path is built to be I/O-minimal and allocation-flat, pairing
+// the paper's §2.5 levers:
+//
+//  1. Reorder hot features at write time. ReorderFields moves the
+//     frequently-read columns to the front of the schema, so their chunks
+//     are physically adjacent within every row group.
+//
+//  2. Coalesced reads. Scan plans, per batch, the maximal byte-adjacent
+//     page runs across all projected columns and fetches each run with a
+//     single read of up to 1.25 MiB (core.CoalesceLimit); decode workers
+//     slice their pages out of the shared run buffer zero-copy. Runs
+//     separated by at most ScanOptions.CoalesceGap cold bytes (default
+//     DefaultCoalesceGap = 4 KiB) merge too — a few wasted kilobytes beat
+//     a second seek or object-storage request. Cross-column merging needs
+//     the projected chunks adjacent within the batch's span, so set
+//     BatchRows to the writer's GroupRows for I/O-bound scans: a
+//     hot-reordered projection then costs one read per row group.
+//
+//  3. Batch recycling. With ScanOptions.ReuseBatches, return each
+//     finished batch via Scanner.Recycle and later batches decode into
+//     its storage; combined with the scanner's pooled read buffers and
+//     decode scratch, steady-state Next calls are allocation-free for
+//     fixed-width columns.
+//
+// Putting the three together:
+//
+//	sc, _ := f.Scan(bullion.ScanOptions{
+//	    Columns:      hotFeatures, // written via ReorderFields
+//	    BatchRows:    groupRows,   // align batches with row groups
+//	    ReuseBatches: true,
+//	})
+//	defer sc.Close()
+//	for {
+//	    batch, err := sc.Next()
+//	    if err == io.EOF {
+//	        break
+//	    }
+//	    if err != nil {
+//	        return err
+//	    }
+//	    feed(batch)
+//	    sc.Recycle(batch) // batch must not be read after this
+//	}
+//
+// ScanStats reports the effect: ReadOps (physical reads issued),
+// CoalescedBytes (bytes fetched by multi-column reads), and WastedBytes
+// (gap bytes read through). ScanOptions.DisableCoalesce pins the
+// per-column read path; both paths return identical batches. Byte-string
+// columns decode zero-copy out of the read buffers, so projections that
+// include them keep the buffers alive for the batch's lifetime instead of
+// pooling them.
+//
 // # Writing at scale
 //
 // The write path is a pipeline, mirroring the streaming scan: the calling
@@ -180,6 +234,11 @@ type (
 
 // DefaultScanBatchRows is the default Scanner batch size.
 const DefaultScanBatchRows = core.DefaultScanBatchRows
+
+// DefaultCoalesceGap is the default ScanOptions.CoalesceGap: the largest
+// run of cold bytes a coalesced scan read will fetch to avoid splitting
+// into two I/O operations.
+const DefaultCoalesceGap = core.DefaultCoalesceGap
 
 // Column kinds.
 const (

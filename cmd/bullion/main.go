@@ -59,7 +59,7 @@ func usage() {
   bullion inspect <file>
   bullion verify <file>
   bullion project <file> <column>...
-  bullion scan <file> [-batch N] [-workers N] [column]...
+  bullion scan <file> [-batch N] [-workers N] [-coalesce-gap N] [-no-coalesce] [column]...
   bullion ingest <file> [-rows N] [-cols N] [-group N] [-workers N] [-no-cache]
   bullion delete <file> <row>...
   bullion demo <file>`)
@@ -172,6 +172,9 @@ func scan(path string, args []string) error {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	batchRows := fs.Int("batch", bullion.DefaultScanBatchRows, "rows per batch")
 	workers := fs.Int("workers", 0, "decode workers (0 = GOMAXPROCS)")
+	coalesceGap := fs.Int("coalesce-gap", 0,
+		"cold bytes to read through when merging reads (0 = default, negative = none)")
+	noCoalesce := fs.Bool("no-coalesce", false, "one read per column chunk run (pre-planner path)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,7 +197,14 @@ func scan(path string, args []string) error {
 	}
 	defer f.Close()
 
-	sc, err := f.Scan(bullion.ScanOptions{Columns: cols, BatchRows: *batchRows, Workers: *workers})
+	sc, err := f.Scan(bullion.ScanOptions{
+		Columns:         cols,
+		BatchRows:       *batchRows,
+		Workers:         *workers,
+		CoalesceGap:     *coalesceGap,
+		DisableCoalesce: *noCoalesce,
+		ReuseBatches:    true,
+	})
 	if err != nil {
 		return err
 	}
@@ -212,6 +222,7 @@ func scan(path string, args []string) error {
 		}
 		rows += int64(batch.NumRows())
 		batches++
+		sc.Recycle(batch)
 	}
 	elapsed := time.Since(start)
 	stats := sc.Stats()
@@ -223,6 +234,8 @@ func scan(path string, args []string) error {
 		float64(stats.BytesRead)/elapsed.Seconds()/1e6)
 	fmt.Printf("physical I/O:   %d reads, %d bytes, %d seeks\n",
 		phys.ReadOps, phys.ReadBytes, phys.Seeks)
+	fmt.Printf("coalescing:     %d scan reads, %d coalesced bytes, %d wasted gap bytes\n",
+		stats.ReadOps, stats.CoalescedBytes, stats.WastedBytes)
 	fmt.Printf("pages:          %d decoded, %d skipped; batches: %d emitted, %d skipped\n",
 		stats.PagesDecoded, stats.PagesSkipped, stats.BatchesEmitted, stats.BatchesSkipped)
 	return nil

@@ -92,6 +92,7 @@ func (l *latencyWriter) Write(p []byte) (int, error) {
 }
 
 func benchIngest(b *testing.B, workers int, cache bool, latency time.Duration) {
+	b.ReportAllocs()
 	schema, batches := ingestBenchData(b)
 	opts := &Options{
 		RowsPerPage:   1024,

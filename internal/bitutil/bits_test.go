@@ -179,6 +179,7 @@ func TestZigZagProperty(t *testing.T) {
 }
 
 func BenchmarkPack(b *testing.B) {
+	b.ReportAllocs()
 	vs := make([]uint64, 4096)
 	rng := rand.New(rand.NewSource(1))
 	for i := range vs {
@@ -193,6 +194,7 @@ func BenchmarkPack(b *testing.B) {
 }
 
 func BenchmarkUnpack(b *testing.B) {
+	b.ReportAllocs()
 	vs := make([]uint64, 4096)
 	rng := rand.New(rand.NewSource(1))
 	for i := range vs {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Column reordering and coalesced reads (§2.5, last paragraph): in
@@ -15,6 +16,13 @@ import (
 // CoalesceLimit is the largest single coalesced read, matching the 1.25 MiB
 // the paper quotes from Alpha's coalesced-read design.
 const CoalesceLimit = 1280 << 10
+
+// DefaultCoalesceGap is the default ScanOptions.CoalesceGap: up to this
+// many cold bytes between two wanted page runs are read through rather
+// than split into two I/O operations. A few KiB of wasted transfer is
+// cheaper than a second seek (or a second object-storage request) at
+// every realistic latency.
+const DefaultCoalesceGap = 4 << 10
 
 // ReorderFields returns a copy of schema with the named hot columns moved
 // to the front (in the order given), so their chunks are written adjacent
@@ -61,6 +69,80 @@ func ReorderBatchColumns(cols []ColumnData, perm []int) []ColumnData {
 		out[newIdx] = cols[oldIdx]
 	}
 	return out
+}
+
+// runSeg is one projected column's contiguous page range inside a
+// coalesced span run. Pages first..last are byte-adjacent, so the whole
+// segment is one contiguous slice of the run buffer.
+type runSeg struct {
+	col           int    // position in the scanner's projected column list
+	first, last   int    // global page indices, inclusive
+	firstRowStart uint64 // global row id of the first page's first row
+}
+
+// spanRun is one physical read planned for a batch span: a byte range
+// covering the page segments of one or more projected columns, fetched at
+// most once (fetchRun) into a buffer the decode workers slice zero-copy.
+type spanRun struct {
+	off, end int64
+	wasted   int64 // cold gap bytes inside [off,end) belonging to no segment
+	segs     []runSeg
+
+	fetchOnce sync.Once
+	buf       []byte
+	bufP      *[]byte // pool token; nil when the buffer must outlive the batch
+	err       error
+}
+
+// planSpanRuns computes the minimal physical reads for one batch span
+// across all projected columns (cols holds column indices; segments record
+// positions into that slice). Per column, maximal index-adjacent page runs
+// overlapping the span are collected exactly like the per-column scan
+// path; the runs of all columns are then sorted by file offset and merged
+// when they are byte-adjacent, or separated by at most gap cold bytes,
+// while the merged read stays at or under CoalesceLimit. A single
+// segment larger than CoalesceLimit still becomes one read — pages must
+// be fetched whole.
+//
+// With hot columns reordered to the front at write time (ReorderFields), a
+// hot-set projection collapses to one read per row group per batch.
+func (f *File) planSpanRuns(cols []int, span rowSpan, gap int64) []*spanRun {
+	type colSeg struct {
+		seg      runSeg
+		off, end int64
+	}
+	var segs []colSeg
+	for pos, ci := range cols {
+		f.forEachPageInSpan(ci, span, func(p int, rowLo, _ uint64) bool {
+			if n := len(segs); n > 0 && segs[n-1].seg.col == pos && segs[n-1].seg.last == p-1 {
+				_, segs[n-1].end = f.pageByteRange(p)
+				segs[n-1].seg.last = p
+				return true
+			}
+			off, end := f.pageByteRange(p)
+			segs = append(segs, colSeg{
+				seg: runSeg{col: pos, first: p, last: p, firstRowStart: rowLo},
+				off: off, end: end,
+			})
+			return true
+		})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].off < segs[j].off })
+
+	var runs []*spanRun
+	for _, cs := range segs {
+		if n := len(runs); n > 0 {
+			cur := runs[n-1]
+			if cs.off >= cur.end && cs.off-cur.end <= gap && cs.end-cur.off <= CoalesceLimit {
+				cur.wasted += cs.off - cur.end
+				cur.end = cs.end
+				cur.segs = append(cur.segs, cs.seg)
+				continue
+			}
+		}
+		runs = append(runs, &spanRun{off: cs.off, end: cs.end, segs: []runSeg{cs.seg}})
+	}
+	return runs
 }
 
 // readPlan is one physical read covering one or more column chunks.

@@ -255,13 +255,10 @@ func encodeTwoStreams(lengths []int64, values func() ([]byte, error), opts *Opti
 func decodePage(f Field, payload []byte, nRows int) (ColumnData, error) {
 	switch {
 	case f.Nullable && f.Type.Kind == Int64:
-		vs, valid, err := enc.DecodeNullableInts(payload, nRows)
-		if err != nil {
-			return nil, err
-		}
+		vs := make([]int64, nRows)
 		vb := make([]bool, nRows)
-		for i := range vb {
-			vb[i] = valid.Get(i)
+		if err := enc.DecodeNullableIntsInto(vs, vb, payload); err != nil {
+			return nil, err
 		}
 		return NullableInt64Data{Values: vs, Valid: vb}, nil
 	case f.Type.Kind == Int64 || f.Type.Kind == Int32:
@@ -277,11 +274,14 @@ func decodePage(f Field, payload []byte, nRows int) (ColumnData, error) {
 		}
 		return Float64Data(vs), nil
 	case f.Type.Kind == Float32:
-		bits, err := enc.DecodeInts(payload, nRows)
+		bp := getPageInts(nRows)
+		bits, err := enc.DecodeIntsInto(*bp, payload)
 		if err != nil {
+			putPageInts(bp)
 			return nil, err
 		}
-		vs, err := quant.Dequantize(bits, f.Type.Quant)
+		vs, err := quant.DequantizeInto(make([]float32, nRows), bits, f.Type.Quant)
+		putPageInts(bp)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"bullion/internal/enc"
+)
+
+// plainFixture writes nCols int64 columns with the cascade pinned to Plain
+// so every page has a predictable byte size — the planner tests pin run
+// boundaries against CoalesceLimit/CoalesceGap, which needs deterministic
+// chunk sizes.
+func plainFixture(t *testing.T, nCols, nRows, groupRows, rowsPerPage int) *File {
+	t.Helper()
+	fields := make([]Field, nCols)
+	for i := range fields {
+		fields[i] = Field{Name: fmt.Sprintf("c%02d", i), Type: Type{Kind: Int64}}
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	cols := make([]ColumnData, nCols)
+	for i := range cols {
+		vs := make(Int64Data, nRows)
+		for r := range vs {
+			vs[r] = rng.Int63() // wide values: Plain is the cheapest scheme
+		}
+		cols[i] = vs
+	}
+	batch, err := NewBatch(schema, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.GroupRows = groupRows
+	opts.RowsPerPage = rowsPerPage
+	opts.Compliance = Level1
+	opts.Enc = enc.DefaultOptions()
+	opts.Enc.Allowed = map[enc.SchemeID]bool{enc.Plain: true}
+	_, f := writeTestFile(t, schema, batch, opts)
+	return f
+}
+
+// TestPlanSpanRunsAdjacent pins the core planner property: byte-adjacent
+// chunks of different columns merge into one run, and a skipped column
+// splits the run when its chunk exceeds the gap.
+func TestPlanSpanRunsAdjacent(t *testing.T) {
+	f := plainFixture(t, 4, 512, 512, 128)
+	span := rowSpan{0, 512}
+
+	// All four columns, one group: chunks are exactly adjacent -> 1 run.
+	runs := f.planSpanRuns([]int{0, 1, 2, 3}, span, DefaultCoalesceGap)
+	if len(runs) != 1 || len(runs[0].segs) != 4 {
+		t.Fatalf("adjacent columns: %d runs (want 1 with 4 segs)", len(runs))
+	}
+	if runs[0].wasted != 0 {
+		t.Fatalf("adjacent merge wasted %d bytes, want 0", runs[0].wasted)
+	}
+
+	// Columns 0 and 2: column 1's chunk (4 plain pages ~ 4.1 KB) exceeds
+	// the default 4 KiB gap -> two runs.
+	runs = f.planSpanRuns([]int{0, 2}, span, DefaultCoalesceGap)
+	if len(runs) != 2 {
+		t.Fatalf("gap > CoalesceGap: %d runs, want 2", len(runs))
+	}
+
+	// Raising the gap above the skipped chunk size reads through it.
+	_, chunkSize1 := f.view.ChunkByteRange(0, 1)
+	runs = f.planSpanRuns([]int{0, 2}, span, int64(chunkSize1))
+	if len(runs) != 1 || len(runs[0].segs) != 2 {
+		t.Fatalf("gap read-through: %d runs, want 1 with 2 segs", len(runs))
+	}
+	if runs[0].wasted != int64(chunkSize1) {
+		t.Fatalf("wasted = %d, want skipped chunk size %d", runs[0].wasted, chunkSize1)
+	}
+}
+
+// TestPlanSpanRunsLimit pins the CoalesceLimit cap: merging stops when the
+// combined read would exceed the limit, and a single oversized segment
+// still becomes one (uncapped) read because pages are fetched whole.
+func TestPlanSpanRunsLimit(t *testing.T) {
+	// 3 columns x 64Ki rows x 8 B/plain value ~ 512 KiB per chunk: two
+	// chunks (~1.0 MiB) fit under the 1.25 MiB limit, three do not.
+	const rows = 1 << 16
+	f := plainFixture(t, 3, rows, rows, 1024)
+	span := rowSpan{0, rows}
+
+	runs := f.planSpanRuns([]int{0, 1, 2}, span, DefaultCoalesceGap)
+	if len(runs) != 2 {
+		t.Fatalf("limit split: %d runs, want 2", len(runs))
+	}
+	if got := len(runs[0].segs); got != 2 {
+		t.Fatalf("first run has %d segs, want 2 (greedy merge under limit)", got)
+	}
+	if sz := runs[0].end - runs[0].off; sz > CoalesceLimit {
+		t.Fatalf("merged run %d bytes exceeds CoalesceLimit %d", sz, CoalesceLimit)
+	}
+
+	// A single column chunk larger than the limit is one read.
+	_, chunkSize := f.view.ChunkByteRange(0, 0)
+	if chunkSize <= CoalesceLimit/3 {
+		t.Fatalf("fixture chunk too small: %d", chunkSize)
+	}
+	runs = f.planSpanRuns([]int{0}, span, DefaultCoalesceGap)
+	if len(runs) != 1 {
+		t.Fatalf("single column: %d runs, want 1", len(runs))
+	}
+}
+
+// scanAll drains a scan configured by opts into one concatenated column
+// set.
+func scanAll(t *testing.T, f *File, opts ScanOptions) ([]ColumnData, ScanStats) {
+	t.Helper()
+	sc, err := f.Scan(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	out := drainScanner(t, sc)
+	return out, sc.Stats()
+}
+
+// TestScanCoalescedMatchesUncoalesced asserts the coalesced planner path
+// returns batches identical to the per-column path over every column type,
+// page-misaligned batches, and deletions — while issuing fewer reads.
+func TestScanCoalescedMatchesUncoalesced(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(23))
+	batch := testBatch(t, schema, rng, 5000)
+	mf, f := writeTestFile(t, schema, batch, &Options{RowsPerPage: 256, GroupRows: 1500, Compliance: Level1})
+	if err := f.DeleteRows(mf, []uint64{3, 700, 701, 702, 4999}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batchRows := range []int{97, 256, 1024, 100000} {
+		t.Run(fmt.Sprintf("b%d", batchRows), func(t *testing.T) {
+			base := ScanOptions{BatchRows: batchRows, Workers: 4}
+			plain := base
+			plain.DisableCoalesce = true
+			want, wantStats := scanAll(t, f, plain)
+			got, gotStats := scanAll(t, f, base)
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("column %q differs between coalesced and uncoalesced scan",
+						schema.Fields[i].Name)
+				}
+			}
+			if gotStats.ReadOps >= wantStats.ReadOps {
+				t.Errorf("coalesced scan used %d reads, uncoalesced %d",
+					gotStats.ReadOps, wantStats.ReadOps)
+			}
+			if gotStats.RowsEmitted != wantStats.RowsEmitted {
+				t.Errorf("rows: %d vs %d", gotStats.RowsEmitted, wantStats.RowsEmitted)
+			}
+		})
+	}
+}
+
+// TestScanReuseBatchesCorrect asserts recycled batches decode to the same
+// data as a fresh scan: the recycled storage must be fully overwritten.
+func TestScanReuseBatchesCorrect(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(29))
+	batch := testBatch(t, schema, rng, 4000)
+	_, f := writeTestFile(t, schema, batch, &Options{RowsPerPage: 256, GroupRows: 1024, Compliance: Level1})
+
+	want, _ := scanAll(t, f, ScanOptions{BatchRows: 512, Workers: 2})
+
+	sc, err := f.Scan(ScanOptions{BatchRows: 512, Workers: 2, ReuseBatches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	var got []ColumnData
+	for {
+		b, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			// Seed with typed empty columns so every append copies:
+			// appendColumn(nil, c) would alias c's soon-recycled storage.
+			got = make([]ColumnData, len(b.Columns))
+			for i := range got {
+				got[i] = emptyColumn(schema.Fields[i])
+			}
+		}
+		// Deep-copy before recycling: the storage is about to be reused.
+		for i, c := range b.Columns {
+			got[i] = appendColumn(got[i], c)
+		}
+		sc.Recycle(b)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("column %q differs under ReuseBatches", schema.Fields[i].Name)
+		}
+	}
+}
+
+// TestScanRecycleRace exercises Recycle racing the decode pool: the
+// consumer recycles each batch immediately while workers are decoding
+// later slots into previously recycled storage. Run under -race in CI.
+func TestScanRecycleRace(t *testing.T) {
+	f := plainFixture(t, 8, 1<<14, 4096, 512)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sc, err := f.Scan(ScanOptions{BatchRows: 1024, Workers: 4, ReuseBatches: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sc.Close()
+			rows := 0
+			for {
+				b, err := sc.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rows += b.NumRows()
+				sc.Recycle(b)
+			}
+			if rows != 1<<14 {
+				t.Errorf("scanned %d rows, want %d", rows, 1<<14)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestScanCoalescedStats sanity-checks the new ScanStats fields: the
+// coalesced scan of adjacent columns reports multi-column reads and no
+// waste; a gap read-through reports waste.
+func TestScanCoalescedStats(t *testing.T) {
+	f := plainFixture(t, 4, 2048, 1024, 256)
+
+	_, st := scanAll(t, f, ScanOptions{BatchRows: 1024})
+	if st.ReadOps != 2 { // one coalesced read per group
+		t.Fatalf("ReadOps = %d, want 2", st.ReadOps)
+	}
+	if st.CoalescedBytes != st.BytesRead {
+		t.Fatalf("CoalescedBytes %d != BytesRead %d (all reads are multi-column)",
+			st.CoalescedBytes, st.BytesRead)
+	}
+	if st.WastedBytes != 0 {
+		t.Fatalf("WastedBytes = %d, want 0", st.WastedBytes)
+	}
+
+	// Project c00 and c02 with a gap wide enough to read through c01.
+	_, chunkSize := f.view.ChunkByteRange(0, 1)
+	_, st = scanAll(t, f, ScanOptions{
+		Columns:     []string{"c00", "c02"},
+		BatchRows:   1024,
+		CoalesceGap: int(chunkSize),
+	})
+	if st.ReadOps != 2 {
+		t.Fatalf("gap read-through ReadOps = %d, want 2", st.ReadOps)
+	}
+	if st.WastedBytes == 0 {
+		t.Fatal("gap read-through reported no WastedBytes")
+	}
+
+	// Negative gap: only exact adjacency merges; the c01 hole splits runs.
+	_, st = scanAll(t, f, ScanOptions{
+		Columns:     []string{"c00", "c02"},
+		BatchRows:   1024,
+		CoalesceGap: -1,
+	})
+	if st.ReadOps != 4 || st.WastedBytes != 0 {
+		t.Fatalf("negative gap: ReadOps=%d WastedBytes=%d, want 4 and 0", st.ReadOps, st.WastedBytes)
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bullion/internal/enc"
 	"bullion/internal/footer"
+	"bullion/internal/quant"
 )
 
 // This file implements the streaming scan subsystem: instead of
@@ -71,6 +73,24 @@ type ScanOptions struct {
 	Range *RowRange
 	// Filters prune batches via the footer's page zone maps.
 	Filters []ColumnFilter
+	// CoalesceGap is the largest run of cold bytes a coalesced read may
+	// read through to merge two wanted page runs into one I/O (see
+	// DefaultCoalesceGap, used when 0). Negative disables read-through:
+	// only exactly byte-adjacent page runs merge.
+	CoalesceGap int
+	// DisableCoalesce reverts to one read per column chunk run (the
+	// pre-planner scan path). Coalesced and uncoalesced scans return
+	// identical batches; this exists for measurement and as an escape
+	// hatch for readers whose storage penalizes large requests.
+	DisableCoalesce bool
+	// ReuseBatches opts into batch recycling: when the caller returns a
+	// finished batch via Scanner.Recycle, later batches decode into its
+	// column storage instead of allocating, making steady-state Next
+	// calls allocation-free for fixed-width columns. Batches must not be
+	// read after being recycled. Recycling is implemented by the
+	// coalesced decode path only; with DisableCoalesce, Recycle is a
+	// no-op.
+	ReuseBatches bool
 }
 
 // ScanStats reports the physical work a scan performed so far.
@@ -89,6 +109,16 @@ type ScanStats struct {
 	// batches and are not counted here.
 	BatchesSkipped int64
 	RowsEmitted    int64
+	// ReadOps counts physical ReadAt calls issued so far. On the
+	// coalesced path, adjacent column chunks share reads, so ReadOps can
+	// be far below columns x batches.
+	ReadOps int64
+	// CoalescedBytes counts bytes fetched by reads that merged page runs
+	// of two or more columns into one I/O.
+	CoalescedBytes int64
+	// WastedBytes counts cold gap bytes read through under CoalesceGap:
+	// transferred but belonging to no projected page.
+	WastedBytes int64
 }
 
 // rowSpan is one planned batch: global rows [lo, hi).
@@ -96,11 +126,25 @@ type rowSpan struct {
 	lo, hi uint64
 }
 
+// segRef points a projected column at one of its page segments inside a
+// planned span run.
+type segRef struct {
+	run *spanRun
+	seg runSeg
+}
+
 // scanSlot carries one in-flight batch through the worker pool.
 type scanSlot struct {
-	idx       int
-	span      rowSpan
-	cols      []ColumnData
+	idx  int
+	span rowSpan
+	cols []ColumnData
+	// runs/colSegs are set on the coalesced path: the planned physical
+	// reads for this span and, per projected column, its page segments in
+	// row order.
+	runs    []*spanRun
+	colSegs [][]segRef
+	// reuse holds a recycled batch's column storage (ReuseBatches).
+	reuse     []ColumnData
 	remaining atomic.Int32
 	errMu     sync.Mutex
 	err       error
@@ -130,6 +174,11 @@ type Scanner struct {
 	batches []rowSpan
 	workers int
 
+	coalesce    bool
+	gap         int64
+	reuseOn     bool
+	poolRunBufs bool // run buffers recyclable: no projected column aliases them
+
 	tasks chan scanTask
 	ready chan *scanSlot
 	sem   chan struct{}
@@ -142,8 +191,14 @@ type Scanner struct {
 	closed   bool
 	stopOnce sync.Once
 
+	freeMu sync.Mutex
+	free   [][]ColumnData
+
 	bytesRead    atomic.Int64
 	pagesDecoded atomic.Int64
+	readOps      atomic.Int64
+	coalescedB   atomic.Int64
+	wastedB      atomic.Int64
 	pagesSkipped int64
 	batchesSkip  int64
 	batchesOut   int64
@@ -179,13 +234,26 @@ func (f *File) Scan(opts ScanOptions) (*Scanner, error) {
 		return nil, err
 	}
 
+	gap := int64(opts.CoalesceGap)
+	if opts.CoalesceGap == 0 {
+		gap = DefaultCoalesceGap
+	} else if gap < 0 {
+		gap = 0
+	}
 	s := &Scanner{
-		f:       f,
-		cols:    cols,
-		schema:  schema,
-		workers: workers,
-		pending: map[int]*scanSlot{},
-		stop:    make(chan struct{}),
+		f:        f,
+		cols:     cols,
+		schema:   schema,
+		workers:  workers,
+		coalesce: !opts.DisableCoalesce,
+		gap:      gap,
+		// Only the coalesced decode path implements decode-into, so
+		// recycling is pointless (and would silently drop recycled
+		// storage) without it.
+		reuseOn:     opts.ReuseBatches && !opts.DisableCoalesce,
+		poolRunBufs: !projectionAliases(schema.Fields),
+		pending:     map[int]*scanSlot{},
+		stop:        make(chan struct{}),
 	}
 	for b := lo; b < hi; b += uint64(batchRows) {
 		span := rowSpan{b, min(b+uint64(batchRows), hi)}
@@ -336,6 +404,36 @@ func (s *Scanner) start() {
 				return
 			}
 			slot := &scanSlot{idx: i, span: span, cols: make([]ColumnData, len(s.cols))}
+			if s.coalesce {
+				slot.runs = s.f.planSpanRuns(s.cols, span, s.gap)
+				// Bucket each column's segments (in row = file-offset
+				// order) into one shared backing array: a per-column
+				// append loop would cost O(columns) allocations per batch.
+				ends := make([]int, len(s.cols)+1)
+				total := 0
+				for _, run := range slot.runs {
+					for _, seg := range run.segs {
+						ends[seg.col+1]++
+						total++
+					}
+				}
+				for c := 0; c < len(s.cols); c++ {
+					ends[c+1] += ends[c]
+				}
+				backing := make([]segRef, total)
+				cursor := append([]int(nil), ends[:len(s.cols)]...)
+				for _, run := range slot.runs {
+					for _, seg := range run.segs {
+						backing[cursor[seg.col]] = segRef{run: run, seg: seg}
+						cursor[seg.col]++
+					}
+				}
+				slot.colSegs = make([][]segRef, len(s.cols))
+				for c := range slot.colSegs {
+					slot.colSegs[c] = backing[ends[c]:ends[c+1]]
+				}
+			}
+			slot.reuse = s.takeFree()
 			slot.remaining.Store(int32(len(s.cols)))
 			for c := range s.cols {
 				select {
@@ -352,13 +450,22 @@ func (s *Scanner) start() {
 		go func() {
 			defer s.wg.Done()
 			for task := range s.tasks {
-				data, err := s.decodeColumnSpan(s.cols[task.col], task.slot.span)
+				var data ColumnData
+				var err error
+				if task.slot.colSegs != nil {
+					data, err = s.decodeColumnRuns(task.slot, task.col)
+				} else {
+					data, err = s.decodeColumnSpan(s.cols[task.col], task.slot.span)
+				}
 				if err != nil {
 					task.slot.setErr(err)
 				} else {
 					task.slot.cols[task.col] = data
 				}
 				if task.slot.remaining.Add(-1) == 0 {
+					// All column tasks of this slot are done; no goroutine
+					// can still touch its run buffers.
+					releaseRuns(task.slot)
 					select {
 					case s.ready <- task.slot:
 					case <-s.stop:
@@ -435,6 +542,7 @@ func (s *Scanner) decodeColumnSpan(ci int, span rowSpan) (ColumnData, error) {
 			return nil, fmt.Errorf("core: reading pages %d-%d of column %q: %w",
 				run.first, run.last, field.Name, err)
 		}
+		s.readOps.Add(1)
 		s.bytesRead.Add(int64(len(buf)))
 		rowStart := run.firstRowStart
 		for p := run.first; p <= run.last; p++ {
@@ -473,6 +581,345 @@ func (s *Scanner) decodeColumnSpan(ci int, span rowSpan) (ColumnData, error) {
 	return out, nil
 }
 
+// projectionAliases reports whether any projected column's decoded values
+// can alias the encoded page bytes (byte-string decoding is zero-copy out
+// of the read buffer). When true, run buffers must live as long as the
+// batches referencing them and cannot be pooled.
+func projectionAliases(fields []Field) bool {
+	for _, f := range fields {
+		switch f.Type.Kind {
+		case Binary, String:
+			return true
+		case List:
+			if f.Type.Elem == Binary {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fetchRun reads a planned run's bytes exactly once; concurrent column
+// tasks needing the same run block on the first fetch (they would be
+// blocked on their own I/O otherwise). The buffer comes from the run pool
+// unless a projected column would alias it.
+func (s *Scanner) fetchRun(r *spanRun) error {
+	r.fetchOnce.Do(func() {
+		n := int(r.end - r.off)
+		if s.poolRunBufs {
+			r.bufP = getRunBuf(n)
+			r.buf = *r.bufP
+		} else {
+			r.buf = make([]byte, n)
+		}
+		if _, err := s.f.r.ReadAt(r.buf, r.off); err != nil {
+			r.err = fmt.Errorf("core: coalesced read [%d,%d): %w", r.off, r.end, err)
+			if r.bufP != nil {
+				putRunBuf(r.bufP)
+				r.bufP, r.buf = nil, nil
+			}
+			return
+		}
+		s.readOps.Add(1)
+		s.bytesRead.Add(int64(n))
+		if len(r.segs) > 1 {
+			s.coalescedB.Add(int64(n))
+		}
+		s.wastedB.Add(r.wasted)
+	})
+	return r.err
+}
+
+// releaseRuns returns a completed slot's pooled run buffers. Called by the
+// worker that finishes the slot's last column task, so no other goroutine
+// can still slice the buffers.
+func releaseRuns(slot *scanSlot) {
+	for _, r := range slot.runs {
+		if r.bufP != nil {
+			putRunBuf(r.bufP)
+			r.bufP, r.buf = nil, nil
+		}
+	}
+}
+
+// decodeColumnRuns decodes projected column pos of a coalesced slot from
+// its planned run buffers. Fixed-width columns decode straight into the
+// output slice (recycled from ScanOptions.ReuseBatches when available):
+// pages fully inside the span with no deletions — every page, when batches
+// are page-aligned — cost zero allocations. Variable-width columns fall
+// back to per-page decoding but still share the coalesced reads.
+func (s *Scanner) decodeColumnRuns(slot *scanSlot, pos int) (ColumnData, error) {
+	ci := s.cols[pos]
+	field := s.f.FieldByIndex(ci)
+	segs := slot.colSegs[pos]
+	var reuse ColumnData
+	if slot.reuse != nil {
+		reuse = slot.reuse[pos]
+	}
+	switch {
+	case field.Nullable && field.Type.Kind == Int64:
+		return s.decodeNullableRuns(slot, field, segs, reuse)
+	case field.Type.Kind == Int64 || field.Type.Kind == Int32:
+		var prev Int64Data
+		if r, ok := reuse.(Int64Data); ok {
+			prev = r
+		}
+		out, err := decodeFixedRuns(s, slot, field, segs, prev,
+			func(dst []int64, payload []byte) error {
+				_, err := enc.DecodeIntsInto(dst, payload)
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		return Int64Data(out), nil
+	case field.Type.Kind == Float64:
+		var prev Float64Data
+		if r, ok := reuse.(Float64Data); ok {
+			prev = r
+		}
+		out, err := decodeFixedRuns(s, slot, field, segs, prev,
+			func(dst []float64, payload []byte) error {
+				_, err := enc.DecodeFloatsInto(dst, payload)
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		return Float64Data(out), nil
+	case field.Type.Kind == Float32:
+		var prev Float32Data
+		if r, ok := reuse.(Float32Data); ok {
+			prev = r
+		}
+		qf := field.Type.Quant
+		out, err := decodeFixedRuns(s, slot, field, segs, prev,
+			func(dst []float32, payload []byte) error {
+				bp := getPageInts(len(dst))
+				defer putPageInts(bp)
+				bits, err := enc.DecodeIntsInto(*bp, payload)
+				if err != nil {
+					return err
+				}
+				_, err = quant.DequantizeInto(dst, bits, qf)
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		return Float32Data(out), nil
+	case field.Type.Kind == Bool:
+		var prev BoolData
+		if r, ok := reuse.(BoolData); ok {
+			prev = r
+		}
+		out, err := decodeFixedRuns(s, slot, field, segs, prev,
+			func(dst []bool, payload []byte) error {
+				_, err := enc.DecodeBoolsInto(dst, payload)
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		return BoolData(out), nil
+	default:
+		return s.decodeGenericRuns(slot, field, segs)
+	}
+}
+
+// decodeFixedRuns assembles one fixed-width column of a span from its run
+// segments, decoding each page into place with dec. prev, when large
+// enough, is reused as the output storage.
+func decodeFixedRuns[T any](s *Scanner, slot *scanSlot, field Field, segs []segRef, prev []T, dec func([]T, []byte) error) ([]T, error) {
+	span := slot.span
+	want := int(span.hi - span.lo)
+	var out []T
+	if cap(prev) >= want {
+		out = prev[:want]
+	} else {
+		out = make([]T, want)
+	}
+	f := s.f
+	pos := 0
+	for _, sr := range segs {
+		if err := s.fetchRun(sr.run); err != nil {
+			return nil, err
+		}
+		rowStart := sr.seg.firstRowStart
+		for p := sr.seg.first; p <= sr.seg.last; p++ {
+			pOff, pEnd := f.pageByteRange(p)
+			payload := sr.run.buf[pOff-sr.run.off : pEnd-sr.run.off]
+			logical := f.view.PageRows(p)
+			rowEnd := rowStart + uint64(logical)
+			clipLo, clipHi := 0, logical
+			if rowStart < span.lo {
+				clipLo = int(span.lo - rowStart)
+			}
+			if rowEnd > span.hi {
+				clipHi = logical - int(rowEnd-span.hi)
+			}
+			nDel := f.deletedInRange(rowStart+uint64(clipLo), rowStart+uint64(clipHi))
+			if clipLo == 0 && clipHi == logical && nDel == 0 {
+				// The common aligned clean page: decode into place.
+				if err := dec(out[pos:pos+logical], payload); err != nil {
+					return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
+				}
+				pos += logical
+			} else {
+				stage := make([]T, logical)
+				if err := dec(stage, payload); err != nil {
+					return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
+				}
+				if nDel == 0 {
+					pos += copy(out[pos:], stage[clipLo:clipHi])
+				} else {
+					for i := clipLo; i < clipHi; i++ {
+						if !f.view.RowDeleted(rowStart + uint64(i)) {
+							out[pos] = stage[i]
+							pos++
+						}
+					}
+				}
+			}
+			s.pagesDecoded.Add(1)
+			rowStart = rowEnd
+		}
+	}
+	return out[:pos], nil
+}
+
+// decodeNullableRuns is decodeFixedRuns for nullable int64 columns, which
+// carry a values slice and a validity slice.
+func (s *Scanner) decodeNullableRuns(slot *scanSlot, field Field, segs []segRef, reuse ColumnData) (ColumnData, error) {
+	span := slot.span
+	want := int(span.hi - span.lo)
+	var vals []int64
+	var valid []bool
+	if prev, ok := reuse.(NullableInt64Data); ok && cap(prev.Values) >= want && cap(prev.Valid) >= want {
+		vals, valid = prev.Values[:want], prev.Valid[:want]
+	} else {
+		vals, valid = make([]int64, want), make([]bool, want)
+	}
+	f := s.f
+	pos := 0
+	for _, sr := range segs {
+		if err := s.fetchRun(sr.run); err != nil {
+			return nil, err
+		}
+		rowStart := sr.seg.firstRowStart
+		for p := sr.seg.first; p <= sr.seg.last; p++ {
+			pOff, pEnd := f.pageByteRange(p)
+			payload := sr.run.buf[pOff-sr.run.off : pEnd-sr.run.off]
+			logical := f.view.PageRows(p)
+			rowEnd := rowStart + uint64(logical)
+			clipLo, clipHi := 0, logical
+			if rowStart < span.lo {
+				clipLo = int(span.lo - rowStart)
+			}
+			if rowEnd > span.hi {
+				clipHi = logical - int(rowEnd-span.hi)
+			}
+			nDel := f.deletedInRange(rowStart+uint64(clipLo), rowStart+uint64(clipHi))
+			if clipLo == 0 && clipHi == logical && nDel == 0 {
+				if err := enc.DecodeNullableIntsInto(vals[pos:pos+logical], valid[pos:pos+logical], payload); err != nil {
+					return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
+				}
+				pos += logical
+			} else {
+				sv := make([]int64, logical)
+				sb := make([]bool, logical)
+				if err := enc.DecodeNullableIntsInto(sv, sb, payload); err != nil {
+					return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
+				}
+				for i := clipLo; i < clipHi; i++ {
+					if nDel == 0 || !f.view.RowDeleted(rowStart+uint64(i)) {
+						vals[pos], valid[pos] = sv[i], sb[i]
+						pos++
+					}
+				}
+			}
+			s.pagesDecoded.Add(1)
+			rowStart = rowEnd
+		}
+	}
+	return NullableInt64Data{Values: vals[:pos], Valid: valid[:pos]}, nil
+}
+
+// decodeGenericRuns handles variable-width columns (byte strings, lists,
+// sparse sequences): per-page decoding as on the uncoalesced path, but
+// slicing payloads out of the shared run buffers.
+func (s *Scanner) decodeGenericRuns(slot *scanSlot, field Field, segs []segRef) (ColumnData, error) {
+	span := slot.span
+	f := s.f
+	var out ColumnData
+	for _, sr := range segs {
+		if err := s.fetchRun(sr.run); err != nil {
+			return nil, err
+		}
+		rowStart := sr.seg.firstRowStart
+		for p := sr.seg.first; p <= sr.seg.last; p++ {
+			pOff, pEnd := f.pageByteRange(p)
+			payload := sr.run.buf[pOff-sr.run.off : pEnd-sr.run.off]
+			logical := f.view.PageRows(p)
+			data, err := decodePage(field, payload, logical)
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
+			}
+			s.pagesDecoded.Add(1)
+			rowEnd := rowStart + uint64(logical)
+			clipLo, clipHi := 0, logical
+			if rowStart < span.lo {
+				clipLo = int(span.lo - rowStart)
+			}
+			if rowEnd > span.hi {
+				clipHi = logical - int(rowEnd-span.hi)
+			}
+			if clipLo != 0 || clipHi != logical {
+				data = sliceColumn(data, clipLo, clipHi)
+			}
+			clipStart := rowStart + uint64(clipLo)
+			if f.deletedInRange(clipStart, rowStart+uint64(clipHi)) > 0 {
+				data = filterDeleted(data, f.view, clipStart, clipHi-clipLo)
+			}
+			out = appendColumn(out, data)
+			rowStart = rowEnd
+		}
+	}
+	if out == nil {
+		out = emptyColumn(field)
+	}
+	return out, nil
+}
+
+// Recycle returns a finished batch's column storage to the scanner so
+// later batches can decode into it (ScanOptions.ReuseBatches). The batch
+// must have been returned by this scanner's Next and must not be read
+// afterwards. Recycle is safe to call concurrently with Next. Without
+// ReuseBatches it is a no-op.
+func (s *Scanner) Recycle(b *Batch) {
+	if !s.reuseOn || b == nil || len(b.Columns) != len(s.cols) {
+		return
+	}
+	s.freeMu.Lock()
+	s.free = append(s.free, b.Columns)
+	s.freeMu.Unlock()
+}
+
+// takeFree pops a recycled column set, or nil.
+func (s *Scanner) takeFree() []ColumnData {
+	if !s.reuseOn {
+		return nil
+	}
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	if n := len(s.free); n > 0 {
+		set := s.free[n-1]
+		s.free = s.free[:n-1]
+		return set
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the scan's physical work so far.
 func (s *Scanner) Stats() ScanStats {
 	return ScanStats{
@@ -482,6 +929,9 @@ func (s *Scanner) Stats() ScanStats {
 		BatchesEmitted: s.batchesOut,
 		BatchesSkipped: s.batchesSkip,
 		RowsEmitted:    s.rowsOut,
+		ReadOps:        s.readOps.Load(),
+		CoalescedBytes: s.coalescedB.Load(),
+		WastedBytes:    s.wastedB.Load(),
 	}
 }
 

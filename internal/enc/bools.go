@@ -33,21 +33,30 @@ func EncodeBoolsWith(dst []byte, id SchemeID, vs []bool) ([]byte, error) {
 
 // DecodeBools decodes an n-value boolean stream.
 func DecodeBools(src []byte, n int) ([]bool, error) {
+	if len(src) == 0 && n == 0 {
+		return nil, nil
+	}
+	return DecodeBoolsInto(make([]bool, n), src)
+}
+
+// DecodeBoolsInto decodes len(dst) values from src into dst. Every element
+// of dst is overwritten, so callers may pass recycled slices.
+func DecodeBoolsInto(dst []bool, src []byte) ([]bool, error) {
 	if len(src) == 0 {
-		if n == 0 {
-			return nil, nil
+		if len(dst) == 0 {
+			return dst, nil
 		}
-		return nil, corruptf("empty stream for %d bools", n)
+		return nil, corruptf("empty stream for %d bools", len(dst))
 	}
 	id := SchemeID(src[0])
 	payload := src[1:]
 	switch id {
 	case PlainBool:
-		return decodePlainBools(payload, n)
+		return decodePlainBools(dst, payload)
 	case SparseBool:
-		return decodeSparseBools(payload, n)
+		return decodeSparseBools(dst, payload)
 	case Roaring:
-		return decodeRoaringBools(payload, n)
+		return decodeRoaringBools(dst, payload)
 	default:
 		return nil, corruptf("%v is not a bool scheme", id)
 	}
@@ -92,17 +101,16 @@ func encodePlainBools(dst []byte, vs []bool) []byte {
 	return dst
 }
 
-func decodePlainBools(src []byte, n int) ([]bool, error) {
-	words := (n + 63) / 64
+func decodePlainBools(dst []bool, src []byte) ([]bool, error) {
+	words := (len(dst) + 63) / 64
 	if len(src) < words*8 {
 		return nil, corruptf("plainbool: have %d bytes, need %d", len(src), words*8)
 	}
-	out := make([]bool, n)
-	for i := range out {
+	for i := range dst {
 		w := binary.LittleEndian.Uint64(src[(i>>6)*8:])
-		out[i] = w&(1<<uint(i&63)) != 0
+		dst[i] = w&(1<<uint(i&63)) != 0
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ---- SparseBool: polarity bit + positions of the rare value ----
@@ -137,7 +145,8 @@ func encodeSparseBools(dst []byte, vs []bool) []byte {
 	return dst
 }
 
-func decodeSparseBools(src []byte, n int) ([]bool, error) {
+func decodeSparseBools(dst []bool, src []byte) ([]bool, error) {
+	n := len(dst)
 	if len(src) < 1 {
 		return nil, corruptf("sparsebool: missing polarity")
 	}
@@ -148,11 +157,9 @@ func decodeSparseBools(src []byte, n int) ([]bool, error) {
 		return nil, corruptf("sparsebool: bad position count")
 	}
 	src = src[sz:]
-	out := make([]bool, n)
-	if !rareIsTrue {
-		for i := range out {
-			out[i] = true
-		}
+	// Fill with the common value first: dst may be a recycled slice.
+	for i := range dst {
+		dst[i] = !rareIsTrue
 	}
 	pos := uint64(0)
 	for i := uint64(0); i < nPos; i++ {
@@ -166,9 +173,9 @@ func decodeSparseBools(src []byte, n int) ([]bool, error) {
 		if pos += d; pos < d || pos >= uint64(n) {
 			return nil, corruptf("sparsebool: position %d out of range", pos)
 		}
-		out[pos] = rareIsTrue
+		dst[pos] = rareIsTrue
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ---- Roaring (Table 2, [13]) ----
@@ -251,8 +258,9 @@ func encodeRoaringBools(dst []byte, vs []bool) []byte {
 	return dst
 }
 
-func decodeRoaringBools(src []byte, n int) ([]bool, error) {
-	out := make([]bool, n)
+func decodeRoaringBools(dst []bool, src []byte) ([]bool, error) {
+	n := len(dst)
+	clear(dst) // dst may be a recycled slice
 	nC, sz := binary.Uvarint(src)
 	if sz <= 0 {
 		return nil, corruptf("roaring: bad container count")
@@ -263,7 +271,7 @@ func decodeRoaringBools(src []byte, n int) ([]bool, error) {
 		if i >= n {
 			return corruptf("roaring: position %d out of range %d", i, n)
 		}
-		out[i] = true
+		dst[i] = true
 		return nil
 	}
 	for c := uint64(0); c < nC; c++ {
@@ -322,5 +330,5 @@ func decodeRoaringBools(src []byte, n int) ([]bool, error) {
 			return nil, corruptf("roaring: unknown container type %d", typ)
 		}
 	}
-	return out, nil
+	return dst, nil
 }

@@ -17,27 +17,38 @@ func EncodeBytesWith(dst []byte, id SchemeID, vs [][]byte, opts *Options) ([]byt
 	return encodeBytesWithDepth(dst, id, vs, opts, 0)
 }
 
-// DecodeBytes decodes an n-value byte-string stream.
+// DecodeBytes decodes an n-value byte-string stream. The returned values
+// may alias src.
 func DecodeBytes(src []byte, n int) ([][]byte, error) {
+	if len(src) == 0 && n == 0 {
+		return nil, nil
+	}
+	return DecodeBytesInto(make([][]byte, n), src)
+}
+
+// DecodeBytesInto decodes len(dst) values from src, reusing dst's outer
+// slice. Every element is overwritten, so callers may pass recycled
+// slices; the decoded values themselves may alias src.
+func DecodeBytesInto(dst [][]byte, src []byte) ([][]byte, error) {
 	if len(src) == 0 {
-		if n == 0 {
-			return nil, nil
+		if len(dst) == 0 {
+			return dst, nil
 		}
-		return nil, corruptf("empty stream for %d strings", n)
+		return nil, corruptf("empty stream for %d strings", len(dst))
 	}
 	id := SchemeID(src[0])
 	payload := src[1:]
 	switch id {
 	case PlainB:
-		return decodePlainBytes(payload, n)
+		return decodePlainBytes(dst, payload)
 	case DictB:
-		return decodeDictBytes(payload, n)
+		return decodeDictBytes(dst, payload)
 	case FSST:
-		return decodeFSST(payload, n)
+		return decodeFSST(dst, payload)
 	case ChunkedB:
-		return decodeChunkedBytes(payload, n)
+		return decodeChunkedBytes(dst, payload)
 	case ConstantB:
-		return decodeConstantBytes(payload, n)
+		return decodeConstantBytes(dst, payload)
 	default:
 		return nil, corruptf("%v is not a bytes scheme", id)
 	}
@@ -79,17 +90,16 @@ func encodePlainBytes(dst []byte, vs [][]byte) []byte {
 	return dst
 }
 
-func decodePlainBytes(src []byte, n int) ([][]byte, error) {
-	out := make([][]byte, n)
-	for i := 0; i < n; i++ {
+func decodePlainBytes(dst [][]byte, src []byte) ([][]byte, error) {
+	for i := range dst {
 		l, sz := binary.Uvarint(src)
 		if sz <= 0 || l > uint64(len(src)-sz) {
 			return nil, corruptf("plain bytes: truncated at value %d", i)
 		}
-		out[i] = src[sz : sz+int(l)]
+		dst[i] = src[sz : sz+int(l)]
 		src = src[sz+int(l):]
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ---- Constant ----
@@ -107,17 +117,16 @@ func encodeConstantBytes(dst []byte, vs [][]byte) ([]byte, error) {
 	return append(dst, vs[0]...), nil
 }
 
-func decodeConstantBytes(src []byte, n int) ([][]byte, error) {
+func decodeConstantBytes(dst [][]byte, src []byte) ([][]byte, error) {
 	l, sz := binary.Uvarint(src)
 	if sz <= 0 || l > uint64(len(src)-sz) {
 		return nil, corruptf("constant bytes: bad value")
 	}
 	v := src[sz : sz+int(l)]
-	out := make([][]byte, n)
-	for i := range out {
-		out[i] = v
+	for i := range dst {
+		dst[i] = v
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ---- Dictionary ----
@@ -160,7 +169,8 @@ func encodeDictBytes(dst []byte, vs [][]byte, opts *Options, depth int) ([]byte,
 	return appendChild(dst, child), nil
 }
 
-func decodeDictBytes(src []byte, n int) ([][]byte, error) {
+func decodeDictBytes(dst [][]byte, src []byte) ([][]byte, error) {
+	n := len(dst)
 	dictLen, sz := binary.Uvarint(src)
 	if sz <= 0 {
 		return nil, corruptf("dictb: bad dict length")
@@ -173,7 +183,7 @@ func decodeDictBytes(src []byte, n int) ([][]byte, error) {
 	if sz <= 0 || blobLen > uint64(len(src)-sz) {
 		return nil, corruptf("dictb: bad blob length")
 	}
-	blobs, err := decodePlainBytes(src[sz:sz+int(blobLen)], int(dictLen))
+	blobs, err := decodePlainBytes(make([][]byte, dictLen), src[sz:sz+int(blobLen)])
 	if err != nil {
 		return nil, err
 	}
@@ -181,22 +191,23 @@ func decodeDictBytes(src []byte, n int) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	codes, err := DecodeInts(codeStream, n)
+	cp := getInt64Scratch(n)
+	defer putInt64Scratch(cp)
+	codes, err := DecodeIntsInto(*cp, codeStream)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]byte, n)
 	for i, c := range codes {
 		switch {
 		case c >= 0 && c < int64(dictLen):
-			out[i] = blobs[c]
+			dst[i] = blobs[c]
 		case c == int64(dictLen): // compliance mask entry
-			out[i] = nil
+			dst[i] = nil
 		default:
 			return nil, corruptf("dictb: code %d out of range", c)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ---- Chunked: flate over concatenation + cascaded length sub-column ----
@@ -220,12 +231,14 @@ func encodeChunkedBytes(dst []byte, vs [][]byte, opts *Options, depth int) ([]by
 	return appendFlateChunks(dst, cat)
 }
 
-func decodeChunkedBytes(src []byte, n int) ([][]byte, error) {
+func decodeChunkedBytes(dst [][]byte, src []byte) ([][]byte, error) {
 	lenStream, src, err := readChild(src)
 	if err != nil {
 		return nil, err
 	}
-	lens, err := DecodeInts(lenStream, n)
+	lp := getInt64Scratch(len(dst))
+	defer putInt64Scratch(lp)
+	lens, err := DecodeIntsInto(*lp, lenStream)
 	if err != nil {
 		return nil, err
 	}
@@ -237,14 +250,13 @@ func decodeChunkedBytes(src []byte, n int) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]byte, n)
 	off := 0
 	for i, l := range lens {
 		if l < 0 || off+int(l) > len(cat) {
 			return nil, corruptf("chunkedb: lengths overflow payload")
 		}
-		out[i] = cat[off : off+int(l)]
+		dst[i] = cat[off : off+int(l)]
 		off += int(l)
 	}
-	return out, nil
+	return dst, nil
 }

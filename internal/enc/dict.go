@@ -68,7 +68,9 @@ func maskCodeWidth(dictLen int) int {
 
 // encodeBitPackWidth emits a complete BitPack stream at an explicit width.
 func encodeBitPackWidth(dst []byte, vs []int64, w int) ([]byte, error) {
-	us := make([]uint64, len(vs))
+	p := getUint64Scratch(len(vs))
+	defer putUint64Scratch(p)
+	us := *p
 	for i, v := range vs {
 		if v < 0 || bitutil.WidthOf(uint64(v)) > w {
 			return nil, ErrNotApplicable

@@ -73,7 +73,9 @@ func encodeFORInts(dst []byte, vs []int64) ([]byte, error) {
 			base = v
 		}
 	}
-	us := make([]uint64, len(vs))
+	p := getUint64Scratch(len(vs))
+	defer putUint64Scratch(p)
+	us := *p
 	for i, v := range vs {
 		d, ok := subOverflow(v, base)
 		if !ok {
@@ -97,7 +99,9 @@ func decodeFORInts(dst []int64, src []byte) ([]int64, error) {
 		return nil, corruptf("for: missing width")
 	}
 	w := int(src[0])
-	us, err := bitutil.Unpack(make([]uint64, len(dst)), src[1:], len(dst), w)
+	p := getUint64Scratch(len(dst))
+	defer putUint64Scratch(p)
+	us, err := bitutil.Unpack(*p, src[1:], len(dst), w)
 	if err != nil {
 		return nil, corruptf("for: %v", err)
 	}
@@ -120,7 +124,9 @@ const blockSize = 128
 // payload := { width(1B) packed128 }*  (last block may be short)
 
 func encodeBP128Ints(dst []byte, vs []int64) ([]byte, error) {
-	us := make([]uint64, blockSize)
+	p := getUint64Scratch(blockSize)
+	defer putUint64Scratch(p)
+	us := *p
 	for lo := 0; lo < len(vs); lo += blockSize {
 		hi := lo + blockSize
 		if hi > len(vs) {
@@ -138,7 +144,9 @@ func encodeBP128Ints(dst []byte, vs []int64) ([]byte, error) {
 }
 
 func decodeBP128Ints(dst []int64, src []byte) ([]int64, error) {
-	us := make([]uint64, blockSize)
+	p := getUint64Scratch(blockSize)
+	defer putUint64Scratch(p)
+	us := *p
 	for lo := 0; lo < len(dst); lo += blockSize {
 		hi := lo + blockSize
 		if hi > len(dst) {
@@ -176,7 +184,9 @@ func decodeBP128Ints(dst []int64, src []byte) ([]int64, error) {
 //              packed128 excPos(1B each) excHigh(varint each) }*
 
 func encodePFORInts(dst []byte, vs []int64) ([]byte, error) {
-	us := make([]uint64, blockSize)
+	p := getUint64Scratch(blockSize)
+	defer putUint64Scratch(p)
+	us := *p
 	for lo := 0; lo < len(vs); lo += blockSize {
 		hi := lo + blockSize
 		if hi > len(vs) {
@@ -204,7 +214,8 @@ func encodePFORInts(dst []byte, vs []int64) ([]byte, error) {
 		if w < 64 {
 			mask = (1 << uint(w)) - 1
 		}
-		lows := make([]uint64, len(offs))
+		lp := getUint64Scratch(len(offs))
+		lows := *lp
 		for i, u := range offs {
 			lows[i] = u & mask
 			if high := u &^ mask; high != 0 {
@@ -216,6 +227,7 @@ func encodePFORInts(dst []byte, vs []int64) ([]byte, error) {
 		dst = append(dst, byte(w))
 		dst = binary.AppendUvarint(dst, uint64(len(excPos)))
 		dst = bitutil.Pack(dst, lows, w)
+		putUint64Scratch(lp)
 		dst = append(dst, excPos...)
 		for _, h := range excHigh {
 			dst = binary.AppendUvarint(dst, h)
@@ -243,7 +255,9 @@ func pforWidth(offs []uint64) int {
 }
 
 func decodePFORInts(dst []int64, src []byte) ([]int64, error) {
-	us := make([]uint64, blockSize)
+	p := getUint64Scratch(blockSize)
+	defer putUint64Scratch(p)
+	us := *p
 	for lo := 0; lo < len(dst); lo += blockSize {
 		hi := lo + blockSize
 		if hi > len(dst) {

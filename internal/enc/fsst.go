@@ -215,7 +215,8 @@ func encodeFSST(dst []byte, vs [][]byte, opts *Options, depth int) ([]byte, erro
 	return append(dst, all...), nil
 }
 
-func decodeFSST(src []byte, n int) ([][]byte, error) {
+func decodeFSST(dst [][]byte, src []byte) ([][]byte, error) {
+	n := len(dst)
 	if len(src) < 1 {
 		return nil, corruptf("fsst: missing table size")
 	}
@@ -246,7 +247,6 @@ func decodeFSST(src []byte, n int) ([][]byte, error) {
 		return nil, corruptf("fsst: bad corpus length")
 	}
 	comp := src[sz : sz+int(total)]
-	out := make([][]byte, n)
 	off := 0
 	for i, l := range compLens {
 		if l < 0 || off+int(l) > len(comp) {
@@ -256,8 +256,8 @@ func decodeFSST(src []byte, n int) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = dec
+		dst[i] = dec
 		off += int(l)
 	}
-	return out, nil
+	return dst, nil
 }

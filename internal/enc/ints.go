@@ -152,7 +152,9 @@ func decodePlainInts(dst []int64, src []byte) ([]int64, error) {
 // Applicable to non-negative inputs only; the selector checks.
 
 func encodeBitPackInts(dst []byte, vs []int64) ([]byte, error) {
-	us := make([]uint64, len(vs))
+	p := getUint64Scratch(len(vs))
+	defer putUint64Scratch(p)
+	us := *p
 	for i, v := range vs {
 		if v < 0 {
 			return nil, ErrNotApplicable
@@ -169,7 +171,9 @@ func decodeBitPackInts(dst []int64, src []byte) ([]int64, error) {
 		return nil, corruptf("bitpack: missing width")
 	}
 	w := int(src[0])
-	us, err := bitutil.Unpack(make([]uint64, len(dst)), src[1:], len(dst), w)
+	p := getUint64Scratch(len(dst))
+	defer putUint64Scratch(p)
+	us, err := bitutil.Unpack(*p, src[1:], len(dst), w)
 	if err != nil {
 		return nil, corruptf("bitpack: %v", err)
 	}
@@ -338,7 +342,9 @@ func decodeChunkedInts(dst []int64, src []byte) ([]int64, error) {
 // payload := width(1B) flateChunks(transposed)
 
 func encodeBitShuffleInts(dst []byte, vs []int64) ([]byte, error) {
-	us := make([]uint64, len(vs))
+	up := getUint64Scratch(len(vs))
+	defer putUint64Scratch(up)
+	us := *up
 	anyNeg := false
 	for i, v := range vs {
 		if v < 0 {
@@ -355,7 +361,10 @@ func encodeBitShuffleInts(dst []byte, vs []int64) ([]byte, error) {
 	}
 	dst = append(dst, byte(w&0xff)) // 64 encodes as 64; width <= 64
 	n := len(vs)
-	trans := make([]byte, bitutil.PackedLen(n*w, 1))
+	tp := getByteScratch(bitutil.PackedLen(n*w, 1))
+	defer putByteScratch(tp)
+	trans := *tp
+	clear(trans)
 	for bit := 0; bit < w; bit++ {
 		base := bit * n
 		for i, u := range us {

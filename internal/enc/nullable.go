@@ -35,25 +35,48 @@ func EncodeNullableInts(dst []byte, vs []int64, valid *bitutil.Bitmap, opts *Opt
 // DecodeNullableInts decodes an n-value nullable stream, returning the
 // values (null positions hold 0) and the validity bitmap.
 func DecodeNullableInts(src []byte, n int) ([]int64, *bitutil.Bitmap, error) {
+	vals := make([]int64, n)
+	vp := getBoolScratch(n)
+	defer putBoolScratch(vp)
+	if err := DecodeNullableIntsInto(vals, *vp, src); err != nil {
+		return nil, nil, err
+	}
+	valid := bitutil.NewBitmap(n)
+	for i, ok := range *vp {
+		if ok {
+			valid.Set(i)
+		}
+	}
+	return vals, valid, nil
+}
+
+// DecodeNullableIntsInto decodes a nullable stream of len(vals) values
+// into vals and valid (which must have equal length); null positions hold
+// 0. Every element of both slices is overwritten, so callers may pass
+// recycled slices.
+func DecodeNullableIntsInto(vals []int64, valid []bool, src []byte) error {
+	if len(valid) != len(vals) {
+		return corruptf("nullable: validity length %d != values %d", len(valid), len(vals))
+	}
 	if len(src) == 0 {
-		return nil, nil, corruptf("nullable: empty stream")
+		return corruptf("nullable: empty stream")
 	}
 	id := SchemeID(src[0])
 	payload := src[1:]
 	switch id {
 	case Nullable:
-		return decodeNullableInts(payload, n)
+		return decodeNullableIntsInto(vals, valid, payload)
 	case Sentinel:
-		return decodeSentinelInts(payload, n)
+		return decodeSentinelIntsInto(vals, valid, payload)
 	default:
 		// A plain value stream: everything valid.
-		vs, err := DecodeInts(src, n)
-		if err != nil {
-			return nil, nil, err
+		if _, err := DecodeIntsInto(vals, src); err != nil {
+			return err
 		}
-		valid := bitutil.NewBitmap(n)
-		valid.SetRange(0, n)
-		return vs, valid, nil
+		for i := range valid {
+			valid[i] = true
+		}
+		return nil
 	}
 }
 
@@ -80,45 +103,46 @@ func encodeNullableInts(dst []byte, vs []int64, valid *bitutil.Bitmap, opts *Opt
 	return appendChild(dst, child), nil
 }
 
-func decodeNullableInts(src []byte, n int) ([]int64, *bitutil.Bitmap, error) {
+func decodeNullableIntsInto(vals []int64, valid []bool, src []byte) error {
+	n := len(vals)
 	n64, sz := binary.Uvarint(src)
 	if sz <= 0 || int(n64) != n {
-		return nil, nil, corruptf("nullable: count mismatch: stream %d, caller %d", n64, n)
+		return corruptf("nullable: count mismatch: stream %d, caller %d", n64, n)
 	}
 	src = src[sz:]
 	validityStream, src, err := readChild(src)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
 	valueStream, _, err := readChild(src)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	indicators, err := DecodeBools(validityStream, n)
-	if err != nil {
-		return nil, nil, err
+	if _, err := DecodeBoolsInto(valid, validityStream); err != nil {
+		return err
 	}
-	valid := bitutil.NewBitmap(n)
 	nDense := 0
-	for i, ok := range indicators {
+	for _, ok := range valid {
 		if ok {
-			valid.Set(i)
 			nDense++
 		}
 	}
-	dense, err := DecodeInts(valueStream, nDense)
+	dp := getInt64Scratch(nDense)
+	defer putInt64Scratch(dp)
+	dense, err := DecodeIntsInto(*dp, valueStream)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	out := make([]int64, n)
 	d := 0
-	for i, ok := range indicators {
+	for i, ok := range valid {
 		if ok {
-			out[i] = dense[d]
+			vals[i] = dense[d]
 			d++
+		} else {
+			vals[i] = 0
 		}
 	}
-	return out, valid, nil
+	return nil
 }
 
 // findSentinel looks for a value absent from the valid values of vs,
@@ -156,26 +180,25 @@ func encodeSentinelInts(dst []byte, vs []int64, valid *bitutil.Bitmap, sentinel 
 	return appendChild(dst, child), nil
 }
 
-func decodeSentinelInts(src []byte, n int) ([]int64, *bitutil.Bitmap, error) {
+func decodeSentinelIntsInto(vals []int64, valid []bool, src []byte) error {
 	sentinel, sz := binary.Varint(src)
 	if sz <= 0 {
-		return nil, nil, corruptf("sentinel: bad sentinel value")
+		return corruptf("sentinel: bad sentinel value")
 	}
 	valueStream, _, err := readChild(src[sz:])
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	vs, err := DecodeInts(valueStream, n)
-	if err != nil {
-		return nil, nil, err
+	if _, err := DecodeIntsInto(vals, valueStream); err != nil {
+		return err
 	}
-	valid := bitutil.NewBitmap(n)
-	for i, v := range vs {
+	for i, v := range vals {
 		if v != sentinel {
-			valid.Set(i)
+			valid[i] = true
 		} else {
-			vs[i] = 0
+			valid[i] = false
+			vals[i] = 0
 		}
 	}
-	return vs, valid, nil
+	return nil
 }

@@ -312,7 +312,16 @@ func Quantize(vs []float32, f Format) ([]int64, error) {
 
 // Dequantize expands bit patterns produced by Quantize back to float32.
 func Dequantize(bits []int64, f Format) ([]float32, error) {
-	out := make([]float32, len(bits))
+	return DequantizeInto(make([]float32, len(bits)), bits, f)
+}
+
+// DequantizeInto expands bit patterns into out, which must have the same
+// length as bits; every element is overwritten, so callers may pass
+// recycled slices.
+func DequantizeInto(out []float32, bits []int64, f Format) ([]float32, error) {
+	if len(out) != len(bits) {
+		return nil, fmt.Errorf("quant: dst length %d != src %d", len(out), len(bits))
+	}
 	switch f {
 	case FP32:
 		for i, b := range bits {

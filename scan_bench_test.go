@@ -115,6 +115,7 @@ func reportScanRate(b *testing.B) {
 
 func benchWholeColumn(b *testing.B, latency time.Duration) {
 	f, names := openScanBench(b, latency)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		batch, err := f.Project(names...)
@@ -130,12 +131,17 @@ func benchWholeColumn(b *testing.B, latency time.Duration) {
 
 func benchStreaming(b *testing.B, workers int, latency time.Duration) {
 	f, names := openScanBench(b, latency)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// DisableCoalesce pins the pre-planner per-column read path: these
+		// benchmarks are the baseline the coalesced scan is measured
+		// against (and stay comparable with the PR-1 numbers).
 		sc, err := f.Scan(ScanOptions{
-			Columns:   names,
-			Workers:   workers,
-			BatchRows: 8192,
+			Columns:         names,
+			Workers:         workers,
+			BatchRows:       8192,
+			DisableCoalesce: true,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -168,3 +174,149 @@ func BenchmarkScanWholeColumnBlob(b *testing.B) { benchWholeColumn(b, scanBenchL
 func BenchmarkScanStreamingBlob1(b *testing.B)  { benchStreaming(b, 1, scanBenchLatency) }
 func BenchmarkScanStreamingBlob4(b *testing.B)  { benchStreaming(b, 4, scanBenchLatency) }
 func BenchmarkScanStreamingBlob8(b *testing.B)  { benchStreaming(b, 8, scanBenchLatency) }
+
+// ---- Coalesced scan on the hot-reordered widetable workload ----
+//
+// The §2.5 pairing: 16 hot features scattered across a 64-column table
+// are reordered to the front at write time (ReorderFields), so a hot-set
+// projection touches 16 physically adjacent chunks per row group. The
+// coalesced scan then reads each group's hot set in one I/O and decodes
+// into recycled batch storage; the *Hot baselines run the identical
+// projection on the identical file through the per-column path. Both
+// paths return byte-identical batches (TestGoldenScanCoalescedIdentical
+// and TestScanCoalescedMatchesUncoalesced pin this).
+
+const hotBenchCols = 16
+
+var hotBench struct {
+	once  sync.Once
+	file  *benchFile
+	names []string // the hot projection, in reordered (= schema) order
+}
+
+// hotBenchFile writes the shared hot-reordered table once per process.
+func hotBenchFile(b *testing.B) (*benchFile, []string) {
+	b.Helper()
+	hotBench.once.Do(func() {
+		rng := rand.New(rand.NewSource(977))
+		fields := make([]Field, scanBenchCols)
+		cols := make([]ColumnData, scanBenchCols)
+		var hot []string
+		for c := 0; c < scanBenchCols; c++ {
+			name := fmt.Sprintf("feat_%03d", c)
+			fields[c] = Field{Name: name, Type: Type{Kind: Int64}}
+			if c%4 == 0 { // every 4th feature is hot: scattered before reordering
+				hot = append(hot, name)
+			}
+			vals := make(Int64Data, scanBenchRows)
+			for r := range vals {
+				vals[r] = rng.Int63n(1 << 20)
+			}
+			cols[c] = vals
+		}
+		schema, err := NewSchema(fields...)
+		if err != nil {
+			panic(err)
+		}
+		reordered, perm, err := ReorderFields(schema, hot)
+		if err != nil {
+			panic(err)
+		}
+		batch, err := NewBatch(reordered, ReorderBatchColumns(cols, perm))
+		if err != nil {
+			panic(err)
+		}
+		mf := &benchFile{}
+		w, err := NewWriter(mf, reordered, &Options{
+			RowsPerPage: 1024,
+			GroupRows:   scanBenchGroup,
+			Compliance:  Level1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := w.Write(batch); err != nil {
+			panic(err)
+		}
+		if err := w.Close(); err != nil {
+			panic(err)
+		}
+		hotBench.file = mf
+		hotBench.names = hot
+	})
+	return hotBench.file, hotBench.names
+}
+
+// benchHotScan runs the hot projection with the given options, reporting
+// rows/sec, physical read ops, and (via -benchmem / ReportAllocs)
+// allocations per scanned file.
+func benchHotScan(b *testing.B, workers int, coalesce, recycle bool, latency time.Duration) {
+	mf, names := hotBenchFile(b)
+	if len(names) != hotBenchCols {
+		b.Fatalf("hot set has %d columns", len(names))
+	}
+	var r io.ReaderAt = mf
+	if latency > 0 {
+		r = &latencyReaderAt{r: mf, d: latency}
+	}
+	f, err := Open(r, mf.Size())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var readOps int64
+	for i := 0; i < b.N; i++ {
+		sc, err := f.Scan(ScanOptions{
+			Columns:         names,
+			Workers:         workers,
+			BatchRows:       8192,
+			DisableCoalesce: !coalesce,
+			ReuseBatches:    recycle,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for {
+			batch, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += batch.NumRows()
+			if recycle {
+				sc.Recycle(batch)
+			}
+		}
+		readOps += sc.Stats().ReadOps
+		sc.Close()
+		if rows != scanBenchRows {
+			b.Fatalf("scanned %d rows", rows)
+		}
+	}
+	b.ReportMetric(float64(readOps)/float64(b.N), "readops/op")
+	reportScanRate(b)
+}
+
+// BenchmarkScanCoalesced*: planner + pooled run buffers + batch recycling.
+func BenchmarkScanCoalesced1(b *testing.B) { benchHotScan(b, 1, true, true, 0) }
+func BenchmarkScanCoalesced8(b *testing.B) { benchHotScan(b, 8, true, true, 0) }
+
+// BenchmarkScanStreamingHot*: the same projection on the same file
+// through the per-column baseline path.
+func BenchmarkScanStreamingHot1(b *testing.B) { benchHotScan(b, 1, false, false, 0) }
+func BenchmarkScanStreamingHot8(b *testing.B) { benchHotScan(b, 8, false, false, 0) }
+
+// Blob variants: with per-read latency, the 16x read-op reduction is a
+// direct wall-clock win even before decode cost matters.
+func BenchmarkScanCoalescedBlob1(b *testing.B) { benchHotScan(b, 1, true, true, scanBenchLatency) }
+func BenchmarkScanCoalescedBlob8(b *testing.B) { benchHotScan(b, 8, true, true, scanBenchLatency) }
+func BenchmarkScanStreamingHotBlob1(b *testing.B) {
+	benchHotScan(b, 1, false, false, scanBenchLatency)
+}
+func BenchmarkScanStreamingHotBlob8(b *testing.B) {
+	benchHotScan(b, 8, false, false, scanBenchLatency)
+}
