@@ -156,6 +156,51 @@
 // (the pre-pipeline behavior); Writer.SelectorStats reports the realized
 // reuse. Sparse (§2.2) columns use their own composite codec and bypass
 // the selector cache.
+//
+// # Datasets and compaction
+//
+// Training tables are fleets of immutable column-store files, not one
+// file. A Dataset is a directory of member files described by a versioned
+// JSON manifest that records, per file, the row and live-row counts and
+// per-column min/max zone maps lifted from the footers when the file was
+// committed — per-file statistics are computed once and reused by every
+// later open and scan, never recomputed per open:
+//
+//	ds, _ := bullion.CreateDataset("ads.blnds", schema, nil)
+//	sw, _ := ds.ShardedWriter(4) // route ingest across 4 member files
+//	for batch := range batches {
+//	    _ = sw.Write(batch)
+//	}
+//	_ = sw.Close() // one atomic manifest commit adds all 4 files
+//
+//	sc, _ := ds.Scan(bullion.DatasetScanOptions{
+//	    ScanOptions:     bullion.ScanOptions{Columns: hotFeatures, Filters: filters},
+//	    FileConcurrency: 8, // member files streamed concurrently
+//	})
+//	defer sc.Close()
+//	// Next returns batches in manifest file order; the loop is identical
+//	// to the single-file Scanner's.
+//
+// Dataset.Scan prunes whole member files before any I/O: files outside
+// ScanOptions.Range (interpreted over the dataset's concatenated global
+// row space) and files whose manifest zone maps prove a ColumnFilter
+// cannot match are never opened at all. Surviving files stream through
+// one per-file scan engine each, up to FileConcurrency at a time, and
+// Stats() aggregates the per-file ScanStats plus FilesPruned/FilesScanned
+// counters.
+//
+// Deletion and compaction split the paper's §2.1 story across two
+// timescales: Dataset.Delete flips deletion-vector bits in the affected
+// members (rows keep being filtered from scans immediately), and
+// Dataset.Compact later folds every member whose live-row ratio has
+// dropped below a threshold into a fresh file without its deleted rows,
+// committing the result as a new manifest generation. Commits are
+// write-temp + rename atomic, and scanners snapshot their generation at
+// Scan time: a scan running across a Delete or Compact keeps serving the
+// files of its own generation (superseded files stay on disk until
+// Dataset.Vacuum). Datasets default to compliance Level 1 for exactly
+// this reason — Level-2 in-place erasure would rewrite page bytes under
+// older generations' readers.
 package bullion
 
 import (
@@ -164,6 +209,7 @@ import (
 	"os"
 
 	"bullion/internal/core"
+	"bullion/internal/dataset"
 	"bullion/internal/enc"
 	"bullion/internal/quant"
 	"bullion/internal/sparse"
@@ -479,6 +525,43 @@ func (f *File) DeleteRows(rows []uint64) error {
 // DeleteRowsTo deletes rows, writing in-place updates through w (which
 // must address the same bytes the file reads).
 func (f *File) DeleteRowsTo(w io.WriterAt, rows []uint64) error { return f.cf.DeleteRows(w, rows) }
+
+// Dataset types re-exported from the dataset layer (see "Datasets and
+// compaction" above).
+type (
+	// Dataset is a manifest-backed multi-file table.
+	Dataset = dataset.Dataset
+	// DatasetOptions configures a Dataset handle (per-file writer options,
+	// reader wrapping).
+	DatasetOptions = dataset.Options
+	// DatasetScanOptions configures Dataset.Scan: the embedded ScanOptions
+	// per member engine, plus FileConcurrency.
+	DatasetScanOptions = dataset.ScanOptions
+	// DatasetScanner streams batches across member files in manifest order.
+	DatasetScanner = dataset.Scanner
+	// DatasetScanStats aggregates per-file ScanStats with file-pruning
+	// counters.
+	DatasetScanStats = dataset.ScanStats
+	// ShardedWriter routes ingest batches across N new member files.
+	ShardedWriter = dataset.ShardedWriter
+	// CompactStats reports what a Dataset.Compact call did.
+	CompactStats = dataset.CompactStats
+	// DatasetManifest is one generation's manifest document.
+	DatasetManifest = dataset.Manifest
+	// DatasetFileEntry describes one member file in a manifest.
+	DatasetFileEntry = dataset.FileEntry
+)
+
+// CreateDataset initializes a new dataset directory with an empty
+// manifest (generation 1). The directory must not already hold a dataset.
+func CreateDataset(dir string, schema *Schema, opts *DatasetOptions) (*Dataset, error) {
+	return dataset.Create(dir, schema, opts)
+}
+
+// OpenDataset opens the dataset at dir at its current manifest generation.
+func OpenDataset(dir string, opts *DatasetOptions) (*Dataset, error) {
+	return dataset.Open(dir, opts)
+}
 
 // Quantize converts float32 values to a Figure 6 format's bit patterns
 // (widened for the integer cascade).

@@ -1,23 +1,33 @@
-// Command bullion inspects and manipulates Bullion files.
+// Command bullion inspects and manipulates Bullion files and datasets.
 //
 // Usage:
 //
-//	bullion inspect <file>             print header, schema summary, stats
-//	bullion verify <file>              verify the Merkle checksum tree
-//	bullion project <file> <col>...    print the first rows of columns
-//	bullion scan <file> [flags] [col]  stream batches, report rows/sec
-//	bullion ingest <file> [flags]      write a synthetic table, report rows/sec
-//	bullion delete <file> <row>...     delete rows (per the file's level)
-//	bullion demo <file>                write a small demo ads file
+//	bullion inspect <file>               print header, schema summary, stats
+//	bullion info [-json] <path>...       machine-readable file/dataset stats
+//	bullion verify <file>                verify the Merkle checksum tree
+//	bullion project <file> <col>...      print the first rows of columns
+//	bullion scan [flags] <path>...       stream batches, report per-file + aggregate iostats
+//	bullion ingest [flags] <path>...     write synthetic tables, report per-file + aggregate iostats
+//	bullion compact [flags] <dir>...     fold deletion-heavy dataset members into fresh files
+//	bullion delete <path> <row>...       delete rows (file or dataset)
+//	bullion demo <file>                  write a small demo ads file
+//
+// scan and ingest accept any number of paths; a path that is a directory
+// is treated as a dataset (see bullion.OpenDataset). Flags come before
+// paths; for scan, positional arguments that do not name an existing path
+// are treated as projected column names.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"bullion"
@@ -28,23 +38,27 @@ func main() {
 	if len(os.Args) < 3 {
 		usage()
 	}
-	cmd, path := os.Args[1], os.Args[2]
+	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "inspect":
-		err = inspect(path)
+		err = inspect(args[0])
+	case "info":
+		err = info(args)
 	case "verify":
-		err = verify(path)
+		err = verify(args[0])
 	case "project":
-		err = project(path, os.Args[3:])
+		err = project(args[0], args[1:])
 	case "scan":
-		err = scan(path, os.Args[3:])
+		err = scan(args)
 	case "ingest":
-		err = ingest(path, os.Args[3:])
+		err = ingest(args)
+	case "compact":
+		err = compact(args)
 	case "delete":
-		err = deleteRows(path, os.Args[3:])
+		err = deleteRows(args[0], args[1:])
 	case "demo":
-		err = demo(path)
+		err = demo(args[0])
 	default:
 		usage()
 	}
@@ -57,13 +71,21 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   bullion inspect <file>
+  bullion info [-json] <file|dir>...
   bullion verify <file>
   bullion project <file> <column>...
-  bullion scan <file> [-batch N] [-workers N] [-coalesce-gap N] [-no-coalesce] [column]...
-  bullion ingest <file> [-rows N] [-cols N] [-group N] [-workers N] [-no-cache]
-  bullion delete <file> <row>...
+  bullion scan [-batch N] [-workers N] [-file-workers N] [-coalesce-gap N] [-no-coalesce] <file|dir>... [column]...
+  bullion ingest [-rows N] [-cols N] [-group N] [-workers N] [-shards N] [-no-cache] <file>... | <dir>
+  bullion compact [-threshold R] [-vacuum] <dir>...
+  bullion delete <file|dir> <row>...
   bullion demo <file>`)
 	os.Exit(2)
+}
+
+// isDir reports whether path exists and is a directory (a dataset).
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
 }
 
 func inspect(path string) error {
@@ -101,6 +123,172 @@ func inspect(path string) error {
 			name = "SparseDelta" // composite sliding-window pages
 		}
 		fmt.Printf("  %-20s %6d pages\n", name, n)
+	}
+	return nil
+}
+
+// ---- info: machine-readable stats ----
+
+// columnInfo is the per-column record `bullion info -json` emits — the
+// same stats the dataset manifest builder lifts from footers, so external
+// tooling can consume them without parsing human text.
+type columnInfo struct {
+	Name            string         `json:"name"`
+	Type            string         `json:"type"`
+	Sparse          bool           `json:"sparse,omitempty"`
+	Nullable        bool           `json:"nullable,omitempty"`
+	CompressedBytes uint64         `json:"compressed_bytes"`
+	Pages           int            `json:"pages"`
+	Encodings       map[string]int `json:"encodings"`
+	HasMinMax       bool           `json:"has_min_max"`
+	Min             *int64         `json:"min,omitempty"`
+	Max             *int64         `json:"max,omitempty"`
+	NullCount       uint64         `json:"null_count,omitempty"`
+}
+
+type fileInfo struct {
+	Path        string       `json:"path"`
+	FileBytes   int64        `json:"file_bytes"`
+	DataBytes   uint64       `json:"data_bytes"`
+	FooterBytes int          `json:"footer_bytes"`
+	Rows        uint64       `json:"rows"`
+	LiveRows    uint64       `json:"live_rows"`
+	Groups      int          `json:"groups"`
+	Pages       int          `json:"pages"`
+	Compliance  int          `json:"compliance"`
+	Columns     []columnInfo `json:"columns"`
+}
+
+type datasetInfo struct {
+	Path       string                     `json:"path"`
+	Generation uint64                     `json:"generation"`
+	SchemaFP   string                     `json:"schema_fingerprint"`
+	Rows       uint64                     `json:"rows"`
+	LiveRows   uint64                     `json:"live_rows"`
+	TotalBytes int64                      `json:"total_bytes"`
+	Files      []bullion.DatasetFileEntry `json:"files"`
+}
+
+func fileInfoFor(path string) (*fileInfo, error) {
+	f, err := bullion.OpenPath(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st := f.Stats()
+	out := &fileInfo{
+		Path:        path,
+		FileBytes:   st.FileBytes,
+		DataBytes:   st.DataBytes,
+		FooterBytes: st.FooterBytes,
+		Rows:        st.NumRows,
+		LiveRows:    st.LiveRows,
+		Groups:      st.NumGroups,
+		Pages:       st.NumPages,
+		Compliance:  int(st.Compliance),
+	}
+	for _, c := range st.Columns {
+		ci := columnInfo{
+			Name:            c.Name,
+			Type:            c.Type.String(),
+			Sparse:          c.Sparse,
+			Nullable:        c.Nullable,
+			CompressedBytes: c.CompressedBytes,
+			Pages:           c.Pages,
+			Encodings:       map[string]int{},
+			HasMinMax:       c.HasMinMax,
+			NullCount:       c.NullCount,
+		}
+		for id, n := range c.Encodings {
+			name := id.String()
+			if uint8(id) == 0 {
+				name = "SparseDelta"
+			}
+			ci.Encodings[name] = n
+		}
+		if c.HasMinMax {
+			mn, mx := c.Min, c.Max
+			ci.Min, ci.Max = &mn, &mx
+		}
+		out.Columns = append(out.Columns, ci)
+	}
+	return out, nil
+}
+
+func datasetInfoFor(path string) (*datasetInfo, error) {
+	ds, err := bullion.OpenDataset(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ds.Close()
+	m := ds.Manifest()
+	return &datasetInfo{
+		Path:       path,
+		Generation: m.Generation,
+		SchemaFP:   m.SchemaFP,
+		Rows:       ds.NumRows(),
+		LiveRows:   ds.NumLiveRows(),
+		TotalBytes: ds.TotalBytes(),
+		Files:      m.Files,
+	}, nil
+}
+
+// info prints per-path stats; with -json it emits one JSON document (a
+// list when more than one path is given).
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("info: no paths given")
+	}
+	var docs []any
+	for _, p := range paths {
+		if isDir(p) {
+			di, err := datasetInfoFor(p)
+			if err != nil {
+				return err
+			}
+			docs = append(docs, di)
+			continue
+		}
+		fi, err := fileInfoFor(p)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, fi)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(docs) == 1 {
+			return enc.Encode(docs[0])
+		}
+		return enc.Encode(docs)
+	}
+	for _, doc := range docs {
+		switch d := doc.(type) {
+		case *datasetInfo:
+			fmt.Printf("%s: dataset generation %d, %d files, %d rows (%d live), %d bytes\n",
+				d.Path, d.Generation, len(d.Files), d.Rows, d.LiveRows, d.TotalBytes)
+			for _, e := range d.Files {
+				fmt.Printf("  %-28s %10d rows %10d live %12d bytes\n", e.Name, e.Rows, e.LiveRows, e.Bytes)
+			}
+		case *fileInfo:
+			fmt.Printf("%s: %d rows (%d live), %d columns, %d groups, %d pages, level %d\n",
+				d.Path, d.Rows, d.LiveRows, len(d.Columns), d.Groups, d.Pages, d.Compliance)
+			for _, c := range d.Columns {
+				zone := "no zone map"
+				if c.HasMinMax {
+					zone = fmt.Sprintf("min %d max %d", *c.Min, *c.Max)
+				}
+				fmt.Printf("  %-28s %-16s %10d bytes %5d pages  %s\n",
+					c.Name, c.Type, c.CompressedBytes, c.Pages, zone)
+			}
+		}
 	}
 	return nil
 }
@@ -166,113 +354,248 @@ func cellString(col bullion.ColumnData, r int) string {
 	}
 }
 
-// scan streams the projected columns (default: all) through the parallel
-// Scanner and reports throughput plus physical I/O from iostats.
-func scan(path string, args []string) error {
+// scanResult is one path's scan outcome, for the aggregate report.
+type scanResult struct {
+	path    string
+	rows    int64
+	batches int64
+	elapsed time.Duration
+	stats   bullion.ScanStats
+	phys    iostats.Snapshot
+}
+
+// scan streams the projected columns (default: all) of every path —
+// single files and dataset directories — and reports per-path and
+// aggregate throughput plus physical I/O.
+func scan(args []string) error {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	batchRows := fs.Int("batch", bullion.DefaultScanBatchRows, "rows per batch")
-	workers := fs.Int("workers", 0, "decode workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "decode workers per file (0 = GOMAXPROCS)")
+	fileWorkers := fs.Int("file-workers", 0, "dataset member files streamed concurrently (0 = GOMAXPROCS)")
 	coalesceGap := fs.Int("coalesce-gap", 0,
 		"cold bytes to read through when merging reads (0 = default, negative = none)")
 	noCoalesce := fs.Bool("no-coalesce", false, "one read per column chunk run (pre-planner path)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cols := fs.Args()
+	// Positional arguments that name an existing file or directory are
+	// scan targets; the rest are projected column names. (The historical
+	// CLI silently scanned only the first path.)
+	var paths, cols []string
+	for _, a := range fs.Args() {
+		if _, err := os.Stat(a); err == nil {
+			paths = append(paths, a)
+		} else {
+			cols = append(cols, a)
+		}
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("scan: no existing paths given")
+	}
 
-	osf, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer osf.Close()
-	st, err := osf.Stat()
-	if err != nil {
-		return err
-	}
-	var counters iostats.Counters
-	counters.Reset()
-	f, err := bullion.Open(&iostats.ReaderAt{R: osf, C: &counters}, st.Size())
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
-	sc, err := f.Scan(bullion.ScanOptions{
+	opts := bullion.ScanOptions{
 		Columns:         cols,
 		BatchRows:       *batchRows,
 		Workers:         *workers,
 		CoalesceGap:     *coalesceGap,
 		DisableCoalesce: *noCoalesce,
 		ReuseBatches:    true,
-	})
+	}
+	var results []scanResult
+	for _, path := range paths {
+		var (
+			res scanResult
+			err error
+		)
+		if isDir(path) {
+			res, err = scanDataset(path, opts, *fileWorkers)
+		} else {
+			res, err = scanFile(path, opts)
+		}
+		if err != nil {
+			return fmt.Errorf("scan %s: %w", path, err)
+		}
+		printScanResult(res)
+		results = append(results, res)
+	}
+	if len(results) > 1 {
+		var agg scanResult
+		agg.path = fmt.Sprintf("TOTAL (%d paths)", len(results))
+		for _, r := range results {
+			agg.rows += r.rows
+			agg.batches += r.batches
+			agg.elapsed += r.elapsed
+			addScanStats(&agg.stats, r.stats)
+			agg.phys.ReadOps += r.phys.ReadOps
+			agg.phys.ReadBytes += r.phys.ReadBytes
+			agg.phys.Seeks += r.phys.Seeks
+		}
+		printScanResult(agg)
+	}
+	return nil
+}
+
+func addScanStats(dst *bullion.ScanStats, src bullion.ScanStats) {
+	dst.BytesRead += src.BytesRead
+	dst.PagesDecoded += src.PagesDecoded
+	dst.PagesSkipped += src.PagesSkipped
+	dst.BatchesEmitted += src.BatchesEmitted
+	dst.BatchesSkipped += src.BatchesSkipped
+	dst.RowsEmitted += src.RowsEmitted
+	dst.ReadOps += src.ReadOps
+	dst.CoalescedBytes += src.CoalescedBytes
+	dst.WastedBytes += src.WastedBytes
+}
+
+func printScanResult(r scanResult) {
+	fmt.Printf("%s: %d rows in %d batches in %v (%.0f rows/sec)\n",
+		r.path, r.rows, r.batches, r.elapsed.Round(time.Microsecond),
+		float64(r.rows)/r.elapsed.Seconds())
+	fmt.Printf("  bytes decoded:  %d (%.1f MB/s)\n", r.stats.BytesRead,
+		float64(r.stats.BytesRead)/r.elapsed.Seconds()/1e6)
+	fmt.Printf("  physical I/O:   %d reads, %d bytes, %d seeks\n",
+		r.phys.ReadOps, r.phys.ReadBytes, r.phys.Seeks)
+	fmt.Printf("  coalescing:     %d scan reads, %d coalesced bytes, %d wasted gap bytes\n",
+		r.stats.ReadOps, r.stats.CoalescedBytes, r.stats.WastedBytes)
+	fmt.Printf("  pages:          %d decoded, %d skipped; batches: %d emitted, %d skipped\n",
+		r.stats.PagesDecoded, r.stats.PagesSkipped, r.stats.BatchesEmitted, r.stats.BatchesSkipped)
+}
+
+func scanFile(path string, opts bullion.ScanOptions) (scanResult, error) {
+	osf, err := os.Open(path)
 	if err != nil {
-		return err
+		return scanResult{}, err
+	}
+	defer osf.Close()
+	st, err := osf.Stat()
+	if err != nil {
+		return scanResult{}, err
+	}
+	var counters iostats.Counters
+	counters.Reset()
+	f, err := bullion.Open(&iostats.ReaderAt{R: osf, C: &counters}, st.Size())
+	if err != nil {
+		return scanResult{}, err
+	}
+	defer f.Close()
+
+	sc, err := f.Scan(opts)
+	if err != nil {
+		return scanResult{}, err
 	}
 	defer sc.Close()
 
+	res := scanResult{path: path}
 	start := time.Now()
-	var rows, batches int64
 	for {
 		batch, err := sc.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return err
+			return scanResult{}, err
 		}
-		rows += int64(batch.NumRows())
-		batches++
+		res.rows += int64(batch.NumRows())
+		res.batches++
 		sc.Recycle(batch)
 	}
-	elapsed := time.Since(start)
-	stats := sc.Stats()
-	phys := counters.Snapshot()
-	fmt.Printf("scanned %d rows in %d batches (%d columns) in %v\n",
-		rows, batches, len(sc.Schema().Fields), elapsed.Round(time.Microsecond))
-	fmt.Printf("throughput:     %.0f rows/sec\n", float64(rows)/elapsed.Seconds())
-	fmt.Printf("bytes decoded:  %d (%.1f MB/s)\n", stats.BytesRead,
-		float64(stats.BytesRead)/elapsed.Seconds()/1e6)
-	fmt.Printf("physical I/O:   %d reads, %d bytes, %d seeks\n",
-		phys.ReadOps, phys.ReadBytes, phys.Seeks)
-	fmt.Printf("coalescing:     %d scan reads, %d coalesced bytes, %d wasted gap bytes\n",
-		stats.ReadOps, stats.CoalescedBytes, stats.WastedBytes)
-	fmt.Printf("pages:          %d decoded, %d skipped; batches: %d emitted, %d skipped\n",
-		stats.PagesDecoded, stats.PagesSkipped, stats.BatchesEmitted, stats.BatchesSkipped)
-	return nil
+	res.elapsed = time.Since(start)
+	res.stats = sc.Stats()
+	res.phys = counters.Snapshot()
+	return res, nil
 }
 
-// ingest writes a synthetic widetable-style feature table through the
-// pipelined writer and reports ingest throughput plus physical I/O — the
-// write-side twin of `bullion scan`.
-func ingest(path string, args []string) error {
+func scanDataset(dir string, opts bullion.ScanOptions, fileWorkers int) (scanResult, error) {
+	// One iostats counter per member file, so pruning is visible in the
+	// per-file physical I/O (pruned members never appear at all).
+	var mu sync.Mutex
+	perFile := map[string]*iostats.Counters{}
+	ds, err := bullion.OpenDataset(dir, &bullion.DatasetOptions{
+		WrapReader: func(name string, r io.ReaderAt, size int64) io.ReaderAt {
+			c := &iostats.Counters{}
+			c.Reset()
+			mu.Lock()
+			perFile[name] = c
+			mu.Unlock()
+			return &iostats.ReaderAt{R: r, C: c}
+		},
+	})
+	if err != nil {
+		return scanResult{}, err
+	}
+	defer ds.Close()
+
+	sc, err := ds.Scan(bullion.DatasetScanOptions{ScanOptions: opts, FileConcurrency: fileWorkers})
+	if err != nil {
+		return scanResult{}, err
+	}
+	defer sc.Close()
+
+	res := scanResult{path: dir}
+	start := time.Now()
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return scanResult{}, err
+		}
+		res.rows += int64(batch.NumRows())
+		res.batches++
+		sc.Recycle(batch)
+	}
+	res.elapsed = time.Since(start)
+	dstats := sc.Stats()
+	res.stats = dstats.ScanStats
+
+	names := make([]string, 0, len(perFile))
+	for name := range perFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d member files scanned, %d pruned by manifest\n",
+		dir, dstats.FilesScanned, dstats.FilesPruned)
+	for _, name := range names {
+		snap := perFile[name].Snapshot()
+		fmt.Printf("  %-28s %6d reads %12d bytes\n", name, snap.ReadOps, snap.ReadBytes)
+		res.phys.ReadOps += snap.ReadOps
+		res.phys.ReadBytes += snap.ReadBytes
+		res.phys.Seeks += snap.Seeks
+	}
+	return res, nil
+}
+
+// ---- ingest ----
+
+// ingest writes a synthetic widetable-style feature table, either across
+// N file paths (round-robin batches, one pipelined writer per file) or —
+// with -shards — into a dataset directory via the sharded writer. It
+// reports per-file and aggregate throughput plus physical I/O.
+func ingest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
-	rows := fs.Int("rows", 1<<20, "rows to write")
+	rows := fs.Int("rows", 1<<20, "total rows to write")
 	cols := fs.Int("cols", 64, "int64 feature columns")
 	group := fs.Int("group", 1<<16, "rows per row group")
-	workers := fs.Int("workers", 0, "encode workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "encode workers per file (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "dataset mode: route across N member files of the dataset directory path")
 	noCache := fs.Bool("no-cache", false, "disable the cascade selector cache (re-select per page)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("ingest: no paths given")
+	}
 
 	fields := make([]bullion.Field, *cols)
-	names := make([]string, *cols)
 	for c := range fields {
-		names[c] = fmt.Sprintf("feat_%03d", c)
-		fields[c] = bullion.Field{Name: names[c], Type: bullion.Type{Kind: bullion.Int64}}
+		fields[c] = bullion.Field{Name: fmt.Sprintf("feat_%03d", c), Type: bullion.Type{Kind: bullion.Int64}}
 	}
 	schema, err := bullion.NewSchema(fields...)
 	if err != nil {
 		return err
 	}
-
-	osf, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer osf.Close()
-	var counters iostats.Counters
-	counters.Reset()
 	opts := bullion.DefaultOptions()
 	opts.GroupRows = *group
 	opts.EncodeWorkers = *workers
@@ -280,24 +603,34 @@ func ingest(path string, args []string) error {
 		opts.Enc = bullion.DefaultEncodingOptions()
 		opts.Enc.ResampleDrift = -1
 	}
-	w, err := bullion.NewWriter(&iostats.Writer{W: osf, C: &counters}, schema, opts)
+	batches, err := syntheticBatches(schema, *rows, *cols)
 	if err != nil {
 		return err
 	}
 
-	// Pre-generate the synthetic batches — a mix of narrow-range,
-	// clustered, and wide values so the cascade has real decisions to
-	// make — so the timed region measures the writer, not the rng.
+	if *shards > 0 {
+		if len(paths) != 1 {
+			return fmt.Errorf("ingest: -shards takes exactly one dataset directory, got %d paths", len(paths))
+		}
+		return ingestDataset(paths[0], schema, opts, batches, *shards)
+	}
+	return ingestFiles(paths, schema, opts, batches)
+}
+
+// syntheticBatches pre-generates the ingest workload — a mix of
+// narrow-range, clustered, and wide values so the cascade has real
+// decisions to make — so the timed region measures the writer, not the
+// rng.
+func syntheticBatches(schema *bullion.Schema, rows, cols int) ([]*bullion.Batch, error) {
 	const batchRows = 8192
 	rng := rand.New(rand.NewSource(99))
-	var batchList []*bullion.Batch
-	written := 0
-	for written < *rows {
+	var out []*bullion.Batch
+	for written := 0; written < rows; {
 		n := batchRows
-		if written+n > *rows {
-			n = *rows - written
+		if written+n > rows {
+			n = rows - written
 		}
-		data := make([]bullion.ColumnData, *cols)
+		data := make([]bullion.ColumnData, cols)
 		for c := range data {
 			vals := make(bullion.Int64Data, n)
 			switch c % 3 {
@@ -318,33 +651,169 @@ func ingest(path string, args []string) error {
 		}
 		batch, err := bullion.NewBatch(schema, data)
 		if err != nil {
+			return nil, err
+		}
+		out = append(out, batch)
+		written += n
+	}
+	return out, nil
+}
+
+// ingestFiles writes the batches round-robin across one pipelined writer
+// per path.
+func ingestFiles(paths []string, schema *bullion.Schema, opts *bullion.Options, batches []*bullion.Batch) error {
+	type target struct {
+		path     string
+		osf      *os.File
+		counters iostats.Counters
+		w        *bullion.Writer
+		rows     int64
+	}
+	targets := make([]*target, len(paths))
+	for i, path := range paths {
+		osf, err := os.Create(path)
+		if err != nil {
 			return err
 		}
-		batchList = append(batchList, batch)
-		written += n
+		defer osf.Close()
+		tg := &target{path: path, osf: osf}
+		tg.counters.Reset()
+		w, err := bullion.NewWriter(&iostats.Writer{W: osf, C: &tg.counters}, schema, opts)
+		if err != nil {
+			return err
+		}
+		tg.w = w
+		targets[i] = tg
 	}
 
 	start := time.Now()
-	for _, batch := range batchList {
-		if err := w.Write(batch); err != nil {
+	var total int64
+	for i, batch := range batches {
+		tg := targets[i%len(targets)]
+		if err := tg.w.Write(batch); err != nil {
 			return err
 		}
+		tg.rows += int64(batch.NumRows())
+		total += int64(batch.NumRows())
 	}
-	if err := w.Close(); err != nil {
+	var hits, resamples int64
+	for _, tg := range targets {
+		if err := tg.w.Close(); err != nil {
+			return err
+		}
+		h, r := tg.w.SelectorStats()
+		hits += h
+		resamples += r
+	}
+	elapsed := time.Since(start)
+
+	var aggOps, aggBytes int64
+	for _, tg := range targets {
+		snap := tg.counters.Snapshot()
+		fmt.Printf("%s: %d rows, %d writes, %d bytes\n", tg.path, tg.rows, snap.WriteOps, snap.WriteBytes)
+		aggOps += snap.WriteOps
+		aggBytes += snap.WriteBytes
+	}
+	fmt.Printf("ingested %d rows across %d files in %v\n", total, len(targets), elapsed.Round(time.Microsecond))
+	fmt.Printf("throughput:     %.0f rows/sec (%.1f MB/s encoded)\n",
+		float64(total)/elapsed.Seconds(), float64(aggBytes)/elapsed.Seconds()/1e6)
+	fmt.Printf("physical I/O:   %d writes, %d bytes\n", aggOps, aggBytes)
+	printSelector(hits, resamples)
+	return nil
+}
+
+// ingestDataset routes the batches across a dataset's sharded writer.
+func ingestDataset(dir string, schema *bullion.Schema, opts *bullion.Options, batches []*bullion.Batch, shards int) error {
+	ds, err := bullion.OpenDataset(dir, &bullion.DatasetOptions{Writer: opts})
+	if err != nil {
+		ds2, cerr := bullion.CreateDataset(dir, schema, &bullion.DatasetOptions{Writer: opts})
+		if cerr != nil {
+			return fmt.Errorf("open: %v; create: %w", err, cerr)
+		}
+		ds = ds2
+	}
+	defer ds.Close()
+	if ds.Schema().Fingerprint() != schema.Fingerprint() {
+		return fmt.Errorf("ingest: dataset %s has a different schema (fingerprint %s)", dir, ds.Schema().Fingerprint())
+	}
+
+	sw, err := ds.ShardedWriter(shards)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var total int64
+	for _, batch := range batches {
+		if err := sw.Write(batch); err != nil {
+			return err
+		}
+		total += int64(batch.NumRows())
+	}
+	if err := sw.Close(); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	phys := counters.Snapshot()
-	hits, resamples := w.SelectorStats()
-	fmt.Printf("ingested %d rows x %d columns in %v\n", written, *cols, elapsed.Round(time.Microsecond))
-	fmt.Printf("throughput:     %.0f rows/sec (%.1f MB/s encoded)\n",
-		float64(written)/elapsed.Seconds(), float64(phys.WriteBytes)/elapsed.Seconds()/1e6)
-	fmt.Printf("physical I/O:   %d writes, %d bytes\n", phys.WriteOps, phys.WriteBytes)
+
+	m := ds.Manifest()
+	for _, e := range m.Files[len(m.Files)-minInt(shards, len(m.Files)):] {
+		fmt.Printf("%s/%s: %d rows, %d bytes\n", dir, e.Name, e.Rows, e.Bytes)
+	}
+	fmt.Printf("ingested %d rows across %d shards (generation %d) in %v\n",
+		total, shards, m.Generation, elapsed.Round(time.Microsecond))
+	fmt.Printf("throughput:     %.0f rows/sec\n", float64(total)/elapsed.Seconds())
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func printSelector(hits, resamples int64) {
 	fmt.Printf("selector cache: %d reused, %d sampled", hits, resamples)
 	if total := hits + resamples; total > 0 {
 		fmt.Printf(" (%.1f%% amortized)", 100*float64(hits)/float64(total))
 	}
 	fmt.Println()
+}
+
+// compact folds deletion-heavy members of each dataset into fresh files.
+func compact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.5, "compact members with live-row ratio below this")
+	vacuum := fs.Bool("vacuum", false, "remove superseded files after compacting (unsafe with concurrent readers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		return fmt.Errorf("compact: no dataset directories given")
+	}
+	for _, dir := range dirs {
+		ds, err := bullion.OpenDataset(dir, nil)
+		if err != nil {
+			return err
+		}
+		stats, err := ds.Compact(*threshold)
+		if err != nil {
+			ds.Close()
+			return err
+		}
+		fmt.Printf("%s: %d files compacted, %d dropped, %d deleted rows reclaimed, %d -> %d bytes (generation %d)\n",
+			dir, stats.FilesCompacted, stats.FilesDropped, stats.RowsReclaimed,
+			stats.BytesBefore, stats.BytesAfter, ds.Generation())
+		if *vacuum {
+			removed, err := ds.Vacuum()
+			if err != nil {
+				ds.Close()
+				return err
+			}
+			fmt.Printf("  vacuumed %d files\n", len(removed))
+		}
+		ds.Close()
+	}
 	return nil
 }
 
@@ -359,6 +828,19 @@ func deleteRows(path string, args []string) error {
 			return fmt.Errorf("delete: bad row %q", a)
 		}
 		rows[i] = v
+	}
+	if isDir(path) {
+		ds, err := bullion.OpenDataset(path, nil)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		if err := ds.Delete(rows); err != nil {
+			return err
+		}
+		fmt.Printf("deleted %d rows (generation %d); %d live rows remain\n",
+			len(rows), ds.Generation(), ds.NumLiveRows())
+		return nil
 	}
 	f, err := bullion.OpenPath(path)
 	if err != nil {

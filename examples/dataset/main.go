@@ -1,0 +1,144 @@
+// Dataset: the multi-file table layer. Training tables are fleets of
+// immutable column-store files behind a manifest, not one file: ingest
+// shards across member files, scans prune whole files from the manifest's
+// zone maps before any I/O, deletes flip deletion-vector bits, and
+// compaction folds deletion-heavy members into fresh files — all with
+// atomic manifest commits and snapshot-isolated scans. Run with:
+//
+//	go run ./examples/dataset
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"bullion"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bullion-dataset")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	schema, err := bullion.NewSchema(
+		bullion.Field{Name: "uid", Type: bullion.Type{Kind: bullion.Int64}},
+		bullion.Field{Name: "ctr", Type: bullion.Type{Kind: bullion.Float64}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Create the dataset and shard ingest across 4 member files: one
+	//    pipelined writer per shard, one atomic manifest commit for all.
+	ds, err := bullion.CreateDataset(dir, schema, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+
+	// Batches route round-robin across the shards, so with one batch per
+	// shard each member file holds one contiguous uid quarter — disjoint
+	// zone maps, the shape file-level pruning exploits best. (Many small
+	// batches would interleave ranges across shards and zone maps would
+	// overlap.)
+	const batchRows = 16384
+	const nBatches = 4
+	sw, err := ds.ShardedWriter(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for b := 0; b < nBatches; b++ {
+		uid := make(bullion.Int64Data, batchRows)
+		ctr := make(bullion.Float64Data, batchRows)
+		for i := range uid {
+			uid[i] = int64(b*batchRows + i)
+			ctr[i] = float64(i%100) / 100
+		}
+		batch, err := bullion.NewBatch(schema, []bullion.ColumnData{uid, ctr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sw.Write(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d rows into %d member files (generation %d)\n",
+		ds.NumRows(), ds.NumFiles(), ds.Generation())
+
+	// 2. A selective scan: the manifest's per-file uid zone maps prove
+	//    most members can't match, so they are never even opened.
+	lo := int64(60000)
+	sc, err := ds.Scan(bullion.DatasetScanOptions{
+		ScanOptions: bullion.ScanOptions{
+			Columns: []string{"uid", "ctr"},
+			Filters: []bullion.ColumnFilter{{Column: "uid", Min: &lo}},
+		},
+		FileConcurrency: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := drain(sc)
+	stats := sc.Stats()
+	sc.Close()
+	fmt.Printf("filtered scan (uid >= %d): %d rows, %d files pruned by manifest, %d scanned, %d reads\n",
+		lo, rows, stats.FilesPruned, stats.FilesScanned, stats.ReadOps)
+
+	// 3. Delete the first quarter of the table. Scans filter the rows
+	//    immediately; the bytes stay on disk until compaction.
+	del := make([]uint64, ds.NumRows()/4)
+	for i := range del {
+		del[i] = uint64(i)
+	}
+	if err := ds.Delete(del); err != nil {
+		log.Fatal(err)
+	}
+	bytesBefore := ds.TotalBytes()
+	fmt.Printf("deleted %d rows: %d live of %d, still %d bytes on disk\n",
+		len(del), ds.NumLiveRows(), ds.NumRows(), bytesBefore)
+
+	// 4. Compact members whose live-row ratio fell below 90%: each victim
+	//    is rewritten without its deleted rows and the replacement set is
+	//    committed as a new manifest generation. Old files remain for any
+	//    in-flight scanner of the previous generation until Vacuum.
+	cstats, err := ds.Compact(0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compacted %d files, dropped %d, reclaimed %d rows: %d -> %d bytes (generation %d)\n",
+		cstats.FilesCompacted, cstats.FilesDropped, cstats.RowsReclaimed,
+		cstats.BytesBefore, cstats.BytesAfter, ds.Generation())
+	if removed, err := ds.Vacuum(); err == nil {
+		fmt.Printf("vacuumed %d superseded files\n", len(removed))
+	}
+
+	// 5. The compacted dataset serves exactly the live rows.
+	sc, err = ds.Scan(bullion.DatasetScanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = drain(sc)
+	sc.Close()
+	fmt.Printf("post-compaction scan: %d rows across %d files\n", rows, ds.NumFiles())
+}
+
+func drain(sc *bullion.DatasetScanner) int {
+	rows := 0
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			return rows
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows += batch.NumRows()
+	}
+}

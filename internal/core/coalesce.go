@@ -106,20 +106,20 @@ type spanRun struct {
 //
 // With hot columns reordered to the front at write time (ReorderFields), a
 // hot-set projection collapses to one read per row group per batch.
-func (f *File) planSpanRuns(cols []int, span rowSpan, gap int64) []*spanRun {
+func planSpanRuns(src scanSource, cols []int, span rowSpan, gap int64) []*spanRun {
 	type colSeg struct {
 		seg      runSeg
 		off, end int64
 	}
 	var segs []colSeg
 	for pos, ci := range cols {
-		f.forEachPageInSpan(ci, span, func(p int, rowLo, _ uint64) bool {
+		forEachPageInSpan(src, ci, span, func(p int, rowLo, _ uint64) bool {
 			if n := len(segs); n > 0 && segs[n-1].seg.col == pos && segs[n-1].seg.last == p-1 {
-				_, segs[n-1].end = f.pageByteRange(p)
+				_, segs[n-1].end = src.pageByteRange(p)
 				segs[n-1].seg.last = p
 				return true
 			}
-			off, end := f.pageByteRange(p)
+			off, end := src.pageByteRange(p)
 			segs = append(segs, colSeg{
 				seg: runSeg{col: pos, first: p, last: p, firstRowStart: rowLo},
 				off: off, end: end,

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSchemaFingerprint pins the properties the dataset manifest relies
+// on: stability across calls, sensitivity to names, order, types, and
+// flags.
+func TestSchemaFingerprint(t *testing.T) {
+	base := testSchema(t)
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	same := &Schema{Fields: append([]Field(nil), base.Fields...)}
+	if base.Fingerprint() != same.Fingerprint() {
+		t.Fatal("equal schemas fingerprint differently")
+	}
+
+	mutations := map[string]func([]Field){
+		"rename":      func(fs []Field) { fs[0].Name = "uid2" },
+		"retype":      func(fs []Field) { fs[0].Type.Kind = Int32 },
+		"flag":        func(fs []Field) { fs[0].Nullable = true },
+		"swap":        func(fs []Field) { fs[0], fs[1] = fs[1], fs[0] },
+		"quant":       func(fs []Field) { fs[3].Type.Quant = 2 },
+		"sparse-flag": func(fs []Field) { fs[7].Sparse = false },
+	}
+	for name, mutate := range mutations {
+		fs := append([]Field(nil), base.Fields...)
+		mutate(fs)
+		if (&Schema{Fields: fs}).Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s mutation did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestStatsColumnZones pins the file-level zone maps Stats folds from the
+// per-page statistics: exact bounds for int columns, null accounting for
+// nullable ones, and no bounds for types without page stats.
+func TestStatsColumnZones(t *testing.T) {
+	schema := testSchema(t)
+	rng := rand.New(rand.NewSource(5))
+	const n = 4000
+	batch := testBatch(t, schema, rng, n)
+	_, f := writeTestFile(t, schema, batch, &Options{RowsPerPage: 256, GroupRows: 1000, Compliance: Level1})
+
+	stats := f.Stats()
+	byName := map[string]ColumnStats{}
+	for _, c := range stats.Columns {
+		byName[c.Name] = c
+	}
+
+	uid := byName["uid"]
+	if !uid.HasMinMax {
+		t.Fatal("uid has no zone map")
+	}
+	var wantMin, wantMax int64
+	vals := batch.Columns[0].(Int64Data)
+	wantMin, wantMax = vals[0], vals[0]
+	for _, v := range vals {
+		if v < wantMin {
+			wantMin = v
+		}
+		if v > wantMax {
+			wantMax = v
+		}
+	}
+	if uid.Min != wantMin || uid.Max != wantMax {
+		t.Fatalf("uid zone [%d,%d], want [%d,%d]", uid.Min, uid.Max, wantMin, wantMax)
+	}
+
+	clicks := byName["clicks"]
+	nc := batch.Columns[1].(NullableInt64Data)
+	wantNulls := uint64(0)
+	for _, ok := range nc.Valid {
+		if !ok {
+			wantNulls++
+		}
+	}
+	if clicks.NullCount != wantNulls {
+		t.Fatalf("clicks nulls = %d, want %d", clicks.NullCount, wantNulls)
+	}
+
+	for _, name := range []string{"score", "tag", "seq"} {
+		if byName[name].HasMinMax {
+			t.Errorf("%s claims a min/max zone map", name)
+		}
+	}
+}

@@ -56,7 +56,7 @@ func TestPlanSpanRunsAdjacent(t *testing.T) {
 	span := rowSpan{0, 512}
 
 	// All four columns, one group: chunks are exactly adjacent -> 1 run.
-	runs := f.planSpanRuns([]int{0, 1, 2, 3}, span, DefaultCoalesceGap)
+	runs := planSpanRuns(f, []int{0, 1, 2, 3}, span, DefaultCoalesceGap)
 	if len(runs) != 1 || len(runs[0].segs) != 4 {
 		t.Fatalf("adjacent columns: %d runs (want 1 with 4 segs)", len(runs))
 	}
@@ -66,14 +66,14 @@ func TestPlanSpanRunsAdjacent(t *testing.T) {
 
 	// Columns 0 and 2: column 1's chunk (4 plain pages ~ 4.1 KB) exceeds
 	// the default 4 KiB gap -> two runs.
-	runs = f.planSpanRuns([]int{0, 2}, span, DefaultCoalesceGap)
+	runs = planSpanRuns(f, []int{0, 2}, span, DefaultCoalesceGap)
 	if len(runs) != 2 {
 		t.Fatalf("gap > CoalesceGap: %d runs, want 2", len(runs))
 	}
 
 	// Raising the gap above the skipped chunk size reads through it.
 	_, chunkSize1 := f.view.ChunkByteRange(0, 1)
-	runs = f.planSpanRuns([]int{0, 2}, span, int64(chunkSize1))
+	runs = planSpanRuns(f, []int{0, 2}, span, int64(chunkSize1))
 	if len(runs) != 1 || len(runs[0].segs) != 2 {
 		t.Fatalf("gap read-through: %d runs, want 1 with 2 segs", len(runs))
 	}
@@ -92,7 +92,7 @@ func TestPlanSpanRunsLimit(t *testing.T) {
 	f := plainFixture(t, 3, rows, rows, 1024)
 	span := rowSpan{0, rows}
 
-	runs := f.planSpanRuns([]int{0, 1, 2}, span, DefaultCoalesceGap)
+	runs := planSpanRuns(f, []int{0, 1, 2}, span, DefaultCoalesceGap)
 	if len(runs) != 2 {
 		t.Fatalf("limit split: %d runs, want 2", len(runs))
 	}
@@ -108,7 +108,7 @@ func TestPlanSpanRunsLimit(t *testing.T) {
 	if chunkSize <= CoalesceLimit/3 {
 		t.Fatalf("fixture chunk too small: %d", chunkSize)
 	}
-	runs = f.planSpanRuns([]int{0}, span, DefaultCoalesceGap)
+	runs = planSpanRuns(f, []int{0}, span, DefaultCoalesceGap)
 	if len(runs) != 1 {
 		t.Fatalf("single column: %d runs, want 1", len(runs))
 	}

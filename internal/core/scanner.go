@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -165,9 +164,10 @@ type scanTask struct {
 
 // Scanner streams a projected column set in row batches. One Scanner must
 // be used from a single goroutine; any number of Scanners may run
-// concurrently over the same *File.
+// concurrently over the same *File. The scanner reaches its file only
+// through the scanSource interface — one engine instance per source.
 type Scanner struct {
-	f      *File
+	src    scanSource
 	cols   []int
 	schema *Schema
 
@@ -206,11 +206,16 @@ type Scanner struct {
 }
 
 // Scan plans a streaming scan and starts its decode pool.
-func (f *File) Scan(opts ScanOptions) (*Scanner, error) {
-	cols, schema, err := f.resolveProjection(opts.Columns)
+func (f *File) Scan(opts ScanOptions) (*Scanner, error) { return newScanner(f, opts) }
+
+// newScanner plans a streaming scan over any scanSource and starts its
+// decode pool.
+func newScanner(src scanSource, opts ScanOptions) (*Scanner, error) {
+	cols, schema, err := resolveProjection(src, opts.Columns)
 	if err != nil {
 		return nil, err
 	}
+	v := src.View()
 	batchRows := opts.BatchRows
 	if batchRows <= 0 {
 		batchRows = DefaultScanBatchRows
@@ -222,14 +227,14 @@ func (f *File) Scan(opts ScanOptions) (*Scanner, error) {
 	if workers > maxScanWorkers {
 		workers = maxScanWorkers
 	}
-	lo, hi := uint64(0), f.view.NumRows()
+	lo, hi := uint64(0), v.NumRows()
 	if r := opts.Range; r != nil {
-		if r.Lo > r.Hi || r.Hi > f.view.NumRows() {
-			return nil, fmt.Errorf("core: scan range [%d,%d) out of [0,%d]", r.Lo, r.Hi, f.view.NumRows())
+		if r.Lo > r.Hi || r.Hi > v.NumRows() {
+			return nil, fmt.Errorf("core: scan range [%d,%d) out of [0,%d]", r.Lo, r.Hi, v.NumRows())
 		}
 		lo, hi = r.Lo, r.Hi
 	}
-	filters, err := f.resolveFilters(opts.Filters)
+	filters, err := resolveFilters(src, opts.Filters)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +246,7 @@ func (f *File) Scan(opts ScanOptions) (*Scanner, error) {
 		gap = 0
 	}
 	s := &Scanner{
-		f:        f,
+		src:      src,
 		cols:     cols,
 		schema:   schema,
 		workers:  workers,
@@ -260,7 +265,7 @@ func (f *File) Scan(opts ScanOptions) (*Scanner, error) {
 		if s.pruneBatch(span, filters) {
 			s.batchesSkip++
 			for _, ci := range cols {
-				s.pagesSkipped += int64(f.countPagesInSpan(ci, span))
+				s.pagesSkipped += int64(countPagesInSpan(src, ci, span))
 			}
 			continue
 		}
@@ -271,17 +276,17 @@ func (f *File) Scan(opts ScanOptions) (*Scanner, error) {
 }
 
 // resolveProjection maps names to column indices (empty = all columns).
-func (f *File) resolveProjection(names []string) ([]int, *Schema, error) {
+func resolveProjection(src scanSource, names []string) ([]int, *Schema, error) {
 	var cols []int
 	if len(names) == 0 {
-		cols = make([]int, f.view.NumColumns())
+		cols = make([]int, src.View().NumColumns())
 		for i := range cols {
 			cols[i] = i
 		}
 	} else {
 		cols = make([]int, len(names))
 		for i, name := range names {
-			ci, ok := f.LookupColumn(name)
+			ci, ok := src.LookupColumn(name)
 			if !ok {
 				return nil, nil, fmt.Errorf("core: no column %q", name)
 			}
@@ -290,7 +295,7 @@ func (f *File) resolveProjection(names []string) ([]int, *Schema, error) {
 	}
 	fields := make([]Field, len(cols))
 	for i, ci := range cols {
-		fields[i] = f.FieldByIndex(ci)
+		fields[i] = src.FieldByIndex(ci)
 	}
 	return cols, &Schema{Fields: fields}, nil
 }
@@ -300,10 +305,10 @@ type boundFilter struct {
 	min, max *int64
 }
 
-func (f *File) resolveFilters(fs []ColumnFilter) ([]boundFilter, error) {
+func resolveFilters(src scanSource, fs []ColumnFilter) ([]boundFilter, error) {
 	out := make([]boundFilter, 0, len(fs))
 	for _, cf := range fs {
-		ci, ok := f.LookupColumn(cf.Column)
+		ci, ok := src.LookupColumn(cf.Column)
 		if !ok {
 			return nil, fmt.Errorf("core: no column %q", cf.Column)
 		}
@@ -318,7 +323,7 @@ func (f *File) resolveFilters(fs []ColumnFilter) ([]boundFilter, error) {
 // pruneBatch reports whether span can be skipped entirely: every row
 // deleted, or some zone-map filter excludes every overlapping page.
 func (s *Scanner) pruneBatch(span rowSpan, filters []boundFilter) bool {
-	if s.f.deletedInRange(span.lo, span.hi) == int(span.hi-span.lo) {
+	if s.src.deletedInRange(span.lo, span.hi) == int(span.hi-span.lo) {
 		return true
 	}
 	for _, bf := range filters {
@@ -333,8 +338,8 @@ func (s *Scanner) pruneBatch(span rowSpan, filters []boundFilter) bool {
 // bf.col overlapping span prove the filter cannot match.
 func (s *Scanner) filterExcludesSpan(bf boundFilter, span rowSpan) bool {
 	excluded := true
-	s.f.forEachPageInSpan(bf.col, span, func(p int, _, _ uint64) bool {
-		st, ok := s.f.view.PageStat(p)
+	forEachPageInSpan(s.src, bf.col, span, func(p int, _, _ uint64) bool {
+		st, ok := s.src.View().PageStat(p)
 		if !ok || st.Flags&footer.StatHasMinMax == 0 {
 			excluded = false
 			return false
@@ -346,45 +351,6 @@ func (s *Scanner) filterExcludesSpan(bf boundFilter, span rowSpan) bool {
 		return true
 	})
 	return excluded
-}
-
-// forEachPageInSpan visits the pages of column ci whose rows overlap span,
-// passing the global page index and the page's global row range. The
-// callback returns false to stop early.
-func (f *File) forEachPageInSpan(ci int, span rowSpan, fn func(p int, rowLo, rowHi uint64) bool) {
-	counts := f.GroupRowCounts()
-	// Binary-search the first group overlapping the span; it is called per
-	// batch per column, so a linear walk from group 0 would make full
-	// scans quadratic in the group count.
-	g0 := sort.Search(len(counts), func(g int) bool {
-		return f.groupStarts[g]+uint64(counts[g]) > span.lo
-	})
-	for g := g0; g < f.view.NumGroups(); g++ {
-		groupStart := f.groupStarts[g]
-		if groupStart >= span.hi {
-			return
-		}
-		first, count := f.view.ChunkPages(g, ci)
-		pageStart := groupStart
-		for p := first; p < first+count; p++ {
-			pageEnd := pageStart + uint64(f.view.PageRows(p))
-			if pageEnd > span.lo && pageStart < span.hi {
-				if !fn(p, pageStart, pageEnd) {
-					return
-				}
-			}
-			if pageEnd >= span.hi {
-				return
-			}
-			pageStart = pageEnd
-		}
-	}
-}
-
-func (f *File) countPagesInSpan(ci int, span rowSpan) int {
-	n := 0
-	f.forEachPageInSpan(ci, span, func(int, uint64, uint64) bool { n++; return true })
-	return n
 }
 
 // start launches the producer and the decode pool.
@@ -405,7 +371,7 @@ func (s *Scanner) start() {
 			}
 			slot := &scanSlot{idx: i, span: span, cols: make([]ColumnData, len(s.cols))}
 			if s.coalesce {
-				slot.runs = s.f.planSpanRuns(s.cols, span, s.gap)
+				slot.runs = planSpanRuns(s.src, s.cols, span, s.gap)
 				// Bucket each column's segments (in row = file-offset
 				// order) into one shared backing array: a per-column
 				// append loop would cost O(columns) allocations per batch.
@@ -512,8 +478,9 @@ func (s *Scanner) Next() (*Batch, error) {
 // filtering deleted rows. Pages of one column chunk are physically
 // contiguous, so each overlapping per-group run costs one ReadAt.
 func (s *Scanner) decodeColumnSpan(ci int, span rowSpan) (ColumnData, error) {
-	f := s.f
-	field := f.FieldByIndex(ci)
+	src := s.src
+	v := src.View()
+	field := src.FieldByIndex(ci)
 	var out ColumnData
 
 	// Collect maximal runs of index-adjacent pages; global pages are laid
@@ -525,7 +492,7 @@ func (s *Scanner) decodeColumnSpan(ci int, span rowSpan) (ColumnData, error) {
 		firstRowStart uint64
 	}
 	var runs []pageRun
-	f.forEachPageInSpan(ci, span, func(p int, rowLo, _ uint64) bool {
+	forEachPageInSpan(src, ci, span, func(p int, rowLo, _ uint64) bool {
 		if n := len(runs); n > 0 && runs[n-1].last == p-1 {
 			runs[n-1].last = p
 			return true
@@ -535,10 +502,10 @@ func (s *Scanner) decodeColumnSpan(ci int, span rowSpan) (ColumnData, error) {
 	})
 
 	for _, run := range runs {
-		off := int64(f.view.PageOffset(run.first))
-		_, end := f.pageByteRange(run.last)
+		off := int64(v.PageOffset(run.first))
+		_, end := src.pageByteRange(run.last)
 		buf := make([]byte, end-off)
-		if _, err := f.r.ReadAt(buf, off); err != nil {
+		if _, err := src.readAt(buf, off); err != nil {
 			return nil, fmt.Errorf("core: reading pages %d-%d of column %q: %w",
 				run.first, run.last, field.Name, err)
 		}
@@ -546,8 +513,8 @@ func (s *Scanner) decodeColumnSpan(ci int, span rowSpan) (ColumnData, error) {
 		s.bytesRead.Add(int64(len(buf)))
 		rowStart := run.firstRowStart
 		for p := run.first; p <= run.last; p++ {
-			pOff, pEnd := f.pageByteRange(p)
-			logical := f.view.PageRows(p)
+			pOff, pEnd := src.pageByteRange(p)
+			logical := v.PageRows(p)
 			data, err := decodePage(field, buf[pOff-off:pEnd-off], logical)
 			if err != nil {
 				return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
@@ -568,8 +535,8 @@ func (s *Scanner) decodeColumnSpan(ci int, span rowSpan) (ColumnData, error) {
 				data = sliceColumn(data, clipLo, clipHi)
 			}
 			clipStart := rowStart + uint64(clipLo)
-			if f.deletedInRange(clipStart, rowStart+uint64(clipHi)) > 0 {
-				data = filterDeleted(data, f.view, clipStart, clipHi-clipLo)
+			if src.deletedInRange(clipStart, rowStart+uint64(clipHi)) > 0 {
+				data = filterDeleted(data, v, clipStart, clipHi-clipLo)
 			}
 			out = appendColumn(out, data)
 			rowStart = rowEnd
@@ -612,7 +579,7 @@ func (s *Scanner) fetchRun(r *spanRun) error {
 		} else {
 			r.buf = make([]byte, n)
 		}
-		if _, err := s.f.r.ReadAt(r.buf, r.off); err != nil {
+		if _, err := s.src.readAt(r.buf, r.off); err != nil {
 			r.err = fmt.Errorf("core: coalesced read [%d,%d): %w", r.off, r.end, err)
 			if r.bufP != nil {
 				putRunBuf(r.bufP)
@@ -650,7 +617,7 @@ func releaseRuns(slot *scanSlot) {
 // back to per-page decoding but still share the coalesced reads.
 func (s *Scanner) decodeColumnRuns(slot *scanSlot, pos int) (ColumnData, error) {
 	ci := s.cols[pos]
-	field := s.f.FieldByIndex(ci)
+	field := s.src.FieldByIndex(ci)
 	segs := slot.colSegs[pos]
 	var reuse ColumnData
 	if slot.reuse != nil {
@@ -739,7 +706,8 @@ func decodeFixedRuns[T any](s *Scanner, slot *scanSlot, field Field, segs []segR
 	} else {
 		out = make([]T, want)
 	}
-	f := s.f
+	f := s.src
+	v := f.View()
 	pos := 0
 	for _, sr := range segs {
 		if err := s.fetchRun(sr.run); err != nil {
@@ -749,7 +717,7 @@ func decodeFixedRuns[T any](s *Scanner, slot *scanSlot, field Field, segs []segR
 		for p := sr.seg.first; p <= sr.seg.last; p++ {
 			pOff, pEnd := f.pageByteRange(p)
 			payload := sr.run.buf[pOff-sr.run.off : pEnd-sr.run.off]
-			logical := f.view.PageRows(p)
+			logical := v.PageRows(p)
 			rowEnd := rowStart + uint64(logical)
 			clipLo, clipHi := 0, logical
 			if rowStart < span.lo {
@@ -774,7 +742,7 @@ func decodeFixedRuns[T any](s *Scanner, slot *scanSlot, field Field, segs []segR
 					pos += copy(out[pos:], stage[clipLo:clipHi])
 				} else {
 					for i := clipLo; i < clipHi; i++ {
-						if !f.view.RowDeleted(rowStart + uint64(i)) {
+						if !v.RowDeleted(rowStart + uint64(i)) {
 							out[pos] = stage[i]
 							pos++
 						}
@@ -800,7 +768,8 @@ func (s *Scanner) decodeNullableRuns(slot *scanSlot, field Field, segs []segRef,
 	} else {
 		vals, valid = make([]int64, want), make([]bool, want)
 	}
-	f := s.f
+	f := s.src
+	v := f.View()
 	pos := 0
 	for _, sr := range segs {
 		if err := s.fetchRun(sr.run); err != nil {
@@ -810,7 +779,7 @@ func (s *Scanner) decodeNullableRuns(slot *scanSlot, field Field, segs []segRef,
 		for p := sr.seg.first; p <= sr.seg.last; p++ {
 			pOff, pEnd := f.pageByteRange(p)
 			payload := sr.run.buf[pOff-sr.run.off : pEnd-sr.run.off]
-			logical := f.view.PageRows(p)
+			logical := v.PageRows(p)
 			rowEnd := rowStart + uint64(logical)
 			clipLo, clipHi := 0, logical
 			if rowStart < span.lo {
@@ -832,7 +801,7 @@ func (s *Scanner) decodeNullableRuns(slot *scanSlot, field Field, segs []segRef,
 					return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
 				}
 				for i := clipLo; i < clipHi; i++ {
-					if nDel == 0 || !f.view.RowDeleted(rowStart+uint64(i)) {
+					if nDel == 0 || !v.RowDeleted(rowStart+uint64(i)) {
 						vals[pos], valid[pos] = sv[i], sb[i]
 						pos++
 					}
@@ -850,7 +819,8 @@ func (s *Scanner) decodeNullableRuns(slot *scanSlot, field Field, segs []segRef,
 // slicing payloads out of the shared run buffers.
 func (s *Scanner) decodeGenericRuns(slot *scanSlot, field Field, segs []segRef) (ColumnData, error) {
 	span := slot.span
-	f := s.f
+	f := s.src
+	v := f.View()
 	var out ColumnData
 	for _, sr := range segs {
 		if err := s.fetchRun(sr.run); err != nil {
@@ -860,7 +830,7 @@ func (s *Scanner) decodeGenericRuns(slot *scanSlot, field Field, segs []segRef) 
 		for p := sr.seg.first; p <= sr.seg.last; p++ {
 			pOff, pEnd := f.pageByteRange(p)
 			payload := sr.run.buf[pOff-sr.run.off : pEnd-sr.run.off]
-			logical := f.view.PageRows(p)
+			logical := v.PageRows(p)
 			data, err := decodePage(field, payload, logical)
 			if err != nil {
 				return nil, fmt.Errorf("core: decoding page %d of column %q: %w", p, field.Name, err)
@@ -879,7 +849,7 @@ func (s *Scanner) decodeGenericRuns(slot *scanSlot, field Field, segs []segRef) 
 			}
 			clipStart := rowStart + uint64(clipLo)
 			if f.deletedInRange(clipStart, rowStart+uint64(clipHi)) > 0 {
-				data = filterDeleted(data, f.view, clipStart, clipHi-clipLo)
+				data = filterDeleted(data, v, clipStart, clipHi-clipLo)
 			}
 			out = appendColumn(out, data)
 			rowStart = rowEnd

@@ -18,6 +18,8 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 
 	"bullion/internal/footer"
 	"bullion/internal/quant"
@@ -125,6 +127,24 @@ func validateType(f Field) error {
 		return fmt.Errorf("nullable is only supported for int64 columns, got %v", t)
 	}
 	return nil
+}
+
+// Fingerprint returns a stable hex digest of the schema: field order,
+// names, and full type descriptors (kind, element, quantization, sparse
+// and nullable flags). Two schemas share a fingerprint iff a file written
+// with one can be read as the other, so the dataset manifest layer uses it
+// to verify member files without materializing their schemas.
+func (s *Schema) Fingerprint() string {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, f := range s.Fields {
+		io.WriteString(h, f.Name)
+		d := fieldDesc(f)
+		buf[0], buf[1], buf[2], buf[3] = byte(d.Kind), byte(d.Elem), d.Quant, d.Flags
+		h.Write(buf[:])
+		h.Write([]byte{0}) // name/desc record separator
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Lookup returns the index of the named field.

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sort"
+
+	"bullion/internal/footer"
+)
+
+// scanSource is the single-file engine surface a streaming scan runs
+// against: one footer view over one ReaderAt with one deletion vector.
+// *File is the storage-backed implementation. The Scanner and the
+// coalesced read planner reach the file exclusively through this
+// interface, so a scan engine is instantiated per source — the dataset
+// layer (internal/dataset) runs one engine per member file of a
+// multi-file table and merges the per-file streams.
+type scanSource interface {
+	// readAt fetches encoded bytes at a file offset.
+	readAt(p []byte, off int64) (int, error)
+	// View returns the footer view: page geometry, zone maps, and the
+	// deletion bitmap.
+	View() *footer.View
+	// FieldByIndex and LookupColumn resolve the projected schema.
+	FieldByIndex(c int) Field
+	LookupColumn(name string) (int, bool)
+	// GroupRowCounts returns logical rows per group; groupRowStart the
+	// global row id of a group's first row.
+	GroupRowCounts() []int
+	groupRowStart(g int) uint64
+	// pageByteRange returns the byte span [off, end) of global page p.
+	pageByteRange(p int) (off, end int64)
+	// deletedInRange counts deleted rows among global rows [lo, hi).
+	deletedInRange(lo, hi uint64) int
+}
+
+// readAt implements scanSource over the file's ReaderAt.
+func (f *File) readAt(p []byte, off int64) (int, error) { return f.r.ReadAt(p, off) }
+
+// forEachPageInSpan visits the pages of column ci whose rows overlap span,
+// passing the global page index and the page's global row range. The
+// callback returns false to stop early.
+func forEachPageInSpan(src scanSource, ci int, span rowSpan, fn func(p int, rowLo, rowHi uint64) bool) {
+	counts := src.GroupRowCounts()
+	v := src.View()
+	// Binary-search the first group overlapping the span; it is called per
+	// batch per column, so a linear walk from group 0 would make full
+	// scans quadratic in the group count.
+	g0 := sort.Search(len(counts), func(g int) bool {
+		return src.groupRowStart(g)+uint64(counts[g]) > span.lo
+	})
+	for g := g0; g < v.NumGroups(); g++ {
+		groupStart := src.groupRowStart(g)
+		if groupStart >= span.hi {
+			return
+		}
+		first, count := v.ChunkPages(g, ci)
+		pageStart := groupStart
+		for p := first; p < first+count; p++ {
+			pageEnd := pageStart + uint64(v.PageRows(p))
+			if pageEnd > span.lo && pageStart < span.hi {
+				if !fn(p, pageStart, pageEnd) {
+					return
+				}
+			}
+			if pageEnd >= span.hi {
+				return
+			}
+			pageStart = pageEnd
+		}
+	}
+}
+
+func countPagesInSpan(src scanSource, ci int, span rowSpan) int {
+	n := 0
+	forEachPageInSpan(src, ci, span, func(int, uint64, uint64) bool { n++; return true })
+	return n
+}

@@ -76,6 +76,14 @@ type ColumnStats struct {
 	// column's pages (multiple schemes appear when data shifts between
 	// groups or after Level-2 rewrites).
 	Encodings map[enc.SchemeID]int
+	// Min/Max is the column-level zone map: the fold of every page's
+	// min/max statistics. HasMinMax is false when any page of the column
+	// lacks recorded bounds (non-int columns, or statless files), in which
+	// case the bounds must not be used for pruning. NullCount sums the
+	// per-page null counts.
+	Min, Max  int64
+	HasMinMax bool
+	NullCount uint64
 }
 
 // FileStats summarizes a file's physical storage.
@@ -113,6 +121,7 @@ func (f *File) Stats() *FileStats {
 			Nullable:  field.Nullable,
 			Encodings: map[enc.SchemeID]int{},
 		}
+		allBounded := v.HasPageStats()
 		for g := 0; g < v.NumGroups(); g++ {
 			_, size := v.ChunkByteRange(g, c)
 			cs.CompressedBytes += size
@@ -120,8 +129,36 @@ func (f *File) Stats() *FileStats {
 			cs.Pages += count
 			for p := first; p < first+count; p++ {
 				cs.Encodings[enc.SchemeID(v.PageCompression(p))]++
+				st, ok := v.PageStat(p)
+				if !ok {
+					allBounded = false
+					continue
+				}
+				cs.NullCount += uint64(st.NullCount)
+				if st.Flags&footer.StatHasMinMax == 0 {
+					// An empty page (0 rows) constrains nothing; any other
+					// boundless page poisons the column fold.
+					if v.PageRows(p) > 0 {
+						allBounded = false
+					}
+					continue
+				}
+				if !cs.HasMinMax {
+					cs.Min, cs.Max = st.Min, st.Max
+					cs.HasMinMax = true
+					continue
+				}
+				if st.Min < cs.Min {
+					cs.Min = st.Min
+				}
+				if st.Max > cs.Max {
+					cs.Max = st.Max
+				}
 			}
 		}
+		// A column-level zone map is only trustworthy when every non-empty
+		// page contributed bounds.
+		cs.HasMinMax = cs.HasMinMax && allBounded
 		s.DataBytes += cs.CompressedBytes
 		s.Columns[c] = cs
 	}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bullion/internal/core"
+)
+
+// CompactStats reports what a Compact call did.
+type CompactStats struct {
+	// FilesCompacted member files were rewritten into fresh files;
+	// FilesDropped had no live rows left and were removed from the
+	// manifest without a replacement.
+	FilesCompacted int
+	FilesDropped   int
+	// BytesBefore/BytesAfter compare the total member bytes of the
+	// dataset across the commit.
+	BytesBefore int64
+	BytesAfter  int64
+	// RowsReclaimed counts deleted rows physically dropped by the
+	// rewrites.
+	RowsReclaimed uint64
+}
+
+// Compact folds member files whose live-row ratio has dropped below
+// threshold into fresh files: each victim is rewritten without its
+// deleted rows (core.RewriteWithoutRows driven by the file's deletion
+// vector) and replaced in place in the manifest — preserving the
+// dataset's live-row order — then the result is committed as a new
+// manifest generation. Files with no live rows are dropped outright.
+//
+// Scans holding the previous generation keep serving: the victims'
+// bytes are untouched on disk until Vacuum reclaims them.
+func (d *Dataset) Compact(threshold float64) (CompactStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	gen := d.generationSnapshot()
+
+	var stats CompactStats
+	stats.BytesBefore = datasetBytes(gen.manifest)
+
+	nextGen := gen.manifest.Generation + 1
+	replace := map[string]*FileEntry{} // victim name -> replacement (nil = drop)
+	var tmpFiles []string
+	cleanup := func() {
+		for _, tmp := range tmpFiles {
+			os.Remove(tmp)
+		}
+	}
+	seq := 0
+	for _, m := range gen.members {
+		e := m.entry
+		if e.Rows == 0 || e.LiveRows >= e.Rows {
+			continue
+		}
+		if ratio := float64(e.LiveRows) / float64(e.Rows); ratio >= threshold {
+			continue
+		}
+		if e.LiveRows == 0 {
+			replace[e.Name] = nil
+			stats.FilesDropped++
+			stats.RowsReclaimed += e.Rows
+			continue
+		}
+		entry, tmpPath, err := d.rewriteMember(m, nextGen, seq)
+		if err != nil {
+			cleanup()
+			return stats, err
+		}
+		tmpFiles = append(tmpFiles, tmpPath)
+		replace[e.Name] = &entry
+		stats.FilesCompacted++
+		stats.RowsReclaimed += e.Rows - e.LiveRows
+		seq++
+	}
+	if len(replace) == 0 {
+		stats.BytesAfter = stats.BytesBefore
+		return stats, nil
+	}
+
+	// Rename the rewritten files into place, then commit the manifest
+	// with victims replaced (or dropped) at their original positions.
+	for i, tmp := range tmpFiles {
+		final := filepath.Join(d.dir, filepath.Base(tmp[:len(tmp)-len(".tmp")]))
+		if err := os.Rename(tmp, final); err != nil {
+			cleanup()
+			return stats, err
+		}
+		tmpFiles[i] = final
+	}
+	err := d.commit(func(m *Manifest) error {
+		out := m.Files[:0]
+		for _, e := range m.Files {
+			r, hit := replace[e.Name]
+			switch {
+			case !hit:
+				out = append(out, e)
+			case r != nil:
+				out = append(out, *r)
+			}
+		}
+		m.Files = out
+		return nil
+	})
+	if err != nil {
+		cleanup()
+		return stats, err
+	}
+	stats.BytesAfter = datasetBytes(d.generationSnapshot().manifest)
+	return stats, nil
+}
+
+// rewriteMember copies a victim's live rows into a fresh file under a
+// temporary name and returns its manifest entry under the final name.
+func (d *Dataset) rewriteMember(m *member, gen uint64, seq int) (FileEntry, string, error) {
+	f, err := m.open(d)
+	if err != nil {
+		return FileEntry{}, "", err
+	}
+	finalName := fmt.Sprintf("part-%06d-c%03d.bln", gen, seq)
+	tmpPath := filepath.Join(d.dir, finalName+".tmp")
+	out, err := os.Create(tmpPath)
+	if err != nil {
+		return FileEntry{}, "", err
+	}
+	// RewriteWithoutRows with no extra rows drops exactly the rows the
+	// deletion vector marks.
+	if err := f.RewriteWithoutRows(out, nil, d.writerOpts()); err != nil {
+		out.Close()
+		os.Remove(tmpPath)
+		return FileEntry{}, "", fmt.Errorf("dataset: compacting %s: %w", m.entry.Name, err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmpPath)
+		return FileEntry{}, "", err
+	}
+	entry, err := statMember(tmpPath, finalName)
+	if err != nil {
+		os.Remove(tmpPath)
+		return FileEntry{}, "", err
+	}
+	if entry.Rows != m.entry.LiveRows {
+		os.Remove(tmpPath)
+		return FileEntry{}, "", fmt.Errorf("dataset: compacted %s has %d rows, want %d live",
+			m.entry.Name, entry.Rows, m.entry.LiveRows)
+	}
+	return entry, tmpPath, nil
+}
+
+// statMember builds the manifest entry for a file on disk, recorded under
+// finalName.
+func statMember(path, finalName string) (FileEntry, error) {
+	osf, err := os.Open(path)
+	if err != nil {
+		return FileEntry{}, err
+	}
+	defer osf.Close()
+	st, err := osf.Stat()
+	if err != nil {
+		return FileEntry{}, err
+	}
+	f, err := core.Open(osf, st.Size())
+	if err != nil {
+		return FileEntry{}, fmt.Errorf("dataset: reopening %s: %w", finalName, err)
+	}
+	return entryForFile(finalName, f, st.Size()), nil
+}
+
+func datasetBytes(m *Manifest) int64 {
+	var n int64
+	for _, e := range m.Files {
+		n += e.Bytes
+	}
+	return n
+}

@@ -1,0 +1,466 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"bullion/internal/core"
+)
+
+// Options configures a Dataset handle.
+type Options struct {
+	// Writer configures the per-file core writer used by Append,
+	// ShardedWriter, and Compact. Nil selects core.DefaultOptions with
+	// deletion compliance Level 1: datasets reclaim deleted rows by
+	// compaction rather than in-place page erasure, and Level-1 deletes
+	// only flip footer bits, which keeps older manifest generations
+	// readable while writers commit (Level-2 in-place erasure rewrites
+	// page bytes under concurrent readers and forfeits that isolation).
+	Writer *core.Options
+	// WrapReader, when non-nil, wraps each member file's reader when it is
+	// opened — the hook the CLI uses for per-file I/O accounting and the
+	// benchmarks use to model storage latency. name is the member's file
+	// name within the dataset directory.
+	WrapReader func(name string, r io.ReaderAt, size int64) io.ReaderAt
+}
+
+// Dataset is a handle over a manifest-backed multi-file table. Scans may
+// run concurrently with each other and with Append/Delete/Compact: every
+// scan snapshots the manifest generation current at Scan time and keeps
+// serving it even while later commits land.
+type Dataset struct {
+	dir  string
+	opts Options
+
+	// mu serializes mutators (Append/ShardedWriter commit/Delete/Compact).
+	mu sync.Mutex
+	// fileMu excludes scan planning (read side) from operations that
+	// mutate existing member bytes on disk (Delete, write side), so a
+	// scan's member opens all observe the same side of a deletion.
+	// Append/ShardedWriter/Compact only add files and take no write lock.
+	fileMu sync.RWMutex
+	// genMu guards the current-generation pointer.
+	genMu sync.RWMutex
+	gen   *generation
+
+	// nameSeq disambiguates temporary file names within this handle.
+	nameSeq atomic.Uint64
+
+	// openMu guards opened, every *os.File this handle has opened —
+	// including ones belonging to superseded generations, which in-flight
+	// scans may still be reading. Close closes them all.
+	openMu sync.Mutex
+	opened []*os.File
+	closed bool
+}
+
+// generation is one immutable snapshot of the dataset: a manifest plus
+// the member handles serving it.
+type generation struct {
+	manifest *Manifest
+	schema   *core.Schema
+	members  []*member
+	// starts[i] is the global row id of member i's first row; total is the
+	// dataset's logical row count (including deleted rows).
+	starts []uint64
+	total  uint64
+}
+
+// member is one file of a generation, opened lazily: pruned members are
+// never opened at all, and reopening is what lets a new generation observe
+// a member's rewritten footer without disturbing older snapshots.
+type member struct {
+	entry FileEntry
+	path  string
+
+	once sync.Once
+	file *core.File
+	err  error
+}
+
+// open opens the member file on first use, verifying its schema
+// fingerprint and row count against the manifest entry.
+func (m *member) open(d *Dataset) (*core.File, error) {
+	m.once.Do(func() {
+		osf, err := os.Open(m.path)
+		if err != nil {
+			m.err = err
+			return
+		}
+		if !d.track(osf) {
+			osf.Close()
+			m.err = fmt.Errorf("dataset: %s: dataset closed", m.entry.Name)
+			return
+		}
+		st, err := osf.Stat()
+		if err != nil {
+			m.err = err
+			return
+		}
+		var r io.ReaderAt = osf
+		if d.opts.WrapReader != nil {
+			r = d.opts.WrapReader(m.entry.Name, r, st.Size())
+		}
+		f, err := core.Open(r, st.Size())
+		if err != nil {
+			m.err = fmt.Errorf("dataset: opening member %s: %w", m.entry.Name, err)
+			return
+		}
+		if fp := f.Schema().Fingerprint(); fp != m.entry.SchemaFP {
+			m.err = fmt.Errorf("dataset: member %s schema fingerprint %s != manifest %s",
+				m.entry.Name, fp, m.entry.SchemaFP)
+			return
+		}
+		if f.NumRows() != m.entry.Rows {
+			m.err = fmt.Errorf("dataset: member %s has %d rows, manifest records %d",
+				m.entry.Name, f.NumRows(), m.entry.Rows)
+			return
+		}
+		m.file = f
+	})
+	return m.file, m.err
+}
+
+// track registers an opened file for Close; it reports false when the
+// dataset is already closed.
+func (d *Dataset) track(f *os.File) bool {
+	d.openMu.Lock()
+	defer d.openMu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.opened = append(d.opened, f)
+	return true
+}
+
+// newGeneration builds the in-memory snapshot for m, reusing open member
+// handles from prev for entries that are byte-identical (same name, rows,
+// live rows, size, fingerprint) — a commit only forces reopening of the
+// files it actually changed.
+func (d *Dataset) newGeneration(m *Manifest, prev *generation) (*generation, error) {
+	schema, err := schemaFromDefs(m.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: manifest schema: %w", err)
+	}
+	if fp := schema.Fingerprint(); fp != m.SchemaFP {
+		return nil, fmt.Errorf("dataset: manifest schema fingerprint %s != recorded %s", fp, m.SchemaFP)
+	}
+	reuse := map[string]*member{}
+	if prev != nil {
+		for _, pm := range prev.members {
+			reuse[pm.entry.Name] = pm
+		}
+	}
+	g := &generation{
+		manifest: m,
+		schema:   schema,
+		members:  make([]*member, len(m.Files)),
+		starts:   make([]uint64, len(m.Files)),
+	}
+	for i, e := range m.Files {
+		g.starts[i] = g.total
+		g.total += e.Rows
+		if pm, ok := reuse[e.Name]; ok && sameEntry(pm.entry, e) {
+			g.members[i] = pm
+			continue
+		}
+		g.members[i] = &member{entry: e, path: filepath.Join(d.dir, e.Name)}
+	}
+	return g, nil
+}
+
+// sameEntry reports whether an open member handle for a can still serve
+// b: identity plus row/byte accounting must match (zone maps are derived
+// and don't affect handle validity).
+func sameEntry(a, b FileEntry) bool {
+	return a.Name == b.Name && a.Rows == b.Rows && a.LiveRows == b.LiveRows &&
+		a.Bytes == b.Bytes && a.SchemaFP == b.SchemaFP
+}
+
+// Create initializes a new dataset directory with an empty generation-1
+// manifest. The directory is created if needed; it must not already hold a
+// dataset.
+func Create(dir string, schema *core.Schema, opts *Options) (*Dataset, error) {
+	if schema == nil || len(schema.Fields) == 0 {
+		return nil, fmt.Errorf("dataset: schema required")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, currentName)); err == nil {
+		return nil, fmt.Errorf("dataset: %s already holds a dataset", dir)
+	}
+	m := &Manifest{
+		Version:    ManifestVersion,
+		Generation: 1,
+		SchemaFP:   schema.Fingerprint(),
+		Schema:     fieldDefs(schema),
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return Open(dir, opts)
+}
+
+// Open opens the dataset at dir, reading its current manifest generation.
+func Open(dir string, opts *Options) (*Dataset, error) {
+	d := &Dataset{dir: dir}
+	if opts != nil {
+		d.opts = *opts
+	}
+	m, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := d.newGeneration(m, nil)
+	if err != nil {
+		return nil, err
+	}
+	d.gen = gen
+	return d, nil
+}
+
+// generationSnapshot returns the current generation.
+func (d *Dataset) generationSnapshot() *generation {
+	d.genMu.RLock()
+	defer d.genMu.RUnlock()
+	return d.gen
+}
+
+// swapGeneration installs g as current.
+func (d *Dataset) swapGeneration(g *generation) {
+	d.genMu.Lock()
+	d.gen = g
+	d.genMu.Unlock()
+}
+
+// commit writes a mutated copy of the current manifest as the next
+// generation and swaps it in. mutate receives the copy (files slice is
+// cloned; entries may be appended, replaced, or removed). Callers must
+// hold d.mu.
+func (d *Dataset) commit(mutate func(m *Manifest) error) error {
+	prev := d.generationSnapshot()
+	next := *prev.manifest
+	next.Generation++
+	next.Files = append([]FileEntry(nil), prev.manifest.Files...)
+	if err := mutate(&next); err != nil {
+		return err
+	}
+	if err := writeManifest(d.dir, &next); err != nil {
+		return err
+	}
+	gen, err := d.newGeneration(&next, prev)
+	if err != nil {
+		return err
+	}
+	d.swapGeneration(gen)
+	return nil
+}
+
+// Schema returns the dataset schema.
+func (d *Dataset) Schema() *core.Schema { return d.generationSnapshot().schema }
+
+// Generation returns the current manifest generation number.
+func (d *Dataset) Generation() uint64 { return d.generationSnapshot().manifest.Generation }
+
+// NumFiles returns the member file count of the current generation.
+func (d *Dataset) NumFiles() int { return len(d.generationSnapshot().members) }
+
+// NumRows returns the dataset's logical row count (including deleted
+// rows); NumLiveRows excludes rows marked deleted.
+func (d *Dataset) NumRows() uint64 { return d.generationSnapshot().total }
+
+// NumLiveRows returns the dataset's live row count per the manifest.
+func (d *Dataset) NumLiveRows() uint64 {
+	var n uint64
+	for _, e := range d.generationSnapshot().manifest.Files {
+		n += e.LiveRows
+	}
+	return n
+}
+
+// Manifest returns the current generation's manifest (shared; callers
+// must not mutate it).
+func (d *Dataset) Manifest() *Manifest { return d.generationSnapshot().manifest }
+
+// TotalBytes sums the member file sizes of the current generation.
+func (d *Dataset) TotalBytes() int64 {
+	var n int64
+	for _, e := range d.generationSnapshot().manifest.Files {
+		n += e.Bytes
+	}
+	return n
+}
+
+// writerOpts returns the per-file writer options (see Options.Writer).
+func (d *Dataset) writerOpts() *core.Options {
+	if d.opts.Writer != nil {
+		return d.opts.Writer
+	}
+	opts := core.DefaultOptions()
+	opts.Compliance = core.Level1
+	return opts
+}
+
+// Append writes batch as one new member file and commits it — the
+// convenience path for incremental ingest. Bulk loads should use
+// ShardedWriter, which spreads many batches across N files in one commit.
+func (d *Dataset) Append(batch *core.Batch) error {
+	sw, err := d.ShardedWriter(1)
+	if err != nil {
+		return err
+	}
+	if err := sw.Write(batch); err != nil {
+		sw.Close()
+		return err
+	}
+	return sw.Close()
+}
+
+// Delete marks the given dataset-global rows deleted. Rows map to member
+// files through the manifest order (member i holds rows
+// [starts[i], starts[i]+rows)); each affected member's deletion vector is
+// updated through a fresh handle and the new row accounting is committed
+// as a new manifest generation. Scans started before the commit keep
+// their snapshot and continue to see the rows.
+func (d *Dataset) Delete(rows []uint64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Exclude scan planning while member bytes change on disk: a scan
+	// must open its members entirely before this delete or entirely
+	// after the commit (in-flight scans hold their already-open views).
+	d.fileMu.Lock()
+	defer d.fileMu.Unlock()
+	gen := d.generationSnapshot()
+
+	sorted := append([]uint64(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if hi := sorted[len(sorted)-1]; hi >= gen.total {
+		return fmt.Errorf("dataset: row %d out of range [0,%d)", hi, gen.total)
+	}
+
+	// Split the sorted rows into per-member local row id lists.
+	perMember := make([][]uint64, len(gen.members))
+	mi := 0
+	for _, r := range sorted {
+		for r >= gen.starts[mi]+gen.members[mi].entry.Rows {
+			mi++
+		}
+		perMember[mi] = append(perMember[mi], r-gen.starts[mi])
+	}
+
+	newLive := make(map[string]uint64)
+	for i, local := range perMember {
+		if len(local) == 0 {
+			continue
+		}
+		entry := gen.members[i].entry
+		path := filepath.Join(d.dir, entry.Name)
+		// A fresh read-write handle, separate from the member handle that
+		// in-flight scans of this generation are using: DeleteRows mutates
+		// its File's in-memory footer view.
+		osf, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return err
+		}
+		st, err := osf.Stat()
+		if err != nil {
+			osf.Close()
+			return err
+		}
+		f, err := core.Open(osf, st.Size())
+		if err != nil {
+			osf.Close()
+			return fmt.Errorf("dataset: opening member %s for delete: %w", entry.Name, err)
+		}
+		if err := f.DeleteRows(osf, local); err != nil {
+			osf.Close()
+			return fmt.Errorf("dataset: deleting from %s: %w", entry.Name, err)
+		}
+		live := f.NumLiveRows()
+		if err := osf.Close(); err != nil {
+			return err
+		}
+		newLive[entry.Name] = live
+	}
+
+	return d.commit(func(m *Manifest) error {
+		for i := range m.Files {
+			if live, ok := newLive[m.Files[i].Name]; ok {
+				m.Files[i].LiveRows = live
+			}
+		}
+		return nil
+	})
+}
+
+// Vacuum removes member files and manifests no longer referenced by the
+// current generation, plus orphaned ingest temporaries left by a crashed
+// bulk load. It must only be called when no scanner is still serving an
+// older generation and no ShardedWriter is active on any handle — older
+// snapshots read exactly the files Vacuum deletes, and an in-flight bulk
+// load's shards are indistinguishable from crash debris. It returns the
+// removed file names.
+func (d *Dataset) Vacuum() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	gen := d.generationSnapshot()
+	live := map[string]bool{
+		currentName:                           true,
+		manifestName(gen.manifest.Generation): true,
+	}
+	for _, e := range gen.manifest.Files {
+		live[e.Name] = true
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || live[name] {
+			continue
+		}
+		// Only reclaim files this package writes: member parts, superseded
+		// manifests, and abandoned ingest shards. Anything else in the
+		// directory is not ours to delete.
+		if !strings.HasPrefix(name, "part-") && !strings.HasPrefix(name, "manifest-") &&
+			!strings.HasPrefix(name, "ingest-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
+			return removed, err
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
+}
+
+// Close closes every file handle the dataset opened, including handles
+// serving superseded generations. In-flight scans fail after Close.
+func (d *Dataset) Close() error {
+	d.openMu.Lock()
+	defer d.openMu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var first error
+	for _, f := range d.opened {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	d.opened = nil
+	return first
+}

@@ -1,0 +1,236 @@
+// Package dataset implements the multi-file table layer over the Bullion
+// file format: a directory of immutable member files described by a
+// versioned JSON manifest. The manifest carries, per member, the row and
+// live-row counts plus per-column min/max zone maps lifted from the file
+// footers at commit time, so a dataset scan prunes whole files from the
+// manifest alone — member files that cannot match are never opened, let
+// alone read. This is the LEA-style amortization argument applied at the
+// file level: per-file statistics are computed once, at the commit that
+// adds the file, and reused by every subsequent open and scan.
+//
+// Commits are atomic: each mutation (append, delete, compact) writes a
+// complete new manifest generation to a temporary file, renames it into
+// place, and then swaps the CURRENT pointer file the same way. Readers
+// holding an older generation keep serving from it — member files are
+// immutable (deletion flips footer bits; compaction writes replacement
+// files) and are only reclaimed by an explicit Vacuum.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bullion/internal/core"
+	"bullion/internal/footer"
+	"bullion/internal/quant"
+)
+
+// ManifestVersion is the manifest format version this package writes.
+const ManifestVersion = 1
+
+// currentName is the pointer file naming the live manifest generation.
+const currentName = "CURRENT"
+
+// Manifest describes one generation of a dataset: the ordered member file
+// list and the dataset schema. File order is significant — it defines the
+// dataset's global row space (member i's rows follow member i-1's).
+type Manifest struct {
+	Version    int    `json:"version"`
+	Generation uint64 `json:"generation"`
+	// SchemaFP fingerprints the dataset schema; every member file must
+	// match it (core.Schema.Fingerprint).
+	SchemaFP string      `json:"schema_fingerprint"`
+	Schema   []FieldDef  `json:"schema"`
+	Files    []FileEntry `json:"files"`
+}
+
+// FieldDef is one schema field in manifest form (a stable JSON rendering
+// of core.Field).
+type FieldDef struct {
+	Name     string `json:"name"`
+	Kind     uint8  `json:"kind"`
+	Elem     uint8  `json:"elem,omitempty"`
+	Quant    uint8  `json:"quant,omitempty"`
+	Sparse   bool   `json:"sparse,omitempty"`
+	Nullable bool   `json:"nullable,omitempty"`
+}
+
+// FileEntry describes one member file: identity, row accounting, and the
+// per-column zone maps used for whole-file pruning.
+type FileEntry struct {
+	// Name is the member's file name, relative to the dataset directory.
+	Name string `json:"name"`
+	// Rows is the logical row count (including deleted rows); LiveRows
+	// excludes rows marked in the member's deletion vector.
+	Rows     uint64 `json:"rows"`
+	LiveRows uint64 `json:"live_rows"`
+	// Bytes is the member's total file size.
+	Bytes int64 `json:"bytes"`
+	// SchemaFP is the member's schema fingerprint (must equal the
+	// manifest's).
+	SchemaFP string `json:"schema_fingerprint"`
+	// Columns holds file-level min/max zone maps, one entry per column
+	// with usable bounds (int64/int32 columns of stat-bearing files).
+	Columns []ColumnZone `json:"columns,omitempty"`
+}
+
+// ColumnZone is a file-level zone map for one column: the fold of the
+// member's per-page footer statistics.
+type ColumnZone struct {
+	Name      string `json:"name"`
+	Min       int64  `json:"min"`
+	Max       int64  `json:"max"`
+	NullCount uint64 `json:"null_count,omitempty"`
+}
+
+// zone returns the named column's zone map, if the entry recorded one.
+func (e *FileEntry) zone(name string) (ColumnZone, bool) {
+	for _, z := range e.Columns {
+		if z.Name == name {
+			return z, true
+		}
+	}
+	return ColumnZone{}, false
+}
+
+// manifestName returns the file name of generation g.
+func manifestName(g uint64) string { return fmt.Sprintf("manifest-%06d.json", g) }
+
+// fieldDefs converts a core schema to manifest form.
+func fieldDefs(s *core.Schema) []FieldDef {
+	out := make([]FieldDef, len(s.Fields))
+	for i, f := range s.Fields {
+		out[i] = FieldDef{
+			Name:     f.Name,
+			Kind:     uint8(f.Type.Kind),
+			Elem:     uint8(f.Type.Elem),
+			Quant:    uint8(f.Type.Quant),
+			Sparse:   f.Sparse,
+			Nullable: f.Nullable,
+		}
+	}
+	return out
+}
+
+// schemaFromDefs reconstructs (and re-validates) the core schema.
+func schemaFromDefs(defs []FieldDef) (*core.Schema, error) {
+	fields := make([]core.Field, len(defs))
+	for i, d := range defs {
+		fields[i] = core.Field{
+			Name: d.Name,
+			Type: core.Type{
+				Kind:  footer.Kind(d.Kind),
+				Elem:  footer.Kind(d.Elem),
+				Quant: quant.Format(d.Quant),
+			},
+			Sparse:   d.Sparse,
+			Nullable: d.Nullable,
+		}
+	}
+	return core.NewSchema(fields...)
+}
+
+// entryForFile builds a member's manifest entry from its opened handle:
+// row accounting from the footer, zone maps folded from the per-page
+// statistics by core's Stats walk (no data reads).
+func entryForFile(name string, f *core.File, size int64) FileEntry {
+	e := FileEntry{
+		Name:     name,
+		Rows:     f.NumRows(),
+		LiveRows: f.NumLiveRows(),
+		Bytes:    size,
+		SchemaFP: f.Schema().Fingerprint(),
+	}
+	for _, cs := range f.Stats().Columns {
+		if !cs.HasMinMax {
+			continue
+		}
+		e.Columns = append(e.Columns, ColumnZone{
+			Name: cs.Name, Min: cs.Min, Max: cs.Max, NullCount: cs.NullCount,
+		})
+	}
+	return e
+}
+
+// writeFileAtomic writes data to dir/name via a temporary file + rename,
+// syncing the file before the swap so a crash can't leave a half-written
+// manifest behind the rename.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// writeManifest commits m as dir's live generation: the manifest file
+// first, then the CURRENT pointer.
+func writeManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := manifestName(m.Generation)
+	if err := writeFileAtomic(dir, name, append(data, '\n')); err != nil {
+		return fmt.Errorf("dataset: writing manifest: %w", err)
+	}
+	if err := writeFileAtomic(dir, currentName, []byte(name+"\n")); err != nil {
+		return fmt.Errorf("dataset: writing CURRENT: %w", err)
+	}
+	return nil
+}
+
+// loadManifest reads dir's live manifest via the CURRENT pointer.
+func loadManifest(dir string) (*Manifest, error) {
+	cur, err := os.ReadFile(filepath.Join(dir, currentName))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CURRENT: %w", err)
+	}
+	name := strings.TrimSpace(string(cur))
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, fmt.Errorf("dataset: CURRENT names invalid manifest %q", name)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dataset: parsing %s: %w", name, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("dataset: manifest version %d unsupported (want %d)", m.Version, ManifestVersion)
+	}
+	for i, e := range m.Files {
+		if e.SchemaFP != m.SchemaFP {
+			return nil, fmt.Errorf("dataset: member %q fingerprint %s != dataset %s",
+				e.Name, e.SchemaFP, m.SchemaFP)
+		}
+		if e.Name == "" || strings.ContainsAny(e.Name, "/\\") {
+			return nil, fmt.Errorf("dataset: member %d has invalid name %q", i, e.Name)
+		}
+	}
+	return &m, nil
+}

@@ -1,0 +1,383 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"bullion/internal/core"
+)
+
+// maxFileConcurrency bounds explicit ScanOptions.FileConcurrency requests.
+const maxFileConcurrency = 64
+
+// ScanOptions configures Dataset.Scan. The embedded core options apply to
+// each member file's scan engine; Range is interpreted in dataset-global
+// rows (member files concatenated in manifest order) and clipped per
+// file, and Filters additionally prune whole files via the manifest's
+// file-level zone maps before any member is opened.
+type ScanOptions struct {
+	core.ScanOptions
+	// FileConcurrency is how many member files stream concurrently
+	// (<= 0 = GOMAXPROCS). Each in-flight file runs its own scan engine
+	// with the embedded options' Workers; batches are always emitted in
+	// manifest file order regardless of concurrency.
+	FileConcurrency int
+}
+
+// ScanStats aggregates the physical work of a dataset scan: the sums of
+// every finished member engine's core stats, plus file-level pruning
+// counters.
+type ScanStats struct {
+	core.ScanStats
+	// FilesPlanned member files survived manifest pruning and will be (or
+	// were) scanned; FilesPruned were skipped entirely — never opened —
+	// via the manifest's row counts and zone maps.
+	FilesPlanned int
+	FilesPruned  int
+	// FilesScanned member engines have finished. The embedded core sums
+	// cover finished engines only, so mid-scan snapshots lag the engines
+	// currently streaming.
+	FilesScanned int
+}
+
+// Scanner streams a projected column set across a dataset's member files
+// in manifest order. One Scanner must be used from a single goroutine
+// (Recycle excepted); any number may run concurrently over the same
+// Dataset.
+type Scanner struct {
+	schema  *core.Schema
+	members []*memberScan
+	cur     int
+
+	sem      chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// owners maps an emitted batch to the member engine that produced it,
+	// tracked only under ReuseBatches so batches a caller never recycles
+	// are not pinned. Guarded by ownersMu: Recycle may race Next.
+	reuseOn  bool
+	ownersMu sync.Mutex
+	owners   map[*core.Batch]*memberScan
+
+	failed error
+	closed bool
+
+	statsMu sync.Mutex
+	agg     core.ScanStats
+	done    int
+	pruned  int
+}
+
+// memberScan is one planned member file: a gate the dispatcher opens when
+// a concurrency slot frees, and the channel its engine streams batches
+// into.
+type memberScan struct {
+	m    *member
+	d    *Dataset
+	opts core.ScanOptions
+	gate chan struct{}
+	ch   chan *core.Batch
+	// sc is set by the member goroutine before its first send; the
+	// consumer only touches it for batches received from ch, so the
+	// channel provides the happens-before edge.
+	sc  *core.Scanner
+	err error // read by the consumer only after ch closes
+}
+
+// Scan plans a dataset scan against the current manifest generation and
+// starts streaming. The generation is snapshotted: commits landing after
+// Scan returns (appends, deletes, compactions) do not affect the batches
+// this scanner emits.
+func (d *Dataset) Scan(opts ScanOptions) (*Scanner, error) {
+	// Planning holds the file lock so the snapshot is consistent: Delete
+	// mutates existing member bytes on disk before it commits, and a scan
+	// must not open some members before and some after that mutation.
+	// Append/Compact only add new files and are not excluded — scans keep
+	// planning (and streaming) concurrently with them.
+	d.fileMu.RLock()
+	defer d.fileMu.RUnlock()
+	gen := d.generationSnapshot()
+	if err := validateFilters(gen.schema, opts.Filters); err != nil {
+		return nil, err
+	}
+	schema, err := projectSchema(gen.schema, opts.Columns)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := uint64(0), gen.total
+	if r := opts.Range; r != nil {
+		if r.Lo > r.Hi || r.Hi > gen.total {
+			return nil, fmt.Errorf("dataset: scan range [%d,%d) out of [0,%d]", r.Lo, r.Hi, gen.total)
+		}
+		lo, hi = r.Lo, r.Hi
+	}
+	k := opts.FileConcurrency
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > maxFileConcurrency {
+		k = maxFileConcurrency
+	}
+
+	s := &Scanner{
+		schema:  schema,
+		reuseOn: opts.ReuseBatches && !opts.DisableCoalesce,
+		owners:  map[*core.Batch]*memberScan{},
+		sem:     make(chan struct{}, k),
+		stop:    make(chan struct{}),
+	}
+	for i, m := range gen.members {
+		fileLo, fileHi := gen.starts[i], gen.starts[i]+m.entry.Rows
+		if m.entry.Rows == 0 || m.entry.LiveRows == 0 ||
+			fileHi <= lo || fileLo >= hi || entryExcluded(&m.entry, opts.Filters) {
+			s.pruned++
+			continue
+		}
+		local := opts.ScanOptions
+		localLo, localHi := uint64(0), m.entry.Rows
+		if lo > fileLo {
+			localLo = lo - fileLo
+		}
+		if hi < fileHi {
+			localHi = m.entry.Rows - (fileHi - hi)
+		}
+		local.Range = &core.RowRange{Lo: localLo, Hi: localHi}
+		// Open surviving members now (pruned members are never opened):
+		// the scan must snapshot the files as they are at Scan time, not
+		// at first drain — a Delete committed between Scan and Next must
+		// not leak into this scanner's batches. Opens are cached per
+		// generation, so only the first scan of a generation pays them.
+		if _, err := m.open(d); err != nil {
+			return nil, err
+		}
+		s.members = append(s.members, &memberScan{
+			m:    m,
+			d:    d,
+			opts: local,
+			gate: make(chan struct{}),
+			ch:   make(chan *core.Batch, 2),
+		})
+	}
+
+	// The dispatcher opens member gates strictly in file order as
+	// concurrency slots free up, so the engines running at any moment are
+	// always the earliest unfinished files — the consumer can never be
+	// blocked behind a member that cannot get a slot.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for _, ms := range s.members {
+			select {
+			case s.sem <- struct{}{}:
+			case <-s.stop:
+				return
+			}
+			close(ms.gate)
+		}
+	}()
+	for _, ms := range s.members {
+		s.wg.Add(1)
+		go s.runMember(ms)
+	}
+	return s, nil
+}
+
+// projectSchema resolves the projected schema from the dataset schema,
+// rejecting unknown names up front — a scan over a fully pruned (or
+// empty) dataset must still report a projection typo, matching core.
+func projectSchema(schema *core.Schema, names []string) (*core.Schema, error) {
+	if len(names) == 0 {
+		return schema, nil
+	}
+	fields := make([]core.Field, 0, len(names))
+	for _, name := range names {
+		i, ok := schema.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: no column %q", name)
+		}
+		fields = append(fields, schema.Fields[i])
+	}
+	return &core.Schema{Fields: fields}, nil
+}
+
+// validateFilters mirrors core's filter validation so a scan over a fully
+// pruned (or empty) dataset still rejects bad filters.
+func validateFilters(schema *core.Schema, filters []core.ColumnFilter) error {
+	for _, cf := range filters {
+		if _, ok := schema.Lookup(cf.Column); !ok {
+			return fmt.Errorf("dataset: no column %q", cf.Column)
+		}
+		if cf.Min != nil && cf.Max != nil && *cf.Min > *cf.Max {
+			return fmt.Errorf("dataset: filter on %q has min %d > max %d", cf.Column, *cf.Min, *cf.Max)
+		}
+	}
+	return nil
+}
+
+// entryExcluded reports whether the manifest's file-level zone maps prove
+// no row of the member can satisfy some filter. Columns without a
+// recorded zone never prune (conservative, exactly like page pruning).
+func entryExcluded(e *FileEntry, filters []core.ColumnFilter) bool {
+	for _, cf := range filters {
+		z, ok := e.zone(cf.Column)
+		if !ok {
+			continue
+		}
+		if (cf.Min != nil && z.Max < *cf.Min) || (cf.Max != nil && z.Min > *cf.Max) {
+			return true
+		}
+	}
+	return false
+}
+
+// runMember waits for its dispatch gate, runs one scan engine over the
+// member file, and streams its batches.
+func (s *Scanner) runMember(ms *memberScan) {
+	defer s.wg.Done()
+	defer close(ms.ch)
+	select {
+	case <-ms.gate:
+	case <-s.stop:
+		return
+	}
+	defer func() { <-s.sem }()
+
+	f, err := ms.m.open(ms.d)
+	if err != nil {
+		ms.err = err
+		return
+	}
+	sc, err := f.Scan(ms.opts)
+	if err != nil {
+		ms.err = fmt.Errorf("dataset: scanning %s: %w", ms.m.entry.Name, err)
+		return
+	}
+	ms.sc = sc
+	defer sc.Close()
+	for {
+		b, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			ms.err = fmt.Errorf("dataset: scanning %s: %w", ms.m.entry.Name, err)
+			return
+		}
+		select {
+		case ms.ch <- b:
+		case <-s.stop:
+			return
+		}
+	}
+	st := sc.Stats()
+	s.statsMu.Lock()
+	addStats(&s.agg, st)
+	s.done++
+	s.statsMu.Unlock()
+}
+
+func addStats(dst *core.ScanStats, src core.ScanStats) {
+	dst.BytesRead += src.BytesRead
+	dst.PagesDecoded += src.PagesDecoded
+	dst.PagesSkipped += src.PagesSkipped
+	dst.BatchesEmitted += src.BatchesEmitted
+	dst.BatchesSkipped += src.BatchesSkipped
+	dst.RowsEmitted += src.RowsEmitted
+	dst.ReadOps += src.ReadOps
+	dst.CoalescedBytes += src.CoalescedBytes
+	dst.WastedBytes += src.WastedBytes
+}
+
+// Next returns the next batch in dataset order (member files in manifest
+// order, batches in file order within each member), or io.EOF when every
+// member is drained.
+func (s *Scanner) Next() (*core.Batch, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	if s.closed {
+		return nil, fmt.Errorf("dataset: scanner closed")
+	}
+	for {
+		if s.cur >= len(s.members) {
+			return nil, io.EOF
+		}
+		ms := s.members[s.cur]
+		b, ok := <-ms.ch
+		if !ok {
+			if ms.err != nil {
+				s.failed = ms.err
+				s.shutdown()
+				return nil, ms.err
+			}
+			s.cur++
+			continue
+		}
+		if s.reuseOn {
+			s.ownersMu.Lock()
+			s.owners[b] = ms
+			s.ownersMu.Unlock()
+		}
+		return b, nil
+	}
+}
+
+// Recycle returns a finished batch's storage to the member engine that
+// produced it (ScanOptions.ReuseBatches; no-op otherwise). As with the
+// core scanner, the batch must not be read afterwards; Recycle is safe to
+// call concurrently with Next.
+func (s *Scanner) Recycle(b *core.Batch) {
+	s.ownersMu.Lock()
+	ms, ok := s.owners[b]
+	if ok {
+		delete(s.owners, b)
+	}
+	s.ownersMu.Unlock()
+	if ok {
+		ms.sc.Recycle(b)
+	}
+}
+
+// Schema returns the projected schema, in output column order.
+func (s *Scanner) Schema() *core.Schema { return s.schema }
+
+// Stats returns the aggregated scan statistics (see ScanStats).
+func (s *Scanner) Stats() ScanStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return ScanStats{
+		ScanStats:    s.agg,
+		FilesPlanned: len(s.members),
+		FilesPruned:  s.pruned,
+		FilesScanned: s.done,
+	}
+}
+
+// Close stops the member engines. Safe to call more than once and after
+// io.EOF or an error.
+func (s *Scanner) Close() error {
+	if !s.closed {
+		s.closed = true
+		s.shutdown()
+	}
+	return nil
+}
+
+func (s *Scanner) shutdown() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		// Drain member channels so no engine goroutine stays blocked on a
+		// full channel racing the stop select.
+		for _, ms := range s.members {
+			go func(ch chan *core.Batch) {
+				for range ch {
+				}
+			}(ms.ch)
+		}
+		s.wg.Wait()
+	})
+}

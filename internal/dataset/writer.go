@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bullion/internal/core"
+)
+
+// ShardedWriter routes ingest batches across N target member files, each
+// written by its own pipelined core writer, and commits them all as one
+// manifest generation on Close. Batches are routed round-robin per Write
+// call, so N concurrent encode pipelines stay busy while the file layout
+// remains deterministic for a given batch sequence.
+//
+// A ShardedWriter must be used from a single goroutine and Close must
+// always be called; until Close commits, the dataset is unchanged and the
+// shard files exist only under temporary names. A failed Write or Close
+// removes the temporaries and leaves the manifest untouched.
+type ShardedWriter struct {
+	d      *Dataset
+	shards []*swShard
+	next   int
+	rows   uint64
+	err    error
+	closed bool
+}
+
+type swShard struct {
+	tmpName string
+	osf     *os.File
+	w       *core.Writer
+}
+
+// ShardedWriter starts a bulk load across n new member files.
+func (d *Dataset) ShardedWriter(n int) (*ShardedWriter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dataset: sharded writer needs n >= 1, got %d", n)
+	}
+	gen := d.generationSnapshot()
+	sw := &ShardedWriter{d: d, shards: make([]*swShard, n)}
+	for i := range sw.shards {
+		tmpName := fmt.Sprintf("ingest-%d-%d.tmp", d.nameSeq.Add(1), i)
+		osf, err := os.Create(filepath.Join(d.dir, tmpName))
+		if err != nil {
+			sw.discard()
+			return nil, err
+		}
+		w, err := core.NewWriter(osf, gen.schema, d.writerOpts())
+		if err != nil {
+			osf.Close()
+			os.Remove(filepath.Join(d.dir, tmpName))
+			sw.discard()
+			return nil, err
+		}
+		sw.shards[i] = &swShard{tmpName: tmpName, osf: osf, w: w}
+	}
+	return sw, nil
+}
+
+// Write appends batch to the next shard in round-robin order. Errors are
+// sticky, as with the core writer.
+func (sw *ShardedWriter) Write(batch *core.Batch) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return fmt.Errorf("dataset: sharded writer closed")
+	}
+	sh := sw.shards[sw.next]
+	sw.next = (sw.next + 1) % len(sw.shards)
+	if err := sh.w.Write(batch); err != nil {
+		sw.err = err
+		sw.discard()
+		return err
+	}
+	sw.rows += uint64(batch.NumRows())
+	return nil
+}
+
+// discard tears down every shard and removes its on-disk file (temporary
+// or renamed-but-uncommitted).
+func (sw *ShardedWriter) discard() {
+	for _, sh := range sw.shards {
+		if sh == nil {
+			continue
+		}
+		if sh.w != nil {
+			sh.w.Close() // joins the pipeline; error irrelevant, file is doomed
+		}
+		if sh.osf != nil {
+			sh.osf.Close()
+		}
+		sh.w, sh.osf = nil, nil
+		os.Remove(filepath.Join(sw.d.dir, sh.tmpName))
+	}
+}
+
+// Close finishes every shard file and commits the non-empty ones to the
+// manifest as one new generation. Closing a writer that wrote no rows is
+// a no-op commit.
+func (sw *ShardedWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	for _, sh := range sw.shards {
+		if err := sh.w.Close(); err != nil {
+			sw.err = err
+			sw.discard()
+			return err
+		}
+		if err := sh.osf.Close(); err != nil {
+			sw.err = err
+			sw.discard()
+			return err
+		}
+		sh.w, sh.osf = nil, nil
+	}
+
+	sw.d.mu.Lock()
+	defer sw.d.mu.Unlock()
+	gen := sw.d.generationSnapshot().manifest.Generation + 1
+
+	// Rename shards into place and lift their footer stats into entries.
+	// On any failure, discard removes every shard file — including ones
+	// already renamed, whose tmpName tracks the final name.
+	var entries []FileEntry
+	fail := func(err error) error {
+		sw.discard()
+		sw.err = err
+		return err
+	}
+	for i, sh := range sw.shards {
+		tmpPath := filepath.Join(sw.d.dir, sh.tmpName)
+		entry, err := statMember(tmpPath, fmt.Sprintf("part-%06d-%03d.bln", gen, i))
+		if err != nil {
+			return fail(err)
+		}
+		if entry.Rows == 0 {
+			os.Remove(tmpPath)
+			continue
+		}
+		if err := os.Rename(tmpPath, filepath.Join(sw.d.dir, entry.Name)); err != nil {
+			return fail(err)
+		}
+		sh.tmpName = entry.Name
+		entries = append(entries, entry)
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	if err := sw.d.commit(func(m *Manifest) error {
+		for _, e := range entries {
+			if e.SchemaFP != m.SchemaFP {
+				return fmt.Errorf("dataset: shard %s fingerprint %s != dataset %s",
+					e.Name, e.SchemaFP, m.SchemaFP)
+			}
+		}
+		m.Files = append(m.Files, entries...)
+		return nil
+	}); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// NumRows reports rows written so far across all shards.
+func (sw *ShardedWriter) NumRows() uint64 { return sw.rows }
+
+// NumShards returns the target file count.
+func (sw *ShardedWriter) NumShards() int { return len(sw.shards) }
