@@ -694,7 +694,7 @@ func BenchmarkDeletionRewrite(b *testing.B) {
 		var c iostats.Counters
 		c.Reset()
 		out := &iostats.Writer{W: &benchFile{}, C: &c}
-		if err := f.RewriteWithoutRows(out, del, opts); err != nil {
+		if _, err := f.RewriteWithoutRows(out, del, opts); err != nil {
 			b.Fatal(err)
 		}
 		written += c.Snapshot().WriteBytes

@@ -57,9 +57,47 @@
 //	}
 //
 // Scans prune work before any I/O: batches outside Range are never
-// planned, all-deleted batches are dropped, and ColumnFilter zone
-// predicates skip batches whose footer min/max page statistics prove no
-// match (int64/int32 columns; pruning is page-granular and conservative).
+// planned, all-deleted batches are dropped, and ColumnFilter statistics
+// predicates skip batches whose footer statistics prove no match (see
+// "Pruning and statistics" below).
+//
+// # Pruning and statistics
+//
+// The writer records three statistics families in the footer (format v3)
+// so selective scans can skip data without reading it:
+//
+//   - Zone maps. Every page carries min/max bounds: native int64 order
+//     for int64/int32 columns (nullable included, nulls excluded from the
+//     bounds), IEEE float order for float64/float32 columns (stored as
+//     Float64bits, flagged StatFloatBits; quantized float32 bounds cover
+//     the values as decoded, not as ingested; NaNs constrain nothing).
+//     The footer also persists the per-column fold of all page bounds as
+//     file-level column stats.
+//   - Bloom filters. Byte-string (Binary/String) columns get a
+//     split-block bloom filter per page and one per column over the
+//     file's distinct values, sized by Options.BloomBitsPerValue
+//     (default 12 bits per distinct value, ~0.5% false positives;
+//     negative disables them).
+//   - Null counts, per page and per column.
+//
+// ColumnFilter exposes one predicate class per family: Min/Max (int
+// range), FloatMin/FloatMax (float range), and ValueIn (byte-string
+// membership). Pruning happens at every level that has statistics: the
+// scan planner drops the whole file when the file-level stats or column
+// bloom exclude a filter (no page is ever consulted), drops batches whose
+// overlapping pages all exclude it, and — through the dataset manifest,
+// which lifts the file-level stats at commit — drops whole member files
+// without opening them. Pruning is always conservative: surviving batches
+// are returned in full and may contain non-matching rows (blooms also
+// admit false positives), so exact filtering remains the caller's job,
+// but no row that could match is ever dropped (property-tested under
+// -race by the prune harness). Files written before format v3 report no
+// float or bloom statistics and simply never prune on those predicates.
+//
+// After Close, Writer.WrittenStats surfaces the same statistics the
+// footer just persisted — rows, bytes, per-column zone maps and blooms —
+// which is how the dataset layer commits shard files without reopening
+// them.
 //
 // # Reading at scale
 //
@@ -270,12 +308,16 @@ type (
 	Scanner = core.Scanner
 	// RowRange restricts a scan to global rows [Lo, Hi).
 	RowRange = core.RowRange
-	// ColumnFilter is a zone-map batch-pruning predicate.
+	// ColumnFilter is a statistics batch-pruning predicate: int range,
+	// float range, or byte-string membership (see "Pruning and
+	// statistics").
 	ColumnFilter = core.ColumnFilter
 	// ScanStats reports a scan's physical work.
 	ScanStats = core.ScanStats
 	// PageStats is the per-page min/max/null zone map.
 	PageStats = core.PageStats
+	// WrittenStats is a closed Writer's own account of the file it wrote.
+	WrittenStats = core.WrittenStats
 )
 
 // DefaultScanBatchRows is the default Scanner batch size.
@@ -372,6 +414,11 @@ func (w *Writer) Write(batch *Batch) error { return w.cw.Write(batch) }
 // SelectorStats reports cascade-selector cache reuse (decisions reused vs
 // full sampling passes) across all columns. Call it after Close.
 func (w *Writer) SelectorStats() (hits, resamples int64) { return w.cw.SelectorStats() }
+
+// WrittenStats reports the closed file's statistics — rows, total bytes,
+// and per-column zone maps/blooms identical to a reopened file's Stats().
+// It returns nil until Close has succeeded.
+func (w *Writer) WrittenStats() *WrittenStats { return w.cw.WrittenStats() }
 
 // Close flushes buffered rows, writes the footer, and closes the file when
 // the writer owns one.

@@ -23,10 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -74,7 +76,8 @@ func usage() {
   bullion info [-json] <file|dir>...
   bullion verify <file>
   bullion project <file> <column>...
-  bullion scan [-batch N] [-workers N] [-file-workers N] [-coalesce-gap N] [-no-coalesce] <file|dir>... [column]...
+  bullion scan [-batch N] [-workers N] [-file-workers N] [-coalesce-gap N] [-no-coalesce]
+               [-filter-int col:lo:hi] [-filter-float col:lo:hi] [-filter-in col:v1,v2] <file|dir>... [column]...
   bullion ingest [-rows N] [-cols N] [-group N] [-workers N] [-shards N] [-no-cache] <file>... | <dir>
   bullion compact [-threshold R] [-vacuum] <dir>...
   bullion delete <file|dir> <row>...
@@ -143,7 +146,13 @@ type columnInfo struct {
 	HasMinMax       bool           `json:"has_min_max"`
 	Min             *int64         `json:"min,omitempty"`
 	Max             *int64         `json:"max,omitempty"`
-	NullCount       uint64         `json:"null_count,omitempty"`
+	HasFloatMinMax  bool           `json:"has_float_min_max,omitempty"`
+	FloatMin        *float64       `json:"float_min,omitempty"`
+	FloatMax        *float64       `json:"float_max,omitempty"`
+	// BloomBytes is the size of the column's file-level membership filter
+	// (0 = none recorded).
+	BloomBytes int    `json:"bloom_bytes,omitempty"`
+	NullCount  uint64 `json:"null_count,omitempty"`
 }
 
 type fileInfo struct {
@@ -210,6 +219,14 @@ func fileInfoFor(path string) (*fileInfo, error) {
 			mn, mx := c.Min, c.Max
 			ci.Min, ci.Max = &mn, &mx
 		}
+		if c.HasFloatMinMax {
+			ci.HasFloatMinMax = true
+			// JSON cannot encode ±Inf; bounds are only emitted when finite.
+			if fn, fx := c.FloatMin, c.FloatMax; !math.IsInf(fn, 0) && !math.IsInf(fx, 0) {
+				ci.FloatMin, ci.FloatMax = &fn, &fx
+			}
+		}
+		ci.BloomBytes = len(c.Bloom)
 		out.Columns = append(out.Columns, ci)
 	}
 	return out, nil
@@ -282,8 +299,16 @@ func info(args []string) error {
 				d.Path, d.Rows, d.LiveRows, len(d.Columns), d.Groups, d.Pages, d.Compliance)
 			for _, c := range d.Columns {
 				zone := "no zone map"
-				if c.HasMinMax {
+				switch {
+				case c.HasMinMax:
 					zone = fmt.Sprintf("min %d max %d", *c.Min, *c.Max)
+				case c.HasFloatMinMax && c.FloatMin != nil:
+					zone = fmt.Sprintf("min %g max %g", *c.FloatMin, *c.FloatMax)
+				case c.HasFloatMinMax:
+					zone = "float bounds (non-finite)"
+				}
+				if c.BloomBytes > 0 {
+					zone += fmt.Sprintf(", bloom %dB", c.BloomBytes)
 				}
 				fmt.Printf("  %-28s %-16s %10d bytes %5d pages  %s\n",
 					c.Name, c.Type, c.CompressedBytes, c.Pages, zone)
@@ -354,6 +379,80 @@ func cellString(col bullion.ColumnData, r int) string {
 	}
 }
 
+// repeatedFlag collects every occurrence of a repeatable flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string { return strings.Join(*r, ",") }
+func (r *repeatedFlag) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// parseFilters turns the scan command's filter flags into ColumnFilters:
+//
+//	-filter-int   col:lo:hi   int64 range (empty lo/hi = open bound)
+//	-filter-float col:lo:hi   float64 range (empty lo/hi = open bound)
+//	-filter-in    col:v1,v2   byte-string membership
+func parseFilters(ints, floats, ins repeatedFlag) ([]bullion.ColumnFilter, error) {
+	var out []bullion.ColumnFilter
+	for _, spec := range ints {
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) != 3 || parts[0] == "" {
+			return nil, fmt.Errorf("bad -filter-int %q (want col:lo:hi)", spec)
+		}
+		cf := bullion.ColumnFilter{Column: parts[0]}
+		if parts[1] != "" {
+			v, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -filter-int %q: %v", spec, err)
+			}
+			cf.Min = &v
+		}
+		if parts[2] != "" {
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -filter-int %q: %v", spec, err)
+			}
+			cf.Max = &v
+		}
+		out = append(out, cf)
+	}
+	for _, spec := range floats {
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) != 3 || parts[0] == "" {
+			return nil, fmt.Errorf("bad -filter-float %q (want col:lo:hi)", spec)
+		}
+		cf := bullion.ColumnFilter{Column: parts[0]}
+		if parts[1] != "" {
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -filter-float %q: %v", spec, err)
+			}
+			cf.FloatMin = &v
+		}
+		if parts[2] != "" {
+			v, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -filter-float %q: %v", spec, err)
+			}
+			cf.FloatMax = &v
+		}
+		out = append(out, cf)
+	}
+	for _, spec := range ins {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("bad -filter-in %q (want col:v1,v2,...)", spec)
+		}
+		cf := bullion.ColumnFilter{Column: parts[0]}
+		for _, v := range strings.Split(parts[1], ",") {
+			cf.ValueIn = append(cf.ValueIn, []byte(v))
+		}
+		out = append(out, cf)
+	}
+	return out, nil
+}
+
 // scanResult is one path's scan outcome, for the aggregate report.
 type scanResult struct {
 	path    string
@@ -375,8 +474,16 @@ func scan(args []string) error {
 	coalesceGap := fs.Int("coalesce-gap", 0,
 		"cold bytes to read through when merging reads (0 = default, negative = none)")
 	noCoalesce := fs.Bool("no-coalesce", false, "one read per column chunk run (pre-planner path)")
+	var fInt, fFloat, fIn repeatedFlag
+	fs.Var(&fInt, "filter-int", "int zone-map filter col:lo:hi (repeatable; empty bound = open)")
+	fs.Var(&fFloat, "filter-float", "float zone-map filter col:lo:hi (repeatable; empty bound = open)")
+	fs.Var(&fIn, "filter-in", "membership filter col:v1,v2,... (repeatable; prunes via bloom filters)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	filters, err := parseFilters(fInt, fFloat, fIn)
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
 	}
 	// Positional arguments that name an existing file or directory are
 	// scan targets; the rest are projected column names. (The historical
@@ -400,6 +507,7 @@ func scan(args []string) error {
 		CoalesceGap:     *coalesceGap,
 		DisableCoalesce: *noCoalesce,
 		ReuseBatches:    true,
+		Filters:         filters,
 	}
 	var results []scanResult
 	for _, path := range paths {

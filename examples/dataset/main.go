@@ -27,6 +27,7 @@ func main() {
 	schema, err := bullion.NewSchema(
 		bullion.Field{Name: "uid", Type: bullion.Type{Kind: bullion.Int64}},
 		bullion.Field{Name: "ctr", Type: bullion.Type{Kind: bullion.Float64}},
+		bullion.Field{Name: "campaign", Type: bullion.Type{Kind: bullion.String}},
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -54,11 +55,15 @@ func main() {
 	for b := 0; b < nBatches; b++ {
 		uid := make(bullion.Int64Data, batchRows)
 		ctr := make(bullion.Float64Data, batchRows)
+		campaign := make(bullion.BytesData, batchRows)
 		for i := range uid {
 			uid[i] = int64(b*batchRows + i)
 			ctr[i] = float64(i%100) / 100
+			// Each shard serves its own campaign set, so the per-member
+			// bloom filters are disjoint — string membership prunes files.
+			campaign[i] = []byte(fmt.Sprintf("camp-%d-%d", b, i%8))
 		}
-		batch, err := bullion.NewBatch(schema, []bullion.ColumnData{uid, ctr})
+		batch, err := bullion.NewBatch(schema, []bullion.ColumnData{uid, ctr, campaign})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,6 +95,29 @@ func main() {
 	sc.Close()
 	fmt.Printf("filtered scan (uid >= %d): %d rows, %d files pruned by manifest, %d scanned, %d reads\n",
 		lo, rows, stats.FilesPruned, stats.FilesScanned, stats.ReadOps)
+
+	// 2b. String membership: the manifest carries a bloom filter per
+	//     member over its campaign values, so a ValueIn filter prunes the
+	//     shards that never served the campaign — again without opening
+	//     them. Surviving batches may still hold other campaigns (blooms
+	//     are conservative); exact filtering stays with the caller.
+	sc, err = ds.Scan(bullion.DatasetScanOptions{
+		ScanOptions: bullion.ScanOptions{
+			Columns: []string{"uid", "campaign"},
+			Filters: []bullion.ColumnFilter{
+				{Column: "campaign", ValueIn: [][]byte{[]byte("camp-2-5")}},
+			},
+		},
+		FileConcurrency: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = drain(sc)
+	stats = sc.Stats()
+	sc.Close()
+	fmt.Printf("membership scan (campaign camp-2-5): %d rows, %d files pruned by bloom, %d scanned\n",
+		rows, stats.FilesPruned, stats.FilesScanned)
 
 	// 3. Delete the first quarter of the table. Scans filter the rows
 	//    immediately; the bytes stay on disk until compaction.

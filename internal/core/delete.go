@@ -345,9 +345,11 @@ func (f *File) rewriteFooter(w io.WriterAt, ftr *footer.Footer) error {
 
 // RewriteWithoutRows is the legacy baseline the paper contrasts against:
 // copy the entire file, dropping the given rows. It reads every page and
-// writes a complete new file to out. Used by the deletion experiment to
-// measure the I/O cost Level 2 avoids.
-func (f *File) RewriteWithoutRows(out io.Writer, rows []uint64, opts *Options) error {
+// writes a complete new file to out, returning the new file's
+// WrittenStats so commit paths (dataset compaction) can lift manifest
+// entries without reopening what they just wrote. Used by the deletion
+// experiment to measure the I/O cost Level 2 avoids.
+func (f *File) RewriteWithoutRows(out io.Writer, rows []uint64, opts *Options) (*WrittenStats, error) {
 	del := map[uint64]bool{}
 	for _, r := range rows {
 		del[r] = true
@@ -355,7 +357,7 @@ func (f *File) RewriteWithoutRows(out io.Writer, rows []uint64, opts *Options) e
 	schema := f.Schema()
 	w, err := NewWriter(out, schema, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Read group by group, filter, and write.
 	var rowStart uint64
@@ -365,7 +367,7 @@ func (f *File) RewriteWithoutRows(out io.Writer, rows []uint64, opts *Options) e
 		for c := range schema.Fields {
 			data, err := f.ReadChunk(g, c)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			cols[c] = data
 			n = data.Len()
@@ -390,9 +392,12 @@ func (f *File) RewriteWithoutRows(out io.Writer, rows []uint64, opts *Options) e
 		}
 		batch := &Batch{Schema: schema, Columns: cols}
 		if err := w.Write(batch); err != nil {
-			return err
+			return nil, err
 		}
 		rowStart += uint64(groupRows)
 	}
-	return w.Close()
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return w.WrittenStats(), nil
 }

@@ -293,7 +293,7 @@ func TestInPlaceDeletionIOAdvantage(t *testing.T) {
 	var rw iostats.Counters
 	rw.Reset()
 	out := &iostats.Writer{W: &memFile{}, C: &rw}
-	if err := f.RewriteWithoutRows(out, nil, opts); err != nil {
+	if _, err := f.RewriteWithoutRows(out, nil, opts); err != nil {
 		t.Fatal(err)
 	}
 	rewriteBytes := rw.Snapshot().WriteBytes

@@ -2,10 +2,15 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
+	"os"
 	"reflect"
 	"testing"
+
+	"bullion/internal/enc"
+	"bullion/internal/footer"
 )
 
 // FuzzWriterRoundTrip drives the pipelined writer across odd
@@ -116,6 +121,97 @@ func FuzzWriterRoundTrip(f *testing.F) {
 		names := []string{"id", "val", "score", "tag", "seq"}
 		for i := range want {
 			compareFuzzColumn(t, names[i], got[i], want[i])
+		}
+	})
+}
+
+// FuzzFooterDecode feeds arbitrary bytes — seeded with real v2 and v3
+// footers, including one carrying blooms and float stats — to the footer
+// decoder and exercises every accessor on whatever opens. Truncated and
+// bit-flipped statistics sections must produce errors or conservative
+// "no statistics" answers, never a panic: the scanner trusts these
+// accessors on files read from disk.
+func FuzzFooterDecode(f *testing.F) {
+	// Seed: a real v3 footer with float stats and blooms.
+	schema, err := NewSchema(
+		Field{Name: "a", Type: Type{Kind: Int64}},
+		Field{Name: "f", Type: Type{Kind: Float64}},
+		Field{Name: "s", Type: Type{Kind: String}},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	n := 300
+	a := make(Int64Data, n)
+	fl := make(Float64Data, n)
+	s := make(BytesData, n)
+	for i := 0; i < n; i++ {
+		a[i] = int64(i)
+		fl[i] = float64(i) / 3
+		s[i] = []byte([]string{"x", "yy", "zzz"}[i%3])
+	}
+	batch, _ := NewBatch(schema, []ColumnData{a, fl, s})
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, schema, &Options{RowsPerPage: 64, GroupRows: 128, Compliance: Level1})
+	if err := w.Write(batch); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	fLen := int(binary.LittleEndian.Uint32(raw[len(raw)-8:]))
+	ftrV3 := raw[len(raw)-8-fLen : len(raw)-8]
+	f.Add(append([]byte(nil), ftrV3...))
+	f.Add(append([]byte(nil), ftrV3[:len(ftrV3)/2]...)) // truncated mid-sections
+
+	// Seed: a pinned v2 footer (no stats sections beyond page_stats).
+	if v2raw, err := os.ReadFile("testdata/golden_v2.bullion"); err == nil {
+		v2len := int(binary.LittleEndian.Uint32(v2raw[len(v2raw)-8:]))
+		f.Add(append([]byte(nil), v2raw[len(v2raw)-8-v2len:len(v2raw)-8]...))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := footer.OpenView(data)
+		if err != nil {
+			return
+		}
+		_ = v.Version()
+		_ = v.NumRows()
+		_ = v.HasPageStats()
+		_ = v.HasColumnStats()
+		_, _ = v.LookupColumn("a")
+		_, _ = v.LookupColumn("missing")
+		nCols := v.NumColumns()
+		if nCols > 1<<12 {
+			nCols = 1 << 12
+		}
+		for c := 0; c < nCols; c++ {
+			_ = v.ColumnName(c)
+			_ = v.ColumnType(c)
+			_, _ = v.ColumnStat(c)
+			if b := v.ColumnBloom(c); b != nil {
+				if fl, err := enc.OpenBloom(b); err == nil {
+					_ = fl.Contains([]byte("x"))
+				}
+			}
+		}
+		nPages := v.NumPages()
+		if nPages > 1<<12 {
+			nPages = 1 << 12
+		}
+		for p := 0; p < nPages; p++ {
+			_, _ = v.PageStat(p)
+			if b := v.PageBloom(p); b != nil {
+				if fl, err := enc.OpenBloom(b); err == nil {
+					_ = fl.ContainsHash(42)
+				}
+			}
+		}
+		// Materialize/Marshal over an accepted view must not panic either
+		// (the in-place deletion path runs it on files read from disk).
+		if m, err := v.Materialize(); err == nil {
+			_, _ = m.Marshal()
 		}
 	})
 }

@@ -183,6 +183,112 @@ func TestGoldenFile(t *testing.T) {
 	}
 }
 
+// TestGoldenV2BackwardCompat pins reading of pre-statistics files:
+// testdata/golden_v2.bullion is the identical table written when the
+// footer was at version 2 (int zone maps only, no column stats, no
+// blooms). It must still open, verify, and scan to the exact source data;
+// its float and string columns must report no zone maps (HasMinMax and
+// HasFloatMinMax false, Bloom nil); float/string filters must run without
+// pruning anything; and in-place deletion must still round-trip the v2
+// footer at its original length.
+func TestGoldenV2BackwardCompat(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden_v2.bullion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.View().Version(); got != 2 {
+		t.Fatalf("pinned v2 file reports footer version %d", got)
+	}
+	if err := f.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+
+	schema, batch, _ := goldenTable(t)
+	names := make([]string, len(schema.Fields))
+	for i, fd := range schema.Fields {
+		names[i] = fd.Name
+	}
+	proj, err := f.Project(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range batch.Columns {
+		compareGoldenColumn(t, names[i], proj.Columns[i], want)
+	}
+
+	// Statistics the v2 format predates read as absent.
+	for _, cs := range f.Stats().Columns {
+		switch cs.Name {
+		case "score", "embed":
+			if cs.HasMinMax || cs.HasFloatMinMax {
+				t.Errorf("v2 float column %q reports zone maps: %+v", cs.Name, cs)
+			}
+		case "tag":
+			if cs.HasMinMax || cs.HasFloatMinMax || cs.Bloom != nil {
+				t.Errorf("v2 string column %q reports statistics: %+v", cs.Name, cs)
+			}
+		case "uid":
+			if !cs.HasMinMax {
+				t.Errorf("v2 int column %q lost its zone map", cs.Name)
+			}
+		}
+	}
+
+	// Float and string filters on a v2 file must be accepted and must not
+	// prune a single batch — there are no statistics to prune with.
+	flo, fhi := 1e9, 2e9
+	sc, err := f.Scan(ScanOptions{
+		Columns: []string{"uid"},
+		Filters: []ColumnFilter{
+			{Column: "score", FloatMin: &flo, FloatMax: &fhi},
+			{Column: "tag", ValueIn: [][]byte{[]byte("no-such-tag")}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	rows := 0
+	for {
+		b, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows += b.NumRows()
+	}
+	if rows != batch.NumRows() {
+		t.Fatalf("v2 scan with unprunable filters returned %d rows, want %d", rows, batch.NumRows())
+	}
+	if st := sc.Stats(); st.BatchesSkipped != 0 {
+		t.Fatalf("v2 file pruned %d batches without statistics", st.BatchesSkipped)
+	}
+
+	// In-place deletion rewrites the footer at its original version and
+	// length (rewriteFooter enforces the length; this is the regression
+	// guard for Materialize preserving Version).
+	mem := &memFile{data: append([]byte(nil), raw...)}
+	f2, err := Open(mem, int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.DeleteRows(mem, []uint64{1, 2, 3}); err != nil {
+		t.Fatalf("deleting from v2 file: %v", err)
+	}
+	if got := f2.NumLiveRows(); got != uint64(batch.NumRows()-3) {
+		t.Fatalf("v2 live rows = %d after delete", got)
+	}
+	if got := f2.View().Version(); got != 2 {
+		t.Fatalf("delete upgraded the footer to version %d", got)
+	}
+}
+
 // TestGoldenScanCoalescedIdentical pins read-path equivalence on the
 // committed golden file: the coalesced scan (cross-column read planner,
 // pooled run buffers, decode-into) must emit batch-for-batch identical

@@ -39,6 +39,7 @@ type encodedPage struct {
 	rows   uint32
 	scheme uint8
 	stats  PageStats
+	bloom  []byte // serialized page bloom (byte-string pages only)
 	hash   merkle.Hash
 }
 
@@ -47,6 +48,9 @@ type encodedPage struct {
 type encodedChunk struct {
 	buf   []byte
 	pages []encodedPage
+	// hashes is the chunk's distinct byte-string value hash set; the
+	// serializer unions chunks into the column's file-level bloom input.
+	hashes map[uint64]struct{}
 }
 
 // groupJob carries one row group through the pipeline.
@@ -226,11 +230,13 @@ func (p *ingestPipeline) process(ci int, task colTask) {
 
 // encodeColumnChunk encodes all pages of one column of one row group:
 // cascade selection (through the column's selector cache), page encoding,
-// zone-map statistics, Level-2 slack, and the Merkle leaf hash. It is
-// pure with respect to the Writer — all file-layout state stays with the
-// serializer.
+// zone-map statistics (including page blooms for byte-string columns),
+// Level-2 slack, and the Merkle leaf hash. It is pure with respect to the
+// Writer — all file-layout state stays with the serializer.
 func encodeColumnChunk(field Field, col ColumnData, n int, opts *Options) (encodedChunk, error) {
 	var c encodedChunk
+	bloomBits := opts.resolveBloomBits()
+	buildBlooms := bloomBits > 0 && (field.Type.Kind == Binary || field.Type.Kind == String)
 	for lo := 0; lo < n; lo += opts.RowsPerPage {
 		hi := lo + opts.RowsPerPage
 		if hi > n {
@@ -245,16 +251,39 @@ func encodeColumnChunk(field Field, col ColumnData, n int, opts *Options) (encod
 			// Reserve slack so masked re-encodes always fit in place.
 			payload = append(payload, make([]byte, level2Slack(len(payload)))...)
 		}
-		c.pages = append(c.pages, encodedPage{
+		ep := encodedPage{
 			size:   len(payload),
 			rows:   uint32(hi - lo),
 			scheme: uint8(scheme),
-			stats:  computePageStats(page),
+			stats:  computePageStats(field, page),
 			hash:   merkle.HashPage(payload),
-		})
+		}
+		if buildBlooms {
+			if c.hashes == nil {
+				c.hashes = map[uint64]struct{}{}
+			}
+			ep.bloom = bloomForPage(page.(BytesData), bloomBits, c.hashes)
+		}
+		c.pages = append(c.pages, ep)
 		c.buf = append(c.buf, payload...)
 	}
 	return c, nil
+}
+
+// bloomForPage builds one page's membership filter from its distinct
+// value hashes, adding them to the chunk-level set as a side effect.
+func bloomForPage(vals BytesData, bloomBits int, chunkSet map[uint64]struct{}) []byte {
+	pageSet := make(map[uint64]struct{}, len(vals))
+	for _, v := range vals {
+		h := enc.BloomHash(v)
+		pageSet[h] = struct{}{}
+		chunkSet[h] = struct{}{}
+	}
+	b := enc.NewBloomBuilder(len(pageSet), bloomBits)
+	for h := range pageSet {
+		b.AddHash(h)
+	}
+	return b.Marshal()
 }
 
 // serialize writes completed groups in dispatch order. On failure it keeps

@@ -89,6 +89,27 @@ type Options struct {
 	// bytes) the ingest pipeline may hold at once, bounding writer memory.
 	// <= 0 means EncodeWorkers + 2.
 	MaxInflightGroups int
+	// BloomBitsPerValue sizes the split-block bloom filters the writer
+	// builds over byte-string (Binary/String) columns, per page and per
+	// file, in bits per distinct value. 0 selects
+	// enc.BloomDefaultBitsPerValue (12, ~0.5% false positives); negative
+	// disables bloom filters entirely. Building a file-level filter keeps
+	// the column's distinct value hashes in memory until Close (8 bytes
+	// per distinct value).
+	BloomBitsPerValue int
+}
+
+// resolveBloomBits normalizes Options.BloomBitsPerValue: the default
+// sizing at 0, disabled (0) when negative.
+func (o *Options) resolveBloomBits() int {
+	switch {
+	case o.BloomBitsPerValue < 0:
+		return 0
+	case o.BloomBitsPerValue == 0:
+		return enc.BloomDefaultBitsPerValue
+	default:
+		return o.BloomBitsPerValue
+	}
 }
 
 // Level is a deletion-compliance level (§2.1).

@@ -39,7 +39,7 @@ func liveMinus(cols []ColumnData, n int, deleted, dropped []uint64) []ColumnData
 func rewriteAndReopen(t *testing.T, f *File, drop []uint64, opts *Options) *File {
 	t.Helper()
 	out := &memFile{}
-	if err := f.RewriteWithoutRows(out, drop, opts); err != nil {
+	if _, err := f.RewriteWithoutRows(out, drop, opts); err != nil {
 		t.Fatal(err)
 	}
 	rf, err := Open(out, out.Size())

@@ -37,17 +37,33 @@ type RowRange struct {
 	Lo, Hi uint64
 }
 
-// ColumnFilter is a zone-map predicate on one column: a batch survives
-// only if some overlapping page of the column may hold a value in
-// [Min, Max] (nil bounds are open). Pruning is page-granular and
-// conservative — surviving batches are returned in full and may still
-// contain non-matching rows; exact filtering is the caller's job. Columns
-// without recorded min/max statistics (anything but int64/int32) never
-// prune.
+// ColumnFilter is a statistics predicate on one column: a batch survives
+// only if some overlapping page of the column may satisfy it. Three
+// predicate classes exist, each pruning through its own statistics
+// domain:
+//
+//   - Min/Max (nil = open) is an int64 range; prunes int64/int32 columns
+//     via int zone maps.
+//   - FloatMin/FloatMax (nil = open) is a float64 range; prunes
+//     float64/float32 columns via float zone maps (footer v3).
+//   - ValueIn is a byte-string membership set ("column equals one of
+//     these"); prunes Binary/String columns via page, file, and (through
+//     the dataset manifest) per-member bloom filters. An empty ValueIn
+//     constrains nothing.
+//
+// Pruning is conservative in every class — surviving batches are returned
+// in full and may still contain non-matching rows (bloom probes also
+// admit false positives at the sizing target); exact filtering is the
+// caller's job. A filter whose domain does not match the column's
+// recorded statistics (an int range on a float column, any filter on a
+// statless v2 file) never prunes anything.
 type ColumnFilter struct {
-	Column string
-	Min    *int64
-	Max    *int64
+	Column   string
+	Min      *int64
+	Max      *int64
+	FloatMin *float64
+	FloatMax *float64
+	ValueIn  [][]byte
 }
 
 // ScanOptions configures File.Scan.
@@ -260,9 +276,13 @@ func newScanner(src scanSource, opts ScanOptions) (*Scanner, error) {
 		pending:     map[int]*scanSlot{},
 		stop:        make(chan struct{}),
 	}
+	// Whole-file pruning first: when the footer's file-level stats or
+	// blooms prove the filters cannot match anywhere, no batch is planned
+	// and no page statistic is ever consulted.
+	fileExcluded := fileExcludedByFilters(src, filters)
 	for b := lo; b < hi; b += uint64(batchRows) {
 		span := rowSpan{b, min(b+uint64(batchRows), hi)}
-		if s.pruneBatch(span, filters) {
+		if fileExcluded || s.pruneBatch(span, filters) {
 			s.batchesSkip++
 			for _, ci := range cols {
 				s.pagesSkipped += int64(countPagesInSpan(src, ci, span))
@@ -301,8 +321,37 @@ func resolveProjection(src scanSource, names []string) ([]int, *Schema, error) {
 }
 
 type boundFilter struct {
-	col      int
-	min, max *int64
+	col        int
+	min, max   *int64
+	fmin, fmax *float64
+	// hashes are the pre-computed BloomHash values of ValueIn (nil when
+	// the filter carries no membership set).
+	hashes []uint64
+}
+
+// Validate checks the filter's internal consistency (column existence is
+// the scan planner's job — core and the dataset layer resolve names
+// against different schemas). Both layers call this before planning.
+func (cf *ColumnFilter) Validate() error {
+	if cf.Min != nil && cf.Max != nil && *cf.Min > *cf.Max {
+		return fmt.Errorf("filter on %q has min %d > max %d", cf.Column, *cf.Min, *cf.Max)
+	}
+	if cf.FloatMin != nil && cf.FloatMax != nil && *cf.FloatMin > *cf.FloatMax {
+		return fmt.Errorf("filter on %q has float min %v > max %v", cf.Column, *cf.FloatMin, *cf.FloatMax)
+	}
+	return nil
+}
+
+// filterHashes pre-hashes a membership set once per scan.
+func filterHashes(values [][]byte) []uint64 {
+	if len(values) == 0 {
+		return nil
+	}
+	hs := make([]uint64, len(values))
+	for i, v := range values {
+		hs[i] = enc.BloomHash(v)
+	}
+	return hs
 }
 
 func resolveFilters(src scanSource, fs []ColumnFilter) ([]boundFilter, error) {
@@ -312,45 +361,106 @@ func resolveFilters(src scanSource, fs []ColumnFilter) ([]boundFilter, error) {
 		if !ok {
 			return nil, fmt.Errorf("core: no column %q", cf.Column)
 		}
-		if cf.Min != nil && cf.Max != nil && *cf.Min > *cf.Max {
-			return nil, fmt.Errorf("core: filter on %q has min %d > max %d", cf.Column, *cf.Min, *cf.Max)
+		if err := cf.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %v", err)
 		}
-		out = append(out, boundFilter{col: ci, min: cf.Min, max: cf.Max})
+		out = append(out, boundFilter{
+			col: ci, min: cf.Min, max: cf.Max, fmin: cf.FloatMin, fmax: cf.FloatMax,
+			hashes: filterHashes(cf.ValueIn),
+		})
 	}
 	return out, nil
 }
 
 // pruneBatch reports whether span can be skipped entirely: every row
-// deleted, or some zone-map filter excludes every overlapping page.
+// deleted, or some statistics filter excludes every overlapping page.
 func (s *Scanner) pruneBatch(span rowSpan, filters []boundFilter) bool {
 	if s.src.deletedInRange(span.lo, span.hi) == int(span.hi-span.lo) {
 		return true
 	}
-	for _, bf := range filters {
-		if s.filterExcludesSpan(bf, span) {
+	for i := range filters {
+		if s.filterExcludesSpan(&filters[i], span) {
 			return true
 		}
 	}
 	return false
 }
 
-// filterExcludesSpan reports whether the zone maps of every page of
-// bf.col overlapping span prove the filter cannot match.
-func (s *Scanner) filterExcludesSpan(bf boundFilter, span rowSpan) bool {
+// statExcludes reports whether one zone-map entry (page- or file-level:
+// both share the flag layout) proves bf's range predicates cannot match.
+// Mismatched domains never exclude.
+func statExcludes(bf *boundFilter, min, max int64, flags uint32) bool {
+	if flags&footer.StatHasMinMax == 0 {
+		return false
+	}
+	if flags&footer.StatFloatBits != 0 {
+		if bf.fmin == nil && bf.fmax == nil {
+			return false
+		}
+		lo, hi := statFloatBounds(min, max)
+		return (bf.fmin != nil && hi < *bf.fmin) || (bf.fmax != nil && lo > *bf.fmax)
+	}
+	if bf.min == nil && bf.max == nil {
+		return false
+	}
+	return (bf.min != nil && max < *bf.min) || (bf.max != nil && min > *bf.max)
+}
+
+// bloomExcludes reports whether a serialized bloom filter proves none of
+// bf's membership hashes can be present. Absent or unreadable filters
+// never exclude.
+func bloomExcludes(bf *boundFilter, blob []byte) bool {
+	if len(bf.hashes) == 0 || len(blob) == 0 {
+		return false
+	}
+	fl, err := enc.OpenBloom(blob)
+	if err != nil {
+		return false
+	}
+	for _, h := range bf.hashes {
+		if fl.ContainsHash(h) {
+			return false
+		}
+	}
+	return true
+}
+
+// filterExcludesSpan reports whether the statistics of every page of
+// bf.col overlapping span prove the filter cannot match: zone maps for
+// the range predicates, page blooms for the membership predicate.
+func (s *Scanner) filterExcludesSpan(bf *boundFilter, span rowSpan) bool {
 	excluded := true
+	v := s.src.View()
 	forEachPageInSpan(s.src, bf.col, span, func(p int, _, _ uint64) bool {
-		st, ok := s.src.View().PageStat(p)
-		if !ok || st.Flags&footer.StatHasMinMax == 0 {
-			excluded = false
-			return false
+		st, ok := v.PageStat(p)
+		if ok && statExcludes(bf, st.Min, st.Max, st.Flags) {
+			return true
 		}
-		if (bf.min == nil || st.Max >= *bf.min) && (bf.max == nil || st.Min <= *bf.max) {
-			excluded = false
-			return false
+		if bloomExcludes(bf, v.PageBloom(p)) {
+			return true
 		}
-		return true
+		excluded = false
+		return false
 	})
 	return excluded
+}
+
+// fileExcludedByFilters is the planner's whole-file check, run before any
+// batch is planned: the footer's file-level column stats and blooms
+// (footer v3) can prove an entire scan empty in O(filters) without
+// touching page statistics.
+func fileExcludedByFilters(src scanSource, filters []boundFilter) bool {
+	v := src.View()
+	for i := range filters {
+		bf := &filters[i]
+		if st, ok := v.ColumnStat(bf.col); ok && statExcludes(bf, st.Min, st.Max, st.Flags) {
+			return true
+		}
+		if bloomExcludes(bf, v.ColumnBloom(bf.col)) {
+			return true
+		}
+	}
+	return false
 }
 
 // start launches the producer and the decode pool.

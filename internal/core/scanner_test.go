@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"bullion/internal/footer"
 )
 
 // drainScanner collects every batch of a scan into one concatenated
@@ -389,9 +391,12 @@ func TestPageStatsRecorded(t *testing.T) {
 	if st2.NullCount != 250 || st2.Min != 0 || st2.Max != 498 {
 		t.Fatalf("nullable page stats wrong: %+v", st2)
 	}
-	// Pages 4,5: float64 → flagless entries.
+	// Pages 4,5: float64 → float-bit zone maps (footer v3).
 	st4, _ := f.PageStats(4)
-	if st4.Flags != 0 {
-		t.Fatalf("float page has flags %x", st4.Flags)
+	if st4.Flags&footer.StatFloatBits == 0 || st4.Flags&footer.StatHasMinMax == 0 {
+		t.Fatalf("float page has flags %x, want float min/max", st4.Flags)
+	}
+	if lo, hi := statFloatBounds(st4.Min, st4.Max); lo != 0 || hi != 499 {
+		t.Fatalf("float page bounds [%v,%v], want [0,499]", lo, hi)
 	}
 }

@@ -1,15 +1,20 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"bullion/internal/enc"
 	"bullion/internal/footer"
+	"bullion/internal/quant"
 )
 
 // PageStats is the per-page zone map recorded by the writer: min/max over
-// the page's non-null int64/int32 values plus the null count. Pages of
-// other types carry an empty (flagless) entry and are never skipped.
+// the page's non-null int64/int32 values (native order) or float64/float32
+// values (math.Float64bits patterns flagged StatFloatBits), plus the null
+// count. Pages of other types carry a flagless entry and are never skipped
+// by range filters; byte-string pages carry a bloom filter instead
+// (View.PageBloom).
 type PageStats = footer.PageStat
 
 // PageStats returns the zone map of global page p, or ok=false when the
@@ -17,9 +22,14 @@ type PageStats = footer.PageStat
 func (f *File) PageStats(p int) (PageStats, bool) { return f.view.PageStat(p) }
 
 // computePageStats derives the zone map of one page's data before
-// encoding. Bounds cover the values as written; deletions only remove
-// rows, so they remain conservative bounds for the page's live rows.
-func computePageStats(data ColumnData) footer.PageStat {
+// encoding. Bounds cover the values as the reader will decode them —
+// quantized float32 pages are bounded after a quantize/dequantize round
+// trip, since storage rounding can move a value past the raw input's
+// extremes. Deletions only remove rows (Level-2 erasure masks with
+// values already present in the page), so the bounds remain conservative
+// for the page's live rows. NaN values constrain nothing: a page of only
+// NaNs gets no bounds and is never pruned.
+func computePageStats(f Field, data ColumnData) footer.PageStat {
 	switch d := data.(type) {
 	case Int64Data:
 		st := footer.PageStat{Flags: footer.StatHasNullCount}
@@ -60,8 +70,95 @@ func computePageStats(data ColumnData) footer.PageStat {
 			st.Flags |= footer.StatHasMinMax
 		}
 		return st
+	case Float64Data:
+		return floatPageStats(d)
+	case Float32Data:
+		st := floatPageStats32(d)
+		if f.Type.Quant != quant.FP32 && st.Flags&footer.StatHasMinMax != 0 {
+			// Quantization rounds to nearest, which is monotone, so the
+			// decoded page's extremes are exactly the decoded raw extremes:
+			// round-trip just those two values instead of the whole page
+			// (the encoder quantizes the page once already).
+			lo, hi := statFloatBounds(st.Min, st.Max)
+			bits, err := quant.Quantize([]float32{float32(lo), float32(hi)}, f.Type.Quant)
+			if err != nil {
+				return footer.PageStat{Flags: footer.StatHasNullCount}
+			}
+			stored, err := quant.Dequantize(bits, f.Type.Quant)
+			if err != nil {
+				return footer.PageStat{Flags: footer.StatHasNullCount}
+			}
+			st.Min = int64(math.Float64bits(float64(stored[0])))
+			st.Max = int64(math.Float64bits(float64(stored[1])))
+		}
+		return st
 	}
 	return footer.PageStat{}
+}
+
+// floatPageStats folds float64 values into a StatFloatBits zone map,
+// skipping NaNs.
+func floatPageStats(vs []float64) footer.PageStat {
+	st := footer.PageStat{Flags: footer.StatHasNullCount}
+	seen := false
+	var lo, hi float64
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			continue
+		}
+		if !seen {
+			lo, hi = v, v
+			seen = true
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if seen {
+		st.Flags |= footer.StatHasMinMax | footer.StatFloatBits
+		st.Min = int64(math.Float64bits(lo))
+		st.Max = int64(math.Float64bits(hi))
+	}
+	return st
+}
+
+func floatPageStats32(vs []float32) footer.PageStat {
+	st := footer.PageStat{Flags: footer.StatHasNullCount}
+	seen := false
+	var lo, hi float64
+	for _, v := range vs {
+		f := float64(v)
+		if math.IsNaN(f) {
+			continue
+		}
+		if !seen {
+			lo, hi = f, f
+			seen = true
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if seen {
+		st.Flags |= footer.StatHasMinMax | footer.StatFloatBits
+		st.Min = int64(math.Float64bits(lo))
+		st.Max = int64(math.Float64bits(hi))
+	}
+	return st
+}
+
+// statFloatBounds decodes a stat's bounds as floats (valid when the entry
+// is flagged StatHasMinMax|StatFloatBits).
+func statFloatBounds(min, max int64) (float64, float64) {
+	return math.Float64frombits(uint64(min)), math.Float64frombits(uint64(max))
 }
 
 // ColumnStats summarizes one column's physical storage.
@@ -76,14 +173,22 @@ type ColumnStats struct {
 	// column's pages (multiple schemes appear when data shifts between
 	// groups or after Level-2 rewrites).
 	Encodings map[enc.SchemeID]int
-	// Min/Max is the column-level zone map: the fold of every page's
-	// min/max statistics. HasMinMax is false when any page of the column
-	// lacks recorded bounds (non-int columns, or statless files), in which
-	// case the bounds must not be used for pruning. NullCount sums the
-	// per-page null counts.
+	// Min/Max is the column-level zone map of an int64/int32 column: the
+	// fold of every page's min/max statistics. HasMinMax is false when any
+	// non-empty page of the column lacks recorded int bounds (non-int
+	// columns, or statless files), in which case the bounds must not be
+	// used for pruning. NullCount sums the per-page null counts.
 	Min, Max  int64
 	HasMinMax bool
 	NullCount uint64
+	// FloatMin/FloatMax is the column-level zone map of a float64/float32
+	// column, valid only when HasFloatMinMax (v3 files).
+	FloatMin, FloatMax float64
+	HasFloatMinMax     bool
+	// Bloom is the column's serialized split-block bloom filter over its
+	// byte-string values (nil when absent: non-byte-string columns,
+	// blooms disabled, v2 files). Probe with enc.OpenBloom.
+	Bloom []byte
 }
 
 // FileStats summarizes a file's physical storage.
@@ -120,8 +225,9 @@ func (f *File) Stats() *FileStats {
 			Sparse:    field.Sparse,
 			Nullable:  field.Nullable,
 			Encodings: map[enc.SchemeID]int{},
+			Bloom:     v.ColumnBloom(c),
 		}
-		allBounded := v.HasPageStats()
+		zone := newZoneFold()
 		for g := 0; g < v.NumGroups(); g++ {
 			_, size := v.ChunkByteRange(g, c)
 			cs.CompressedBytes += size
@@ -130,39 +236,129 @@ func (f *File) Stats() *FileStats {
 			for p := first; p < first+count; p++ {
 				cs.Encodings[enc.SchemeID(v.PageCompression(p))]++
 				st, ok := v.PageStat(p)
-				if !ok {
-					allBounded = false
-					continue
-				}
-				cs.NullCount += uint64(st.NullCount)
-				if st.Flags&footer.StatHasMinMax == 0 {
-					// An empty page (0 rows) constrains nothing; any other
-					// boundless page poisons the column fold.
-					if v.PageRows(p) > 0 {
-						allBounded = false
-					}
-					continue
-				}
-				if !cs.HasMinMax {
-					cs.Min, cs.Max = st.Min, st.Max
-					cs.HasMinMax = true
-					continue
-				}
-				if st.Min < cs.Min {
-					cs.Min = st.Min
-				}
-				if st.Max > cs.Max {
-					cs.Max = st.Max
-				}
+				zone.addPage(st, ok, v.PageRows(p))
 			}
 		}
-		// A column-level zone map is only trustworthy when every non-empty
-		// page contributed bounds.
-		cs.HasMinMax = cs.HasMinMax && allBounded
+		if cstat, ok := v.ColumnStat(c); ok {
+			// v3 files persist the writer's fold; prefer it (it is what the
+			// dataset manifest lifted).
+			zone.set(cstat)
+		}
+		zone.fill(&cs)
 		s.DataBytes += cs.CompressedBytes
 		s.Columns[c] = cs
 	}
 	return s
+}
+
+// zoneFold folds page statistics into one column-level zone map, keeping
+// the int and float domains apart. A column's bounds are only trustworthy
+// when every non-empty page contributed bounds of one domain.
+type zoneFold struct {
+	seen       bool
+	floatBits  bool
+	min, max   int64
+	fmin, fmax float64
+	nullCount  uint64
+	allBounded bool
+}
+
+func newZoneFold() *zoneFold { return &zoneFold{allBounded: true} }
+
+// addPage folds one page's stat (ok=false when the file has no page-stats
+// section).
+func (z *zoneFold) addPage(st footer.PageStat, ok bool, pageRows int) {
+	if !ok {
+		z.allBounded = false
+		return
+	}
+	z.nullCount += uint64(st.NullCount)
+	if st.Flags&footer.StatHasMinMax == 0 {
+		// An empty page (0 rows) constrains nothing; any other boundless
+		// page poisons the column fold.
+		if pageRows > 0 {
+			z.allBounded = false
+		}
+		return
+	}
+	if st.Flags&footer.StatFloatBits != 0 {
+		lo, hi := statFloatBounds(st.Min, st.Max)
+		if !z.seen {
+			z.seen, z.floatBits = true, true
+			z.fmin, z.fmax = lo, hi
+			return
+		}
+		if !z.floatBits {
+			z.allBounded = false // mixed domains: never prune
+			return
+		}
+		if lo < z.fmin {
+			z.fmin = lo
+		}
+		if hi > z.fmax {
+			z.fmax = hi
+		}
+		return
+	}
+	if !z.seen {
+		z.seen = true
+		z.min, z.max = st.Min, st.Max
+		return
+	}
+	if z.floatBits {
+		z.allBounded = false
+		return
+	}
+	if st.Min < z.min {
+		z.min = st.Min
+	}
+	if st.Max > z.max {
+		z.max = st.Max
+	}
+}
+
+// columnStat renders the fold as the footer's file-level entry.
+func (z *zoneFold) columnStat() footer.ColumnStat {
+	st := footer.ColumnStat{NullCount: z.nullCount, Flags: footer.StatHasNullCount}
+	if z.seen && z.allBounded {
+		st.Flags |= footer.StatHasMinMax
+		if z.floatBits {
+			st.Flags |= footer.StatFloatBits
+			st.Min = int64(math.Float64bits(z.fmin))
+			st.Max = int64(math.Float64bits(z.fmax))
+		} else {
+			st.Min, st.Max = z.min, z.max
+		}
+	}
+	return st
+}
+
+// set overrides the fold with a persisted file-level entry.
+func (z *zoneFold) set(st footer.ColumnStat) {
+	z.nullCount = st.NullCount
+	z.seen = st.Flags&footer.StatHasMinMax != 0
+	z.allBounded = z.seen
+	z.floatBits = st.Flags&footer.StatFloatBits != 0
+	if z.floatBits {
+		z.fmin, z.fmax = statFloatBounds(st.Min, st.Max)
+	} else {
+		z.min, z.max = st.Min, st.Max
+	}
+}
+
+// fill copies the fold into a ColumnStats record.
+func (z *zoneFold) fill(cs *ColumnStats) {
+	cs.NullCount = z.nullCount
+	if !z.seen || !z.allBounded {
+		return
+	}
+	if z.floatBits {
+		cs.FloatMin, cs.FloatMax = z.fmin, z.fmax
+		cs.HasFloatMinMax = true
+	} else {
+		cs.Min, cs.Max = z.min, z.max
+		cs.HasMinMax = true
+	}
 }
 
 // TopColumnsBySize returns the n largest columns.

@@ -65,6 +65,17 @@ type Writer struct {
 	numRows    uint64
 	ftr        footer.Footer
 	pageHashes [][]merkle.Hash // per group, in page order
+	// Per-column statistics folded as groups serialize (group order, so
+	// the result is deterministic at every worker count): zone maps, the
+	// distinct byte-string hash sets feeding the file-level blooms, and
+	// the storage accounting surfaced by WrittenStats.
+	colZones  []*zoneFold
+	colHashes []map[uint64]struct{}
+	colBytes  []uint64
+	colPages  []int
+	colEnc    []map[enc.SchemeID]int
+
+	fileBytes int64 // total bytes written, valid after Close
 
 	closed bool
 	err    error
@@ -115,6 +126,16 @@ func NewWriter(w io.Writer, schema *Schema, opts *Options) (*Writer, error) {
 	bw := &Writer{w: w, schema: schema, opts: opts}
 	bw.ftr.NumColumns = len(schema.Fields)
 	bw.ftr.Flags = uint32(opts.Compliance)
+	nCols := len(schema.Fields)
+	bw.colZones = make([]*zoneFold, nCols)
+	bw.colHashes = make([]map[uint64]struct{}, nCols)
+	bw.colBytes = make([]uint64, nCols)
+	bw.colPages = make([]int, nCols)
+	bw.colEnc = make([]map[enc.SchemeID]int, nCols)
+	for i := range bw.colZones {
+		bw.colZones[i] = newZoneFold()
+		bw.colEnc[i] = map[enc.SchemeID]int{}
+	}
 	for _, f := range schema.Fields {
 		bw.ftr.Columns = append(bw.ftr.Columns, footer.Column{Name: f.Name, Type: fieldDesc(f)})
 	}
@@ -305,14 +326,28 @@ func (w *Writer) serializeGroup(g *groupJob) error {
 		}
 		for _, pg := range chunk.pages {
 			w.ftr.PageStats = append(w.ftr.PageStats, pg.stats)
+			w.ftr.PageBlooms = append(w.ftr.PageBlooms, pg.bloom)
 			w.ftr.PageOffsets = append(w.ftr.PageOffsets, w.offset)
 			w.ftr.RowsPerPage = append(w.ftr.RowsPerPage, pg.rows)
 			w.ftr.PageCompression = append(w.ftr.PageCompression, pg.scheme)
 			groupHashes = append(groupHashes, pg.hash)
 			w.offset += uint64(pg.size)
+			w.colZones[ci].addPage(pg.stats, true, int(pg.rows))
+			w.colEnc[ci][enc.SchemeID(pg.scheme)]++
+		}
+		if len(chunk.hashes) > 0 {
+			if w.colHashes[ci] == nil {
+				w.colHashes[ci] = chunk.hashes
+			} else {
+				for h := range chunk.hashes {
+					w.colHashes[ci][h] = struct{}{}
+				}
+			}
 		}
 		w.ftr.ColumnOffsets = append(w.ftr.ColumnOffsets, chunkStart)
 		w.ftr.ColumnSizes = append(w.ftr.ColumnSizes, w.offset-chunkStart)
+		w.colBytes[ci] += w.offset - chunkStart
+		w.colPages[ci] += len(chunk.pages)
 	}
 
 	w.ftr.PagesPerGroup = append(w.ftr.PagesPerGroup, uint32(len(w.ftr.PageOffsets)-groupPageStart))
@@ -360,6 +395,32 @@ func (w *Writer) Close() error {
 	w.ftr.ChunkFirstPage = append(w.ftr.ChunkFirstPage, uint32(len(w.ftr.PageOffsets)))
 	w.ftr.DeletionVec = make([]uint64, (w.numRows+63)/64)
 
+	// File-level statistics: the per-column zone fold and the blooms built
+	// from the accumulated distinct-value hashes. Both are deterministic
+	// regardless of encode-worker scheduling — the fold ran in group order
+	// and bloom bits are insertion-order independent.
+	w.ftr.ColumnStats = make([]footer.ColumnStat, len(w.schema.Fields))
+	for ci, zone := range w.colZones {
+		w.ftr.ColumnStats[ci] = zone.columnStat()
+	}
+	bloomBits := w.opts.resolveBloomBits()
+	blooms := make([][]byte, len(w.schema.Fields))
+	haveBloom := false
+	for ci, set := range w.colHashes {
+		if len(set) == 0 {
+			continue
+		}
+		b := enc.NewBloomBuilder(len(set), bloomBits)
+		for h := range set {
+			b.AddHash(h)
+		}
+		blooms[ci] = b.Marshal()
+		haveBloom = true
+	}
+	if haveBloom {
+		w.ftr.ColumnBlooms = blooms
+	}
+
 	tree := merkle.FromHashes(w.pageHashes)
 	w.ftr.Checksums = checksumArray(tree)
 
@@ -379,7 +440,49 @@ func (w *Writer) Close() error {
 		w.err = err
 		return err
 	}
+	w.fileBytes = int64(w.offset) + int64(len(buf)) + 8
 	return nil
+}
+
+// WrittenStats is the writer's own account of the file it just produced:
+// total size, rows, and per-column statistics identical to what Stats()
+// reports after reopening the file. It exists so commit paths (the
+// dataset's ShardedWriter, compaction rewrites) can lift manifest entries
+// without reopening the file they just wrote.
+type WrittenStats struct {
+	NumRows uint64
+	Bytes   int64
+	Columns []ColumnStats
+}
+
+// WrittenStats reports the closed file's statistics. It returns nil until
+// Close has succeeded.
+func (w *Writer) WrittenStats() *WrittenStats {
+	if !w.closed || w.err != nil {
+		return nil
+	}
+	ws := &WrittenStats{
+		NumRows: w.numRows,
+		Bytes:   w.fileBytes,
+		Columns: make([]ColumnStats, len(w.schema.Fields)),
+	}
+	for ci, f := range w.schema.Fields {
+		cs := ColumnStats{
+			Name:            f.Name,
+			Type:            f.Type,
+			Sparse:          f.Sparse,
+			Nullable:        f.Nullable,
+			CompressedBytes: w.colBytes[ci],
+			Pages:           w.colPages[ci],
+			Encodings:       w.colEnc[ci],
+		}
+		if len(w.ftr.ColumnBlooms) > 0 {
+			cs.Bloom = w.ftr.ColumnBlooms[ci]
+		}
+		w.colZones[ci].fill(&cs)
+		ws.Columns[ci] = cs
+	}
+	return ws
 }
 
 // checksumArray flattens a Merkle tree into the footer layout:

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-
-	"bullion/internal/core"
 )
 
 // CompactStats reports what a Compact call did.
@@ -126,8 +124,11 @@ func (d *Dataset) rewriteMember(m *member, gen uint64, seq int) (FileEntry, stri
 		return FileEntry{}, "", err
 	}
 	// RewriteWithoutRows with no extra rows drops exactly the rows the
-	// deletion vector marks.
-	if err := f.RewriteWithoutRows(out, nil, d.writerOpts()); err != nil {
+	// deletion vector marks; its returned WrittenStats become the manifest
+	// entry directly (writer-side stats piggyback — the fresh file is
+	// never reopened).
+	ws, err := f.RewriteWithoutRows(out, nil, d.writerOpts())
+	if err != nil {
 		out.Close()
 		os.Remove(tmpPath)
 		return FileEntry{}, "", fmt.Errorf("dataset: compacting %s: %w", m.entry.Name, err)
@@ -136,36 +137,12 @@ func (d *Dataset) rewriteMember(m *member, gen uint64, seq int) (FileEntry, stri
 		os.Remove(tmpPath)
 		return FileEntry{}, "", err
 	}
-	entry, err := statMember(tmpPath, finalName)
-	if err != nil {
-		os.Remove(tmpPath)
-		return FileEntry{}, "", err
-	}
-	if entry.Rows != m.entry.LiveRows {
+	if ws.NumRows != m.entry.LiveRows {
 		os.Remove(tmpPath)
 		return FileEntry{}, "", fmt.Errorf("dataset: compacted %s has %d rows, want %d live",
-			m.entry.Name, entry.Rows, m.entry.LiveRows)
+			m.entry.Name, ws.NumRows, m.entry.LiveRows)
 	}
-	return entry, tmpPath, nil
-}
-
-// statMember builds the manifest entry for a file on disk, recorded under
-// finalName.
-func statMember(path, finalName string) (FileEntry, error) {
-	osf, err := os.Open(path)
-	if err != nil {
-		return FileEntry{}, err
-	}
-	defer osf.Close()
-	st, err := osf.Stat()
-	if err != nil {
-		return FileEntry{}, err
-	}
-	f, err := core.Open(osf, st.Size())
-	if err != nil {
-		return FileEntry{}, fmt.Errorf("dataset: reopening %s: %w", finalName, err)
-	}
-	return entryForFile(finalName, f, st.Size()), nil
+	return entryFromWritten(finalName, m.entry.SchemaFP, ws), tmpPath, nil
 }
 
 func datasetBytes(m *Manifest) int64 {

@@ -72,6 +72,12 @@ type generation struct {
 	total  uint64
 }
 
+// osOpen is the single choke point through which member files are opened
+// for reading. Tests swap it to prove the commit paths never reopen a
+// file they just wrote (the writer-side stats piggyback) and that pruned
+// members are never opened at all.
+var osOpen = os.Open
+
 // member is one file of a generation, opened lazily: pruned members are
 // never opened at all, and reopening is what lets a new generation observe
 // a member's rewritten footer without disturbing older snapshots.
@@ -88,7 +94,7 @@ type member struct {
 // fingerprint and row count against the manifest entry.
 func (m *member) open(d *Dataset) (*core.File, error) {
 	m.once.Do(func() {
-		osf, err := os.Open(m.path)
+		osf, err := osOpen(m.path)
 		if err != nil {
 			m.err = err
 			return

@@ -19,6 +19,7 @@ package dataset
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,19 +73,32 @@ type FileEntry struct {
 	// SchemaFP is the member's schema fingerprint (must equal the
 	// manifest's).
 	SchemaFP string `json:"schema_fingerprint"`
-	// Columns holds file-level min/max zone maps, one entry per column
-	// with usable bounds (int64/int32 columns of stat-bearing files).
+	// Columns holds file-level pruning statistics, one entry per column
+	// with anything usable: int or float min/max zone maps and bloom
+	// filters over byte-string values.
 	Columns []ColumnZone `json:"columns,omitempty"`
 }
 
-// ColumnZone is a file-level zone map for one column: the fold of the
-// member's per-page footer statistics.
+// ColumnZone is the file-level pruning statistics of one column, lifted
+// from the member's footer when the file was committed. Kind selects the
+// bounds domain: "" or "int" (Min/Max, int64 order — "" is what
+// pre-float manifests wrote) or "float" (FMin/FMax). A zone may carry a
+// bloom filter with no bounds at all (byte-string columns).
 type ColumnZone struct {
-	Name      string `json:"name"`
-	Min       int64  `json:"min"`
-	Max       int64  `json:"max"`
-	NullCount uint64 `json:"null_count,omitempty"`
+	Name      string   `json:"name"`
+	Kind      string   `json:"kind,omitempty"`
+	Min       int64    `json:"min"`
+	Max       int64    `json:"max"`
+	FMin      *float64 `json:"fmin,omitempty"`
+	FMax      *float64 `json:"fmax,omitempty"`
+	NullCount uint64   `json:"null_count,omitempty"`
+	// Bloom is the column's serialized split-block bloom filter
+	// (enc.OpenBloom); base64 in the JSON rendering.
+	Bloom []byte `json:"bloom,omitempty"`
 }
+
+// hasIntBounds reports whether Min/Max are valid int64 bounds.
+func (z *ColumnZone) hasIntBounds() bool { return z.Kind == "" || z.Kind == "int" }
 
 // zone returns the named column's zone map, if the entry recorded one.
 func (e *FileEntry) zone(name string) (ColumnZone, bool) {
@@ -134,26 +148,78 @@ func schemaFromDefs(defs []FieldDef) (*core.Schema, error) {
 }
 
 // entryForFile builds a member's manifest entry from its opened handle:
-// row accounting from the footer, zone maps folded from the per-page
-// statistics by core's Stats walk (no data reads).
+// row accounting from the footer, statistics from core's Stats walk (no
+// data reads). The commit paths avoid even this — the writer surfaces the
+// same statistics directly (entryFromWritten) — so this survives as the
+// verification path: entryFromWritten must agree with it.
 func entryForFile(name string, f *core.File, size int64) FileEntry {
-	e := FileEntry{
+	return FileEntry{
 		Name:     name,
 		Rows:     f.NumRows(),
 		LiveRows: f.NumLiveRows(),
 		Bytes:    size,
 		SchemaFP: f.Schema().Fingerprint(),
+		Columns:  zonesFromColumns(f.Stats().Columns),
 	}
-	for _, cs := range f.Stats().Columns {
-		if !cs.HasMinMax {
-			continue
-		}
-		e.Columns = append(e.Columns, ColumnZone{
-			Name: cs.Name, Min: cs.Min, Max: cs.Max, NullCount: cs.NullCount,
-		})
-	}
-	return e
 }
+
+// entryFromWritten builds a member's manifest entry from the statistics
+// its own writer surfaced at Close — the writer-side stats piggyback: a
+// freshly written shard is never reopened just to lift its footer.
+func entryFromWritten(name, schemaFP string, ws *core.WrittenStats) FileEntry {
+	return FileEntry{
+		Name:     name,
+		Rows:     ws.NumRows,
+		LiveRows: ws.NumRows, // fresh files carry no deletions
+		Bytes:    ws.Bytes,
+		SchemaFP: schemaFP,
+		Columns:  zonesFromColumns(ws.Columns),
+	}
+}
+
+// maxManifestBloomBytes caps the bloom size lifted into a manifest entry.
+// Every commit rewrites the whole manifest JSON, so a very-high-cardinality
+// column (64 KiB ≈ 43k distinct values at the default sizing) would make
+// each Append/Delete/Compact rewrite megabytes of unchanged base64. Columns
+// over the cap simply lose manifest-level membership pruning — the member's
+// own footer bloom still prunes at scan time once the file is opened. A
+// sidecar bloom store is the follow-on if whole-file pruning on such
+// columns ever matters (see ROADMAP).
+const maxManifestBloomBytes = 1 << 16
+
+// zonesFromColumns renders column statistics as manifest zones. Non-finite
+// float bounds are dropped (JSON cannot carry ±Inf; a missing zone only
+// costs pruning, never correctness), as are blooms over
+// maxManifestBloomBytes.
+func zonesFromColumns(cols []core.ColumnStats) []ColumnZone {
+	var out []ColumnZone
+	for _, cs := range cols {
+		z := ColumnZone{Name: cs.Name, NullCount: cs.NullCount}
+		keep := false
+		switch {
+		case cs.HasMinMax:
+			z.Kind, z.Min, z.Max = "int", cs.Min, cs.Max
+			keep = true
+		case cs.HasFloatMinMax && finite(cs.FloatMin) && finite(cs.FloatMax):
+			lo, hi := cs.FloatMin, cs.FloatMax
+			z.Kind, z.FMin, z.FMax = "float", &lo, &hi
+			keep = true
+		}
+		if len(cs.Bloom) > 0 && len(cs.Bloom) <= maxManifestBloomBytes {
+			if !keep {
+				z.Kind = "bytes"
+			}
+			z.Bloom = cs.Bloom
+			keep = true
+		}
+		if keep {
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+func finite(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }
 
 // writeFileAtomic writes data to dir/name via a temporary file + rename,
 // syncing the file before the swap so a crash can't leave a half-written

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"bullion/internal/core"
+	"bullion/internal/enc"
 )
 
 // maxFileConcurrency bounds explicit ScanOptions.FileConcurrency requests.
@@ -130,10 +131,11 @@ func (d *Dataset) Scan(opts ScanOptions) (*Scanner, error) {
 		sem:     make(chan struct{}, k),
 		stop:    make(chan struct{}),
 	}
+	prepared := prepareFilters(opts.Filters)
 	for i, m := range gen.members {
 		fileLo, fileHi := gen.starts[i], gen.starts[i]+m.entry.Rows
 		if m.entry.Rows == 0 || m.entry.LiveRows == 0 ||
-			fileHi <= lo || fileLo >= hi || entryExcluded(&m.entry, opts.Filters) {
+			fileHi <= lo || fileLo >= hi || entryExcluded(&m.entry, prepared) {
 			s.pruned++
 			continue
 		}
@@ -211,23 +213,65 @@ func validateFilters(schema *core.Schema, filters []core.ColumnFilter) error {
 		if _, ok := schema.Lookup(cf.Column); !ok {
 			return fmt.Errorf("dataset: no column %q", cf.Column)
 		}
-		if cf.Min != nil && cf.Max != nil && *cf.Min > *cf.Max {
-			return fmt.Errorf("dataset: filter on %q has min %d > max %d", cf.Column, *cf.Min, *cf.Max)
+		if err := cf.Validate(); err != nil {
+			return fmt.Errorf("dataset: %v", err)
 		}
 	}
 	return nil
 }
 
-// entryExcluded reports whether the manifest's file-level zone maps prove
-// no row of the member can satisfy some filter. Columns without a
-// recorded zone never prune (conservative, exactly like page pruning).
-func entryExcluded(e *FileEntry, filters []core.ColumnFilter) bool {
-	for _, cf := range filters {
+// manifestFilter is one filter prepared for manifest-level pruning: the
+// membership set is hashed once per scan, not per member file.
+type manifestFilter struct {
+	cf     core.ColumnFilter
+	hashes []uint64
+}
+
+func prepareFilters(filters []core.ColumnFilter) []manifestFilter {
+	out := make([]manifestFilter, len(filters))
+	for i, cf := range filters {
+		out[i].cf = cf
+		for _, v := range cf.ValueIn {
+			out[i].hashes = append(out[i].hashes, enc.BloomHash(v))
+		}
+	}
+	return out
+}
+
+// entryExcluded reports whether the manifest's file-level statistics
+// prove no row of the member can satisfy some filter: int and float zone
+// maps for range predicates, the per-member bloom for membership
+// predicates. Columns without matching-domain statistics never prune
+// (conservative, exactly like page pruning).
+func entryExcluded(e *FileEntry, filters []manifestFilter) bool {
+	for i := range filters {
+		cf := &filters[i].cf
 		z, ok := e.zone(cf.Column)
 		if !ok {
 			continue
 		}
-		if (cf.Min != nil && z.Max < *cf.Min) || (cf.Max != nil && z.Min > *cf.Max) {
+		if z.hasIntBounds() && (cf.Min != nil || cf.Max != nil) {
+			if (cf.Min != nil && z.Max < *cf.Min) || (cf.Max != nil && z.Min > *cf.Max) {
+				return true
+			}
+		}
+		if z.Kind == "float" && z.FMin != nil && z.FMax != nil && (cf.FloatMin != nil || cf.FloatMax != nil) {
+			if (cf.FloatMin != nil && *z.FMax < *cf.FloatMin) || (cf.FloatMax != nil && *z.FMin > *cf.FloatMax) {
+				return true
+			}
+		}
+		if hs := filters[i].hashes; len(hs) > 0 && len(z.Bloom) > 0 {
+			if fl, err := enc.OpenBloom(z.Bloom); err == nil && !bloomAnyHash(fl, hs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func bloomAnyHash(fl *enc.Bloom, hashes []uint64) bool {
+	for _, h := range hashes {
+		if fl.ContainsHash(h) {
 			return true
 		}
 	}

@@ -31,6 +31,10 @@ type swShard struct {
 	tmpName string
 	osf     *os.File
 	w       *core.Writer
+	// stats is the writer's WrittenStats, captured when the shard closes;
+	// the commit lifts its manifest entry from here instead of reopening
+	// the file.
+	stats *core.WrittenStats
 }
 
 // ShardedWriter starts a bulk load across n new member files.
@@ -114,6 +118,7 @@ func (sw *ShardedWriter) Close() error {
 			sw.discard()
 			return err
 		}
+		sh.stats = sh.w.WrittenStats()
 		if err := sh.osf.Close(); err != nil {
 			sw.err = err
 			sw.discard()
@@ -125,8 +130,11 @@ func (sw *ShardedWriter) Close() error {
 	sw.d.mu.Lock()
 	defer sw.d.mu.Unlock()
 	gen := sw.d.generationSnapshot().manifest.Generation + 1
+	schemaFP := sw.d.Schema().Fingerprint()
 
-	// Rename shards into place and lift their footer stats into entries.
+	// Rename shards into place, lifting each entry from the statistics its
+	// own writer surfaced at Close (the writer-side stats piggyback): a
+	// shard file is never opened between Write and the manifest commit.
 	// On any failure, discard removes every shard file — including ones
 	// already renamed, whose tmpName tracks the final name.
 	var entries []FileEntry
@@ -137,14 +145,15 @@ func (sw *ShardedWriter) Close() error {
 	}
 	for i, sh := range sw.shards {
 		tmpPath := filepath.Join(sw.d.dir, sh.tmpName)
-		entry, err := statMember(tmpPath, fmt.Sprintf("part-%06d-%03d.bln", gen, i))
-		if err != nil {
-			return fail(err)
+		ws := sh.stats
+		if ws == nil {
+			return fail(fmt.Errorf("dataset: shard %d closed without stats", i))
 		}
-		if entry.Rows == 0 {
+		if ws.NumRows == 0 {
 			os.Remove(tmpPath)
 			continue
 		}
+		entry := entryFromWritten(fmt.Sprintf("part-%06d-%03d.bln", gen, i), schemaFP, ws)
 		if err := os.Rename(tmpPath, filepath.Join(sw.d.dir, entry.Name)); err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,97 @@
+package enc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 4, 100, 5000} {
+		vals := make([][]byte, n)
+		for i := range vals {
+			vals[i] = []byte(fmt.Sprintf("value-%d-%d", i, rng.Int63()))
+		}
+		b := NewBloomBuilder(n, 0)
+		for _, v := range vals {
+			b.Add(v)
+		}
+		f, err := OpenBloom(b.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			if !f.Contains(v) {
+				t.Fatalf("n=%d: added value %q not found", n, v)
+			}
+		}
+	}
+}
+
+// TestBloomFalsePositiveRate checks the sizing target: at the default 12
+// bits per distinct value the observed false-positive rate should be well
+// under 2% (target ~0.5%).
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	b := NewBloomBuilder(n, 0)
+	for i := 0; i < n; i++ {
+		b.Add([]byte(fmt.Sprintf("member-%d", i)))
+	}
+	f, err := OpenBloom(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	falsePos := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("absent-%d", i))) {
+			falsePos++
+		}
+	}
+	if rate := float64(falsePos) / probes; rate > 0.02 {
+		t.Fatalf("false-positive rate %.4f exceeds 2%% at default sizing", rate)
+	}
+}
+
+// TestBloomOrderIndependent pins the determinism property the pipelined
+// writer relies on: the same value set in any insertion order must
+// serialize to identical bytes.
+func TestBloomOrderIndependent(t *testing.T) {
+	vals := make([][]byte, 500)
+	for i := range vals {
+		vals[i] = []byte(fmt.Sprintf("v%d", i))
+	}
+	a := NewBloomBuilder(len(vals), 0)
+	for _, v := range vals {
+		a.Add(v)
+	}
+	b := NewBloomBuilder(len(vals), 0)
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Add(vals[i])
+	}
+	am, bm := a.Marshal(), b.Marshal()
+	if string(am) != string(bm) {
+		t.Fatal("insertion order changed the serialized filter")
+	}
+}
+
+func TestBloomOpenRejectsCorrupt(t *testing.T) {
+	b := NewBloomBuilder(10, 0)
+	b.Add([]byte("x"))
+	good := b.Marshal()
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      good[:4],
+		"bad magic":  append([]byte("XXXX"), good[4:]...),
+		"truncated":  good[:len(good)-1],
+		"overlong":   append(append([]byte{}, good...), 0),
+		"zero count": {'S', 'B', 'F', '1', 0, 0, 0, 0},
+		"huge count": {'S', 'B', 'F', '1', 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, data := range cases {
+		if _, err := OpenBloom(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

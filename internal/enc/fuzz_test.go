@@ -148,6 +148,48 @@ func FuzzBytesRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzBloomRoundTrip builds a split-block bloom filter from fuzz-derived
+// byte strings, round-trips it through Marshal/OpenBloom, and requires
+// every inserted value to probe true (no false negatives, ever). The raw
+// fuzz bytes are also fed to OpenBloom as a hostile serialized filter:
+// errors are fine, panics are not.
+func FuzzBloomRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte("\x04news\x05video\x03ads\x04news"), uint8(12))
+	f.Add(bytes.Repeat([]byte{1, 'x'}, 64), uint8(1))
+	f.Add([]byte{'S', 'B', 'F', '1', 0xff, 0xff, 0xff, 0xff}, uint8(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, bits uint8) {
+		if len(data) > 4096 { // keep per-exec cost bounded
+			data = data[:4096]
+		}
+		vs := fuzzBytesValues(data)
+		b := NewBloomBuilder(len(vs), int(bits)%24)
+		for _, v := range vs {
+			b.Add(v)
+		}
+		blob := b.Marshal()
+		fl, err := OpenBloom(blob)
+		if err != nil {
+			t.Fatalf("OpenBloom rejected its own Marshal: %v", err)
+		}
+		for i, v := range vs {
+			if !fl.Contains(v) {
+				t.Fatalf("value %d (%q) missing: bloom has false negatives", i, v)
+			}
+		}
+		// Hostile deserialization half: arbitrary bytes must never panic,
+		// and an accepted filter must stay in bounds when probed.
+		if fl, err := OpenBloom(data); err == nil {
+			for _, v := range vs {
+				_ = fl.Contains(v)
+			}
+			_ = fl.ContainsHash(0)
+			_ = fl.ContainsHash(^uint64(0))
+		}
+	})
+}
+
 func boolsFromBytes(data []byte, n int) []bool {
 	vs := make([]bool, n)
 	for i := range vs {

@@ -785,7 +785,7 @@ func Deletion(w io.Writer) error {
 
 		var rw iostats.Counters
 		rw.Reset()
-		if err := f.RewriteWithoutRows(&iostats.Writer{W: newMemFile(), C: &rw}, nil, opts); err != nil {
+		if _, err := f.RewriteWithoutRows(&iostats.Writer{W: newMemFile(), C: &rw}, nil, opts); err != nil {
 			return err
 		}
 		rewrite := rw.Snapshot().WriteBytes

@@ -34,6 +34,23 @@
 //	14 page_stats              24 bytes per page (min i64, max i64,
 //	                           nullCount u32, flags u32) or empty when the
 //	                           writer recorded no statistics
+//
+// Version 3 appends three statistics sections (all optional — empty when
+// the writer recorded nothing for them). Page and column min/max entries
+// carry float bounds as math.Float64bits patterns flagged StatFloatBits;
+// int64/int32 bounds stay native. Bloom sections hold one serialized
+// split-block bloom filter (internal/enc, "SBF1") per byte-string column
+// or page, framed by a u32 offset array; entries of other columns/pages
+// are zero-length:
+//
+//	15 column_stats            32 bytes per column (min u64, max u64,
+//	                           nullCount u64, flags u32, reserved u32)
+//	16 column_blooms           u32 offsets[numColumns + 1], then blob
+//	17 page_blooms             u32 offsets[numPages + 1], then blob
+//
+// Version 2 files (no statistics sections beyond page_stats, int bounds
+// only) remain fully readable; the new accessors report "no statistics"
+// for them.
 package footer
 
 import (
@@ -49,12 +66,29 @@ const Magic = "BFTR"
 
 // Version is the current footer format version. Version 2 added the
 // page_stats section (min/max/null zone maps consumed by the scanner's
-// page-skipping path). This is a format break: the section directory
-// grew, so v1 footers are rejected rather than read without stats — no
-// v1 files exist outside this repository's own history.
-const Version = 2
+// page-skipping path); version 3 added float zone maps (StatFloatBits),
+// file-level column_stats, and the column/page bloom sections. Version 2
+// files are still read (VersionMin); the statistics accessors simply
+// report nothing for the sections they predate. v1 footers are rejected —
+// no v1 files exist outside this repository's own history.
+const Version = 3
 
-const numSections = 15
+// VersionMin is the oldest footer version OpenView accepts.
+const VersionMin = 2
+
+// numSections is the section count of the current version; older accepted
+// versions have a shorter directory (sectionCount).
+const numSections = 18
+
+const numSectionsV2 = 15
+
+// sectionCount returns the directory length of a footer version.
+func sectionCount(version uint32) int {
+	if version <= 2 {
+		return numSectionsV2
+	}
+	return numSections
+}
 
 const (
 	secPageCompression = iota
@@ -72,18 +106,28 @@ const (
 	secNameBlob
 	secTypes
 	secPageStats
+	secColumnStats
+	secColumnBlooms
+	secPageBlooms
 )
 
 // PageStatSize is the fixed on-disk size of one PageStat entry.
 const PageStatSize = 24
 
-// PageStat flag bits.
+// ColumnStatSize is the fixed on-disk size of one ColumnStat entry.
+const ColumnStatSize = 32
+
+// PageStat / ColumnStat flag bits.
 const (
-	// StatHasMinMax marks Min/Max as valid bounds over the page's non-null
-	// values (in int64 order; Float32/Float64 pages never set it).
+	// StatHasMinMax marks Min/Max as valid bounds over the entry's non-null
+	// values.
 	StatHasMinMax = 1 << 0
 	// StatHasNullCount marks NullCount as valid.
 	StatHasNullCount = 1 << 1
+	// StatFloatBits marks Min/Max as math.Float64bits patterns of float64
+	// bounds (compare as floats, not as int64). Set for float64/float32
+	// columns; without it bounds are native int64 order.
+	StatFloatBits = 1 << 2
 )
 
 // PageStat is the per-page zone map: value bounds and null count. A page
@@ -94,10 +138,19 @@ type PageStat struct {
 	Flags     uint32
 }
 
-// headerSize is the fixed prefix before the sections begin:
+// ColumnStat is the file-level zone map of one column: the fold of its
+// page statistics, computed by the writer so readers (and the dataset
+// manifest) get file-level bounds without walking pages.
+type ColumnStat struct {
+	Min, Max  int64
+	NullCount uint64
+	Flags     uint32
+}
+
+// headerSizeFor is the fixed prefix before the sections begin:
 // magic, version, flags, numRows, numColumns, numGroups, numPages,
 // section directory.
-const headerSize = 4 + 4 + 4 + 8 + 4 + 4 + 4 + numSections*16
+func headerSizeFor(nSec int) int { return 4 + 4 + 4 + 8 + 4 + 4 + 4 + nSec*16 }
 
 // ErrCorrupt reports a malformed footer.
 var ErrCorrupt = errors.New("footer: corrupt")
@@ -174,6 +227,10 @@ type Column struct {
 // Footer is the materialized (mutable) footer used by the writer and the
 // deletion path. Readers normally use View and never materialize.
 type Footer struct {
+	// Version selects the serialized format (0 means current). The deletion
+	// path materializes and re-marshals in place, so a v2 file must
+	// round-trip as v2 — Materialize preserves the source version.
+	Version         uint32
 	NumRows         uint64
 	NumColumns      int
 	NumGroups       int
@@ -192,6 +249,15 @@ type Footer struct {
 	// PageStats holds one zone map per page (global page order). Either
 	// empty (no statistics recorded) or exactly one entry per page.
 	PageStats []PageStat
+	// ColumnStats holds the file-level zone map per column. Either empty
+	// or exactly one entry per column (v3).
+	ColumnStats []ColumnStat
+	// ColumnBlooms / PageBlooms hold one serialized bloom filter per
+	// column / page; nil entries (columns or pages without a filter) are
+	// written zero-length. Either empty or exactly one entry per
+	// column/page (v3).
+	ColumnBlooms [][]byte
+	PageBlooms   [][]byte
 }
 
 // NameHash is the hash used by the column-name index.
@@ -227,6 +293,26 @@ func (f *Footer) Marshal() ([]byte, error) {
 	if len(f.PageStats) != 0 && len(f.PageStats) != nPages {
 		return nil, fmt.Errorf("footer: %d page stats, want 0 or %d", len(f.PageStats), nPages)
 	}
+	version := f.Version
+	if version == 0 {
+		version = Version
+	}
+	if version < VersionMin || version > Version {
+		return nil, fmt.Errorf("footer: cannot marshal version %d", version)
+	}
+	if version < 3 && (len(f.ColumnStats) != 0 || len(f.ColumnBlooms) != 0 || len(f.PageBlooms) != 0) {
+		return nil, fmt.Errorf("footer: version %d cannot carry column stats or blooms", version)
+	}
+	if len(f.ColumnStats) != 0 && len(f.ColumnStats) != f.NumColumns {
+		return nil, fmt.Errorf("footer: %d column stats, want 0 or %d", len(f.ColumnStats), f.NumColumns)
+	}
+	if len(f.ColumnBlooms) != 0 && len(f.ColumnBlooms) != f.NumColumns {
+		return nil, fmt.Errorf("footer: %d column blooms, want 0 or %d", len(f.ColumnBlooms), f.NumColumns)
+	}
+	if len(f.PageBlooms) != 0 && len(f.PageBlooms) != nPages {
+		return nil, fmt.Errorf("footer: %d page blooms, want 0 or %d", len(f.PageBlooms), nPages)
+	}
+	nSec := sectionCount(version)
 
 	// Name index, offsets, blob.
 	type hashEntry struct {
@@ -267,9 +353,14 @@ func (f *Footer) Marshal() ([]byte, error) {
 		secTypes:           4 * f.NumColumns,
 		secPageStats:       PageStatSize * len(f.PageStats),
 	}
-	total := headerSize
+	if version >= 3 {
+		sizes[secColumnStats] = ColumnStatSize * len(f.ColumnStats)
+		sizes[secColumnBlooms] = framedSize(f.ColumnBlooms)
+		sizes[secPageBlooms] = framedSize(f.PageBlooms)
+	}
+	total := headerSizeFor(nSec)
 	var offsets [numSections]int
-	for s := 0; s < numSections; s++ {
+	for s := 0; s < nSec; s++ {
 		offsets[s] = total
 		total += sizes[s]
 	}
@@ -277,14 +368,14 @@ func (f *Footer) Marshal() ([]byte, error) {
 	out := make([]byte, total)
 	copy(out, Magic)
 	le := binary.LittleEndian
-	le.PutUint32(out[4:], Version)
+	le.PutUint32(out[4:], version)
 	le.PutUint32(out[8:], f.Flags)
 	le.PutUint64(out[12:], f.NumRows)
 	le.PutUint32(out[20:], uint32(f.NumColumns))
 	le.PutUint32(out[24:], uint32(f.NumGroups))
 	le.PutUint32(out[28:], uint32(nPages))
 	const dirBase = 32
-	for s := 0; s < numSections; s++ {
+	for s := 0; s < nSec; s++ {
 		le.PutUint64(out[dirBase+16*s:], uint64(offsets[s]))
 		le.PutUint64(out[dirBase+16*s+8:], uint64(sizes[s]))
 	}
@@ -319,7 +410,56 @@ func (f *Footer) Marshal() ([]byte, error) {
 		le.PutUint32(out[p+16:], st.NullCount)
 		le.PutUint32(out[p+20:], st.Flags)
 	}
+	if version >= 3 {
+		for i, st := range f.ColumnStats {
+			p := offsets[secColumnStats] + ColumnStatSize*i
+			le.PutUint64(out[p:], uint64(st.Min))
+			le.PutUint64(out[p+8:], uint64(st.Max))
+			le.PutUint64(out[p+16:], st.NullCount)
+			le.PutUint32(out[p+24:], st.Flags)
+		}
+		putFramed(out[offsets[secColumnBlooms]:offsets[secColumnBlooms]+sizes[secColumnBlooms]], f.ColumnBlooms)
+		putFramed(out[offsets[secPageBlooms]:offsets[secPageBlooms]+sizes[secPageBlooms]], f.PageBlooms)
+	}
 	return out, nil
+}
+
+// framedSize is the serialized size of a variable-length blob section:
+// a u32 offset array (n+1 entries) followed by the concatenated blobs.
+// An all-empty (or empty) slice serializes to nothing.
+func framedSize(blobs [][]byte) int {
+	if len(blobs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, b := range blobs {
+		total += len(b)
+	}
+	if total == 0 {
+		return 0
+	}
+	return 4*(len(blobs)+1) + total
+}
+
+// putFramed writes the offset array + blob layout into dst (sized by
+// framedSize; a zero-length dst means the section is absent).
+func putFramed(dst []byte, blobs [][]byte) {
+	if len(dst) == 0 {
+		return
+	}
+	le := binary.LittleEndian
+	pos := 0
+	for i, b := range blobs {
+		le.PutUint32(dst[4*i:], uint32(pos))
+		pos += len(b)
+	}
+	le.PutUint32(dst[4*len(blobs):], uint32(pos))
+	base := 4 * (len(blobs) + 1)
+	pos = 0
+	for _, b := range blobs {
+		copy(dst[base+pos:], b)
+		pos += len(b)
+	}
 }
 
 func putU32s(dst []byte, vs []uint32) {

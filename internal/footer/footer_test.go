@@ -182,6 +182,122 @@ func TestMaterializeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStatsSectionsRoundTrip covers the v3 statistics sections: column
+// stats, column blooms, and page blooms survive Marshal/OpenView and
+// Materialize reproduces the exact bytes.
+func TestStatsSectionsRoundTrip(t *testing.T) {
+	f := buildFooter(6, 2, 2)
+	nPages := len(f.PageOffsets)
+	f.PageStats = make([]PageStat, nPages)
+	for p := range f.PageStats {
+		f.PageStats[p] = PageStat{Min: int64(-p), Max: int64(p * 10), NullCount: uint32(p), Flags: StatHasMinMax | StatHasNullCount}
+	}
+	f.ColumnStats = make([]ColumnStat, 6)
+	for c := range f.ColumnStats {
+		flags := uint32(StatHasMinMax | StatHasNullCount)
+		if c == 2 {
+			flags |= StatFloatBits
+		}
+		f.ColumnStats[c] = ColumnStat{Min: int64(c), Max: int64(c + 100), NullCount: uint64(c), Flags: flags}
+	}
+	f.ColumnBlooms = make([][]byte, 6)
+	f.ColumnBlooms[1] = []byte("bloom-one")
+	f.ColumnBlooms[4] = []byte("bloom-four")
+	f.PageBlooms = make([][]byte, nPages)
+	f.PageBlooms[0] = []byte("pb0")
+	f.PageBlooms[nPages-1] = []byte("pb-last")
+
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Version() != Version {
+		t.Fatalf("version = %d, want %d", v.Version(), Version)
+	}
+	if !v.HasColumnStats() {
+		t.Fatal("column stats lost")
+	}
+	for c := range f.ColumnStats {
+		got, ok := v.ColumnStat(c)
+		if !ok || got != f.ColumnStats[c] {
+			t.Fatalf("column %d stat = %+v (%v), want %+v", c, got, ok, f.ColumnStats[c])
+		}
+	}
+	for c := range f.ColumnBlooms {
+		if got := string(v.ColumnBloom(c)); got != string(f.ColumnBlooms[c]) {
+			t.Fatalf("column %d bloom = %q, want %q", c, got, f.ColumnBlooms[c])
+		}
+	}
+	for p := range f.PageBlooms {
+		if got := string(v.PageBloom(p)); got != string(f.PageBlooms[p]) {
+			t.Fatalf("page %d bloom = %q, want %q", p, got, f.PageBlooms[p])
+		}
+	}
+	m, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(buf2) {
+		t.Fatal("materialize→marshal is not the identity with stats sections")
+	}
+}
+
+// TestV2RoundTrip pins backward compatibility: a footer marshaled at
+// version 2 (15 sections, no column stats or blooms) opens, reports no v3
+// statistics, and re-marshals byte-identically through Materialize — the
+// invariant the in-place deletion path needs on old files.
+func TestV2RoundTrip(t *testing.T) {
+	f := buildFooter(8, 2, 1)
+	f.Version = 2
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Version() != 2 {
+		t.Fatalf("version = %d, want 2", v.Version())
+	}
+	if v.HasColumnStats() {
+		t.Fatal("v2 footer reports column stats")
+	}
+	if v.ColumnBloom(0) != nil || v.PageBloom(0) != nil {
+		t.Fatal("v2 footer reports blooms")
+	}
+	if _, ok := v.ColumnStat(0); ok {
+		t.Fatal("v2 ColumnStat ok")
+	}
+	m, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 2 {
+		t.Fatalf("materialized version = %d, want 2", m.Version)
+	}
+	buf2, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(buf2) {
+		t.Fatal("v2 materialize→marshal is not the identity")
+	}
+	// v2 cannot carry the new sections.
+	m.ColumnStats = make([]ColumnStat, 8)
+	if _, err := m.Marshal(); err == nil {
+		t.Fatal("v2 footer with column stats accepted")
+	}
+}
+
 func TestOpenViewRejectsCorrupt(t *testing.T) {
 	f := buildFooter(5, 1, 1)
 	buf, _ := f.Marshal()

@@ -12,6 +12,7 @@ import (
 // property that keeps wide-table projection flat in Figure 5.
 type View struct {
 	buf        []byte
+	version    uint32
 	numRows    uint64
 	numColumns int
 	numGroups  int
@@ -22,20 +23,27 @@ type View struct {
 }
 
 // OpenView validates the header and returns a view. O(1) in the number of
-// columns.
+// columns. Versions VersionMin..Version are accepted; sections a version
+// predates read as absent.
 func OpenView(buf []byte) (*View, error) {
-	if len(buf) < headerSize {
-		return nil, fmt.Errorf("%w: %d bytes < header %d", ErrCorrupt, len(buf), headerSize)
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("%w: %d bytes < fixed header", ErrCorrupt, len(buf))
 	}
 	if string(buf[:4]) != Magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf[:4])
 	}
 	le := binary.LittleEndian
-	if v := le.Uint32(buf[4:]); v != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	version := le.Uint32(buf[4:])
+	if version < VersionMin || version > Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	}
+	nSec := sectionCount(version)
+	if len(buf) < headerSizeFor(nSec) {
+		return nil, fmt.Errorf("%w: %d bytes < header %d", ErrCorrupt, len(buf), headerSizeFor(nSec))
 	}
 	v := &View{
 		buf:        buf,
+		version:    version,
 		flags:      le.Uint32(buf[8:]),
 		numRows:    le.Uint64(buf[12:]),
 		numColumns: int(le.Uint32(buf[20:])),
@@ -43,7 +51,7 @@ func OpenView(buf []byte) (*View, error) {
 		numPages:   int(le.Uint32(buf[28:])),
 	}
 	const dirBase = 32
-	for s := 0; s < numSections; s++ {
+	for s := 0; s < nSec; s++ {
 		off := le.Uint64(buf[dirBase+16*s:])
 		sz := le.Uint64(buf[dirBase+16*s+8:])
 		if off > uint64(len(buf)) || sz > uint64(len(buf))-off {
@@ -78,13 +86,30 @@ func OpenView(buf []byte) (*View, error) {
 				ErrCorrupt, c.sec, v.size[c.sec], c.want)
 		}
 	}
-	// Page stats are optional: absent entirely or one entry per page.
+	// Statistics sections are optional: absent entirely or one entry per
+	// page/column. Bloom offset arrays are validated lazily per access (a
+	// footer open stays O(1) in columns and pages).
 	if s := v.size[secPageStats]; s != 0 && s != PageStatSize*v.numPages {
 		return nil, fmt.Errorf("%w: page-stats section is %d bytes, want 0 or %d",
 			ErrCorrupt, s, PageStatSize*v.numPages)
 	}
+	if s := v.size[secColumnStats]; s != 0 && s != ColumnStatSize*v.numColumns {
+		return nil, fmt.Errorf("%w: column-stats section is %d bytes, want 0 or %d",
+			ErrCorrupt, s, ColumnStatSize*v.numColumns)
+	}
+	if s := v.size[secColumnBlooms]; s != 0 && s < 4*(v.numColumns+1) {
+		return nil, fmt.Errorf("%w: column-blooms section is %d bytes, shorter than its offset array",
+			ErrCorrupt, s)
+	}
+	if s := v.size[secPageBlooms]; s != 0 && s < 4*(v.numPages+1) {
+		return nil, fmt.Errorf("%w: page-blooms section is %d bytes, shorter than its offset array",
+			ErrCorrupt, s)
+	}
 	return v, nil
 }
+
+// Version returns the footer format version the file was written at.
+func (v *View) Version() int { return int(v.version) }
 
 // NumRows returns the row count.
 func (v *View) NumRows() uint64 { return v.numRows }
@@ -137,10 +162,15 @@ func (v *View) LookupColumn(name string) (int, bool) {
 }
 
 // ColumnName returns the name of column c (a sub-slice view of the blob).
+// Corrupt name offsets yield "" rather than a panic — the name index is
+// the one section whose values OpenView does not validate eagerly.
 func (v *View) ColumnName(c int) string {
-	start := v.u32(secNameOffsets, c)
-	end := v.u32(secNameOffsets, c+1)
+	start := int(v.u32(secNameOffsets, c))
+	end := int(v.u32(secNameOffsets, c+1))
 	blob := v.buf[v.off[secNameBlob] : v.off[secNameBlob]+v.size[secNameBlob]]
+	if start > end || end > len(blob) {
+		return ""
+	}
 	return string(blob[start:end])
 }
 
@@ -227,6 +257,58 @@ func (v *View) PageStat(p int) (PageStat, bool) {
 	}, true
 }
 
+// HasColumnStats reports whether the file recorded file-level column zone
+// maps (v3 writers always do).
+func (v *View) HasColumnStats() bool { return v.size[secColumnStats] != 0 }
+
+// ColumnStat returns the file-level zone map of column c, or ok=false
+// when the writer recorded no column-stats section (v2 files).
+func (v *View) ColumnStat(c int) (ColumnStat, bool) {
+	if !v.HasColumnStats() {
+		return ColumnStat{}, false
+	}
+	base := v.off[secColumnStats] + ColumnStatSize*c
+	le := binary.LittleEndian
+	return ColumnStat{
+		Min:       int64(le.Uint64(v.buf[base:])),
+		Max:       int64(le.Uint64(v.buf[base+8:])),
+		NullCount: le.Uint64(v.buf[base+16:]),
+		Flags:     le.Uint32(v.buf[base+24:]),
+	}, true
+}
+
+// framedEntry slices entry i out of a framed blob section (u32 offsets,
+// then blob), returning nil for absent sections, empty entries, or
+// corrupt offsets — a bad filter must read as "no filter", never panic.
+func (v *View) framedEntry(sec, i, n int) []byte {
+	size := v.size[sec]
+	if size == 0 {
+		return nil
+	}
+	base := v.off[sec]
+	blobLen := size - 4*(n+1)
+	le := binary.LittleEndian
+	lo := int(le.Uint32(v.buf[base+4*i:]))
+	hi := int(le.Uint32(v.buf[base+4*(i+1):]))
+	if lo > hi || hi > blobLen {
+		return nil
+	}
+	blobBase := base + 4*(n+1)
+	return v.buf[blobBase+lo : blobBase+hi]
+}
+
+// ColumnBloom returns column c's serialized bloom filter, or nil when the
+// file recorded none for it (non-byte-string columns, disabled blooms,
+// v2 files).
+func (v *View) ColumnBloom(c int) []byte {
+	return v.framedEntry(secColumnBlooms, c, v.numColumns)
+}
+
+// PageBloom returns global page p's serialized bloom filter, or nil.
+func (v *View) PageBloom(p int) []byte {
+	return v.framedEntry(secPageBlooms, p, v.numPages)
+}
+
 // Checksum returns entry i of the checksum section (pages, then groups,
 // then root).
 func (v *View) Checksum(i int) uint64 { return v.u64(secChecksums, i) }
@@ -242,6 +324,7 @@ func (v *View) RootChecksum() uint64 {
 func (v *View) Materialize() (*Footer, error) {
 	nChunks := v.numGroups * v.numColumns
 	f := &Footer{
+		Version:         v.version,
 		NumRows:         v.numRows,
 		NumColumns:      v.numColumns,
 		NumGroups:       v.numGroups,
@@ -286,6 +369,24 @@ func (v *View) Materialize() (*Footer, error) {
 		f.PageStats = make([]PageStat, v.numPages)
 		for i := range f.PageStats {
 			f.PageStats[i], _ = v.PageStat(i)
+		}
+	}
+	if v.HasColumnStats() {
+		f.ColumnStats = make([]ColumnStat, v.numColumns)
+		for i := range f.ColumnStats {
+			f.ColumnStats[i], _ = v.ColumnStat(i)
+		}
+	}
+	if v.size[secColumnBlooms] != 0 {
+		f.ColumnBlooms = make([][]byte, v.numColumns)
+		for i := range f.ColumnBlooms {
+			f.ColumnBlooms[i] = append([]byte(nil), v.ColumnBloom(i)...)
+		}
+	}
+	if v.size[secPageBlooms] != 0 {
+		f.PageBlooms = make([][]byte, v.numPages)
+		for i := range f.PageBlooms {
+			f.PageBlooms[i] = append([]byte(nil), v.PageBloom(i)...)
 		}
 	}
 	return f, nil
