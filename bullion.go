@@ -239,6 +239,17 @@
 // Dataset.Vacuum). Datasets default to compliance Level 1 for exactly
 // this reason — Level-2 in-place erasure would rewrite page bytes under
 // older generations' readers.
+//
+// Commits are durable as well as atomic: member contents are fsynced
+// before they are renamed into place, every rename is followed by a
+// directory sync, and the CURRENT generation pointer swap is the single
+// point of no return (a commit racing another handle fails cleanly with
+// ErrGenerationConflict before touching any published file). All dataset
+// I/O flows through a pluggable storage backend (DatasetOptions.Backend);
+// FsckDataset audits a directory offline and classifies crash debris,
+// which Open sweeps and Vacuum reclaims. The full contract — including
+// the two crash models the fault-injection matrix replays — is documented
+// in bullion/internal/dataset and bullion/internal/storage.
 package bullion
 
 import (
@@ -251,6 +262,7 @@ import (
 	"bullion/internal/enc"
 	"bullion/internal/quant"
 	"bullion/internal/sparse"
+	"bullion/internal/storage"
 )
 
 // Schema, fields, and column containers re-exported from the core format.
@@ -597,6 +609,27 @@ type (
 	DatasetManifest = dataset.Manifest
 	// DatasetFileEntry describes one member file in a manifest.
 	DatasetFileEntry = dataset.FileEntry
+	// FsckReport is the result of auditing a dataset directory.
+	FsckReport = dataset.FsckReport
+	// FsckMember is one member file's audit record within an FsckReport.
+	FsckMember = dataset.FsckMember
+	// StorageBackend is the pluggable flat-namespace store dataset I/O
+	// runs on (DatasetOptions.Backend; defaults to the local filesystem).
+	StorageBackend = storage.Backend
+	// StorageFile is an open handle within a StorageBackend.
+	StorageFile = storage.File
+)
+
+// Sentinel errors surfaced by dataset commits.
+var (
+	// ErrGenerationConflict reports a lost commit race: another handle
+	// moved CURRENT first. The losing mutation left no trace; reopen (or
+	// re-snapshot) and retry.
+	ErrGenerationConflict = dataset.ErrGenerationConflict
+	// ErrCommitIndeterminate reports a commit whose CURRENT swap was
+	// published but could not be confirmed durable. The data files are
+	// left in place; reopen to learn the outcome, Vacuum to reclaim.
+	ErrCommitIndeterminate = dataset.ErrCommitIndeterminate
 )
 
 // CreateDataset initializes a new dataset directory with an empty
@@ -609,6 +642,19 @@ func CreateDataset(dir string, schema *Schema, opts *DatasetOptions) (*Dataset, 
 func OpenDataset(dir string, opts *DatasetOptions) (*Dataset, error) {
 	return dataset.Open(dir, opts)
 }
+
+// FsckDataset audits the dataset at dir without mutating it: manifest
+// integrity, per-member sizes/fingerprints/row counts, live-row drift
+// from crashed deletes, and orphaned temporaries or unreferenced files.
+// With deep set, every member's Merkle checksum tree is verified too.
+func FsckDataset(dir string, opts *DatasetOptions, deep bool) (*FsckReport, error) {
+	return dataset.Fsck(dir, opts, deep)
+}
+
+// NewLocalBackend returns a StorageBackend rooted at the directory dir
+// (created if absent) — the backend OpenDataset uses by default, exposed
+// for wrapping with instrumentation or fault injection.
+func NewLocalBackend(dir string) (StorageBackend, error) { return storage.NewLocal(dir) }
 
 // Quantize converts float32 values to a Figure 6 format's bit patterns
 // (widened for the integer cascade).

@@ -9,6 +9,7 @@
 //	bullion scan [flags] <path>...       stream batches, report per-file + aggregate iostats
 //	bullion ingest [flags] <path>...     write synthetic tables, report per-file + aggregate iostats
 //	bullion compact [flags] <dir>...     fold deletion-heavy dataset members into fresh files
+//	bullion fsck [flags] <dir>...        audit dataset integrity and crash debris
 //	bullion delete <path> <row>...       delete rows (file or dataset)
 //	bullion demo <file>                  write a small demo ads file
 //
@@ -57,6 +58,8 @@ func main() {
 		err = ingest(args)
 	case "compact":
 		err = compact(args)
+	case "fsck":
+		err = fsck(args)
 	case "delete":
 		err = deleteRows(args[0], args[1:])
 	case "demo":
@@ -80,6 +83,7 @@ func usage() {
                [-filter-int col:lo:hi] [-filter-float col:lo:hi] [-filter-in col:v1,v2] <file|dir>... [column]...
   bullion ingest [-rows N] [-cols N] [-group N] [-workers N] [-shards N] [-no-cache] <file>... | <dir>
   bullion compact [-threshold R] [-vacuum] <dir>...
+  bullion fsck [-json] [-deep] [-repair] <dir>...
   bullion delete <file|dir> <row>...
   bullion demo <file>`)
 	os.Exit(2)
@@ -923,6 +927,103 @@ func compact(args []string) error {
 		ds.Close()
 	}
 	return nil
+}
+
+// fsck audits each dataset directory — manifest integrity, member
+// sizes/fingerprints/row counts, live-row drift from crashed deletes,
+// and orphaned crash debris — without mutating it. With -repair it first
+// reopens the dataset (sweeping temporary debris) and vacuums
+// unreferenced files, then audits the result. Exits non-zero if any
+// directory fails its audit.
+func fsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit JSON reports")
+	deep := fs.Bool("deep", false, "verify every member's Merkle checksum tree")
+	repair := fs.Bool("repair", false, "sweep temporary debris and vacuum unreferenced files first (unsafe with concurrent readers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		return fmt.Errorf("fsck: no dataset directories given")
+	}
+	var reports []*bullion.FsckReport
+	bad := 0
+	for _, dir := range dirs {
+		if *repair {
+			ds, err := bullion.OpenDataset(dir, nil) // Open sweeps *.tmp debris
+			if err != nil {
+				return fmt.Errorf("fsck: repair %s: %w", dir, err)
+			}
+			removed, err := ds.Vacuum()
+			ds.Close()
+			if err != nil {
+				return fmt.Errorf("fsck: vacuum %s: %w", dir, err)
+			}
+			if !*asJSON && len(removed) > 0 {
+				fmt.Printf("%s: repair reclaimed %d files\n", dir, len(removed))
+			}
+		}
+		rep, err := bullion.FsckDataset(dir, nil, *deep)
+		if err != nil {
+			return fmt.Errorf("fsck %s: %w", dir, err)
+		}
+		reports = append(reports, rep)
+		if !rep.OK() {
+			bad++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(reports) == 1 {
+			if err := enc.Encode(reports[0]); err != nil {
+				return err
+			}
+		} else if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, rep := range reports {
+			printFsckReport(rep)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("fsck: %d of %d datasets failed", bad, len(reports))
+	}
+	return nil
+}
+
+func printFsckReport(rep *bullion.FsckReport) {
+	status := "OK"
+	if !rep.OK() {
+		status = "CORRUPT"
+	}
+	fmt.Printf("%s: %s — generation %d, %d files, %d rows (%d live)\n",
+		rep.Dir, status, rep.Generation, rep.Files, rep.Rows, rep.LiveRows)
+	for _, m := range rep.Members {
+		if len(m.Errors) == 0 {
+			continue
+		}
+		for _, e := range m.Errors {
+			fmt.Printf("  member %s: ERROR %s\n", m.Name, e)
+		}
+	}
+	for _, e := range rep.Errors {
+		fmt.Printf("  ERROR %s\n", e)
+	}
+	for _, w := range rep.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+	if n := len(rep.OrphanTmps); n > 0 {
+		fmt.Printf("  %d temporary files from interrupted operations (swept on next open)\n", n)
+	}
+	if n := len(rep.OrphanParts); n > 0 {
+		fmt.Printf("  %d unreferenced part files (reclaimable via vacuum)\n", n)
+	}
+	if n := len(rep.OrphanManifests); n > 0 {
+		fmt.Printf("  %d superseded manifests (reclaimable via vacuum)\n", n)
+	}
 }
 
 func deleteRows(path string, args []string) error {

@@ -5,7 +5,11 @@
 // compaction folds deletion-heavy members into fresh files — all with
 // atomic manifest commits and snapshot-isolated scans. Run with:
 //
-//	go run ./examples/dataset
+//	go run ./examples/dataset [dir]
+//
+// With no argument the dataset is built in a temporary directory and
+// removed on exit; with a directory argument it is left in place (so CI
+// can audit the output with `bullion fsck`).
 package main
 
 import (
@@ -18,11 +22,17 @@ import (
 )
 
 func main() {
-	dir, err := os.MkdirTemp("", "bullion-dataset")
-	if err != nil {
-		log.Fatal(err)
+	var dir string
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	} else {
+		tmp, err := os.MkdirTemp("", "bullion-dataset")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
 	}
-	defer os.RemoveAll(dir)
 
 	schema, err := bullion.NewSchema(
 		bullion.Field{Name: "uid", Type: bullion.Type{Kind: bullion.Int64}},

@@ -1,9 +1,9 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"strings"
 )
 
 // CompactStats reports what a Compact call did.
@@ -44,7 +44,7 @@ func (d *Dataset) Compact(threshold float64) (CompactStats, error) {
 	var tmpFiles []string
 	cleanup := func() {
 		for _, tmp := range tmpFiles {
-			os.Remove(tmp)
+			d.backend.Remove(tmp)
 		}
 	}
 	seq := 0
@@ -62,12 +62,12 @@ func (d *Dataset) Compact(threshold float64) (CompactStats, error) {
 			stats.RowsReclaimed += e.Rows
 			continue
 		}
-		entry, tmpPath, err := d.rewriteMember(m, nextGen, seq)
+		entry, tmpName, err := d.rewriteMember(m, nextGen, seq)
 		if err != nil {
 			cleanup()
 			return stats, err
 		}
-		tmpFiles = append(tmpFiles, tmpPath)
+		tmpFiles = append(tmpFiles, tmpName)
 		replace[e.Name] = &entry
 		stats.FilesCompacted++
 		stats.RowsReclaimed += e.Rows - e.LiveRows
@@ -78,17 +78,22 @@ func (d *Dataset) Compact(threshold float64) (CompactStats, error) {
 		return stats, nil
 	}
 
-	// Rename the rewritten files into place, then commit the manifest
-	// with victims replaced (or dropped) at their original positions.
-	for i, tmp := range tmpFiles {
-		final := filepath.Join(d.dir, filepath.Base(tmp[:len(tmp)-len(".tmp")]))
-		if err := os.Rename(tmp, final); err != nil {
-			cleanup()
-			return stats, err
+	// The renames to final names run inside the commit critical section
+	// (after the generation CAS — a doomed commit must not clobber a
+	// winner's files), made durable by a directory sync before the
+	// manifest references them; then the commit replaces (or drops)
+	// victims at their original manifest positions.
+	publish := func() error {
+		for i, tmp := range tmpFiles {
+			final := strings.TrimSuffix(tmp, ".tmp")
+			if err := d.backend.Rename(tmp, final); err != nil {
+				return err
+			}
+			tmpFiles[i] = final
 		}
-		tmpFiles[i] = final
+		return d.backend.SyncDir()
 	}
-	err := d.commit(func(m *Manifest) error {
+	err := d.commit(publish, func(m *Manifest) error {
 		out := m.Files[:0]
 		for _, e := range m.Files {
 			r, hit := replace[e.Name]
@@ -103,7 +108,11 @@ func (d *Dataset) Compact(threshold float64) (CompactStats, error) {
 		return nil
 	})
 	if err != nil {
-		cleanup()
+		// Past the point of no return the replacement files may be
+		// referenced — leave them for Vacuum to sort out.
+		if !errors.Is(err, ErrCommitIndeterminate) {
+			cleanup()
+		}
 		return stats, err
 	}
 	stats.BytesAfter = datasetBytes(d.generationSnapshot().manifest)
@@ -111,15 +120,16 @@ func (d *Dataset) Compact(threshold float64) (CompactStats, error) {
 }
 
 // rewriteMember copies a victim's live rows into a fresh file under a
-// temporary name and returns its manifest entry under the final name.
+// temporary name — contents synced, ready to rename — and returns its
+// manifest entry under the final name plus the temporary name.
 func (d *Dataset) rewriteMember(m *member, gen uint64, seq int) (FileEntry, string, error) {
 	f, err := m.open(d)
 	if err != nil {
 		return FileEntry{}, "", err
 	}
 	finalName := fmt.Sprintf("part-%06d-c%03d.bln", gen, seq)
-	tmpPath := filepath.Join(d.dir, finalName+".tmp")
-	out, err := os.Create(tmpPath)
+	tmpName := finalName + ".tmp"
+	out, err := d.backend.Create(tmpName)
 	if err != nil {
 		return FileEntry{}, "", err
 	}
@@ -130,19 +140,26 @@ func (d *Dataset) rewriteMember(m *member, gen uint64, seq int) (FileEntry, stri
 	ws, err := f.RewriteWithoutRows(out, nil, d.writerOpts())
 	if err != nil {
 		out.Close()
-		os.Remove(tmpPath)
+		d.backend.Remove(tmpName)
 		return FileEntry{}, "", fmt.Errorf("dataset: compacting %s: %w", m.entry.Name, err)
 	}
+	// Durable before rename: the manifest must never reference contents a
+	// power cut could truncate.
+	if err := out.Sync(); err != nil {
+		out.Close()
+		d.backend.Remove(tmpName)
+		return FileEntry{}, "", err
+	}
 	if err := out.Close(); err != nil {
-		os.Remove(tmpPath)
+		d.backend.Remove(tmpName)
 		return FileEntry{}, "", err
 	}
 	if ws.NumRows != m.entry.LiveRows {
-		os.Remove(tmpPath)
+		d.backend.Remove(tmpName)
 		return FileEntry{}, "", fmt.Errorf("dataset: compacted %s has %d rows, want %d live",
 			m.entry.Name, ws.NumRows, m.entry.LiveRows)
 	}
-	return entryFromWritten(finalName, m.entry.SchemaFP, ws), tmpPath, nil
+	return entryFromWritten(finalName, m.entry.SchemaFP, ws), tmpName, nil
 }
 
 func datasetBytes(m *Manifest) int64 {

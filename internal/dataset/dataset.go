@@ -3,14 +3,13 @@ package dataset
 import (
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"bullion/internal/core"
+	"bullion/internal/storage"
 )
 
 // Options configures a Dataset handle.
@@ -28,6 +27,17 @@ type Options struct {
 	// benchmarks use to model storage latency. name is the member's file
 	// name within the dataset directory.
 	WrapReader func(name string, r io.ReaderAt, size int64) io.ReaderAt
+	// Backend overrides the storage backend every read, write, rename,
+	// and fsync flows through. Nil selects the local file system rooted
+	// at the dataset directory; tests substitute storage.Fault to inject
+	// errors, latency, and power cuts.
+	Backend storage.Backend
+	// DisableRecoverySweep skips Open's garbage collection of orphaned
+	// *.tmp files (crash debris from interrupted commits). Fsck sets it
+	// so a report can surface the debris before anything removes it. The
+	// sweep only ever touches temporaries — never part files or
+	// manifests, which older-generation readers may still reference.
+	DisableRecoverySweep bool
 }
 
 // Dataset is a handle over a manifest-backed multi-file table. Scans may
@@ -35,8 +45,9 @@ type Options struct {
 // scan snapshots the manifest generation current at Scan time and keeps
 // serving it even while later commits land.
 type Dataset struct {
-	dir  string
-	opts Options
+	dir     string
+	opts    Options
+	backend storage.Backend
 
 	// mu serializes mutators (Append/ShardedWriter commit/Delete/Compact).
 	mu sync.Mutex
@@ -49,14 +60,19 @@ type Dataset struct {
 	genMu sync.RWMutex
 	gen   *generation
 
-	// nameSeq disambiguates temporary file names within this handle.
-	nameSeq atomic.Uint64
+	// handleID and nameSeq disambiguate temporary file names: nameSeq
+	// across this handle's writers, handleID across handles of the same
+	// directory in this process (two racing bulk loads must not collide
+	// on ingest temporaries; cross-process races remain best-effort,
+	// like the commit CAS itself).
+	handleID uint64
+	nameSeq  atomic.Uint64
 
-	// openMu guards opened, every *os.File this handle has opened —
+	// openMu guards opened, every member handle this dataset has opened —
 	// including ones belonging to superseded generations, which in-flight
 	// scans may still be reading. Close closes them all.
 	openMu sync.Mutex
-	opened []*os.File
+	opened []io.Closer
 	closed bool
 }
 
@@ -72,48 +88,38 @@ type generation struct {
 	total  uint64
 }
 
-// osOpen is the single choke point through which member files are opened
-// for reading. Tests swap it to prove the commit paths never reopen a
-// file they just wrote (the writer-side stats piggyback) and that pruned
-// members are never opened at all.
-var osOpen = os.Open
-
 // member is one file of a generation, opened lazily: pruned members are
 // never opened at all, and reopening is what lets a new generation observe
 // a member's rewritten footer without disturbing older snapshots.
 type member struct {
 	entry FileEntry
-	path  string
 
 	once sync.Once
 	file *core.File
 	err  error
 }
 
-// open opens the member file on first use, verifying its schema
-// fingerprint and row count against the manifest entry.
+// open opens the member file on first use — through the dataset's
+// storage backend, the single choke point for all member reads —
+// verifying its schema fingerprint and row count against the manifest
+// entry.
 func (m *member) open(d *Dataset) (*core.File, error) {
 	m.once.Do(func() {
-		osf, err := osOpen(m.path)
+		sf, size, err := d.backend.ReadAt(m.entry.Name)
 		if err != nil {
 			m.err = err
 			return
 		}
-		if !d.track(osf) {
-			osf.Close()
+		if !d.track(sf) {
+			sf.Close()
 			m.err = fmt.Errorf("dataset: %s: dataset closed", m.entry.Name)
 			return
 		}
-		st, err := osf.Stat()
-		if err != nil {
-			m.err = err
-			return
-		}
-		var r io.ReaderAt = osf
+		var r io.ReaderAt = sf
 		if d.opts.WrapReader != nil {
-			r = d.opts.WrapReader(m.entry.Name, r, st.Size())
+			r = d.opts.WrapReader(m.entry.Name, r, size)
 		}
-		f, err := core.Open(r, st.Size())
+		f, err := core.Open(r, size)
 		if err != nil {
 			m.err = fmt.Errorf("dataset: opening member %s: %w", m.entry.Name, err)
 			return
@@ -135,7 +141,7 @@ func (m *member) open(d *Dataset) (*core.File, error) {
 
 // track registers an opened file for Close; it reports false when the
 // dataset is already closed.
-func (d *Dataset) track(f *os.File) bool {
+func (d *Dataset) track(f io.Closer) bool {
 	d.openMu.Lock()
 	defer d.openMu.Unlock()
 	if d.closed {
@@ -176,7 +182,7 @@ func (d *Dataset) newGeneration(m *Manifest, prev *generation) (*generation, err
 			g.members[i] = pm
 			continue
 		}
-		g.members[i] = &member{entry: e, path: filepath.Join(d.dir, e.Name)}
+		g.members[i] = &member{entry: e}
 	}
 	return g, nil
 }
@@ -189,6 +195,15 @@ func sameEntry(a, b FileEntry) bool {
 		a.Bytes == b.Bytes && a.SchemaFP == b.SchemaFP
 }
 
+// backendFor resolves the storage backend for dir: the caller-supplied
+// one, or a local-FS backend rooted at dir (created if needed).
+func backendFor(dir string, opts *Options) (storage.Backend, error) {
+	if opts != nil && opts.Backend != nil {
+		return opts.Backend, nil
+	}
+	return storage.NewLocal(dir)
+}
+
 // Create initializes a new dataset directory with an empty generation-1
 // manifest. The directory is created if needed; it must not already hold a
 // dataset.
@@ -196,10 +211,11 @@ func Create(dir string, schema *core.Schema, opts *Options) (*Dataset, error) {
 	if schema == nil || len(schema.Fields) == 0 {
 		return nil, fmt.Errorf("dataset: schema required")
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	b, err := backendFor(dir, opts)
+	if err != nil {
 		return nil, err
 	}
-	if _, err := os.Stat(filepath.Join(dir, currentName)); err == nil {
+	if _, err := storage.ReadFile(b, currentName); err == nil {
 		return nil, fmt.Errorf("dataset: %s already holds a dataset", dir)
 	}
 	m := &Manifest{
@@ -208,19 +224,36 @@ func Create(dir string, schema *core.Schema, opts *Options) (*Dataset, error) {
 		SchemaFP:   schema.Fingerprint(),
 		Schema:     fieldDefs(schema),
 	}
-	if err := writeManifest(dir, m); err != nil {
+	if err := writeManifest(b, m, 0); err != nil {
 		return nil, err
 	}
 	return Open(dir, opts)
 }
 
-// Open opens the dataset at dir, reading its current manifest generation.
+// Open opens the dataset at dir, reading its current manifest
+// generation. Unless Options.DisableRecoverySweep is set, Open first
+// garbage-collects orphaned temporary files — debris a crash mid-commit
+// can leave behind. (Like Vacuum, the sweep assumes no ShardedWriter is
+// concurrently active on another handle of the same directory: an
+// in-flight bulk load's unrenamed shards are indistinguishable from
+// crash debris.)
+// handleSeq numbers dataset handles process-wide (see Dataset.handleID).
+var handleSeq atomic.Uint64
+
 func Open(dir string, opts *Options) (*Dataset, error) {
-	d := &Dataset{dir: dir}
+	d := &Dataset{dir: dir, handleID: handleSeq.Add(1)}
 	if opts != nil {
 		d.opts = *opts
 	}
-	m, err := loadManifest(dir)
+	b, err := backendFor(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.backend = b
+	if !d.opts.DisableRecoverySweep {
+		sweepTempDebris(b)
+	}
+	m, err := loadManifest(b)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +263,35 @@ func Open(dir string, opts *Options) (*Dataset, error) {
 	}
 	d.gen = gen
 	return d, nil
+}
+
+// isTempDebris reports whether name is a commit temporary: crash debris
+// once no commit is in flight. Covers the current deterministic ".tmp"
+// names and the ".tmp-" random suffixes earlier releases wrote.
+func isTempDebris(name string) bool {
+	return strings.HasSuffix(name, ".tmp") || strings.Contains(name, ".tmp-")
+}
+
+// sweepTempDebris removes orphaned temporaries, best-effort: recovery
+// must never make Open fail on a dataset that is otherwise readable.
+func sweepTempDebris(b storage.Backend) []string {
+	names, err := b.List()
+	if err != nil {
+		return nil
+	}
+	var removed []string
+	for _, name := range names {
+		if !isTempDebris(name) {
+			continue
+		}
+		if b.Remove(name) == nil {
+			removed = append(removed, name)
+		}
+	}
+	if removed != nil {
+		b.SyncDir()
+	}
+	return removed
 }
 
 // generationSnapshot returns the current generation.
@@ -248,9 +310,12 @@ func (d *Dataset) swapGeneration(g *generation) {
 
 // commit writes a mutated copy of the current manifest as the next
 // generation and swaps it in. mutate receives the copy (files slice is
-// cloned; entries may be appended, replaced, or removed). Callers must
-// hold d.mu.
-func (d *Dataset) commit(mutate func(m *Manifest) error) error {
+// cloned; entries may be appended, replaced, or removed). publish, if
+// non-nil, runs inside the commit critical section after the generation
+// CAS passes — it is where mutators rename their data files to final
+// generation-derived names, so a commit that is doomed to lose the CAS
+// never clobbers the winner's files. Callers must hold d.mu.
+func (d *Dataset) commit(publish func() error, mutate func(m *Manifest) error) error {
 	prev := d.generationSnapshot()
 	next := *prev.manifest
 	next.Generation++
@@ -258,7 +323,18 @@ func (d *Dataset) commit(mutate func(m *Manifest) error) error {
 	if err := mutate(&next); err != nil {
 		return err
 	}
-	if err := writeManifest(d.dir, &next); err != nil {
+	lock := commitLock(d.backend.Root())
+	lock.Lock()
+	defer lock.Unlock()
+	if err := checkGeneration(d.backend, prev.manifest.Generation); err != nil {
+		return err
+	}
+	if publish != nil {
+		if err := publish(); err != nil {
+			return err
+		}
+	}
+	if err := writeManifestLocked(d.backend, &next); err != nil {
 		return err
 	}
 	gen, err := d.newGeneration(&next, prev)
@@ -370,36 +446,38 @@ func (d *Dataset) Delete(rows []uint64) error {
 			continue
 		}
 		entry := gen.members[i].entry
-		path := filepath.Join(d.dir, entry.Name)
 		// A fresh read-write handle, separate from the member handle that
 		// in-flight scans of this generation are using: DeleteRows mutates
 		// its File's in-memory footer view.
-		osf, err := os.OpenFile(path, os.O_RDWR, 0)
+		h, size, err := d.backend.ReadAt(entry.Name)
 		if err != nil {
 			return err
 		}
-		st, err := osf.Stat()
+		f, err := core.Open(h, size)
 		if err != nil {
-			osf.Close()
-			return err
-		}
-		f, err := core.Open(osf, st.Size())
-		if err != nil {
-			osf.Close()
+			h.Close()
 			return fmt.Errorf("dataset: opening member %s for delete: %w", entry.Name, err)
 		}
-		if err := f.DeleteRows(osf, local); err != nil {
-			osf.Close()
+		if err := f.DeleteRows(h, local); err != nil {
+			h.Close()
 			return fmt.Errorf("dataset: deleting from %s: %w", entry.Name, err)
 		}
 		live := f.NumLiveRows()
-		if err := osf.Close(); err != nil {
+		// Force the rewritten footer durable before the manifest commit
+		// records the new live-row counts: a committed delete must never
+		// resurrect rows at a power cut (the reverse — synced bits without
+		// a commit — only over-applies an in-flight delete's own targets).
+		if err := h.Sync(); err != nil {
+			h.Close()
+			return fmt.Errorf("dataset: syncing %s after delete: %w", entry.Name, err)
+		}
+		if err := h.Close(); err != nil {
 			return err
 		}
 		newLive[entry.Name] = live
 	}
 
-	return d.commit(func(m *Manifest) error {
+	return d.commit(nil, func(m *Manifest) error {
 		for i := range m.Files {
 			if live, ok := newLive[m.Files[i].Name]; ok {
 				m.Files[i].LiveRows = live
@@ -410,12 +488,12 @@ func (d *Dataset) Delete(rows []uint64) error {
 }
 
 // Vacuum removes member files and manifests no longer referenced by the
-// current generation, plus orphaned ingest temporaries left by a crashed
-// bulk load. It must only be called when no scanner is still serving an
-// older generation and no ShardedWriter is active on any handle — older
-// snapshots read exactly the files Vacuum deletes, and an in-flight bulk
-// load's shards are indistinguishable from crash debris. It returns the
-// removed file names.
+// current generation, plus orphaned temporaries left by a crashed commit
+// or bulk load. It must only be called when no scanner is still serving
+// an older generation and no ShardedWriter is active on any handle —
+// older snapshots read exactly the files Vacuum deletes, and an
+// in-flight bulk load's shards are indistinguishable from crash debris.
+// It returns the removed file names.
 func (d *Dataset) Vacuum() ([]string, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -427,27 +505,31 @@ func (d *Dataset) Vacuum() ([]string, error) {
 	for _, e := range gen.manifest.Files {
 		live[e.Name] = true
 	}
-	entries, err := os.ReadDir(d.dir)
+	names, err := d.backend.List()
 	if err != nil {
 		return nil, err
 	}
 	var removed []string
-	for _, de := range entries {
-		name := de.Name()
-		if de.IsDir() || live[name] {
+	for _, name := range names {
+		if live[name] {
 			continue
 		}
 		// Only reclaim files this package writes: member parts, superseded
-		// manifests, and abandoned ingest shards. Anything else in the
-		// directory is not ours to delete.
+		// manifests, abandoned ingest shards, and commit temporaries.
+		// Anything else in the directory is not ours to delete.
 		if !strings.HasPrefix(name, "part-") && !strings.HasPrefix(name, "manifest-") &&
-			!strings.HasPrefix(name, "ingest-") {
+			!strings.HasPrefix(name, "ingest-") && !isTempDebris(name) {
 			continue
 		}
-		if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
+		if err := d.backend.Remove(name); err != nil {
 			return removed, err
 		}
 		removed = append(removed, name)
+	}
+	if removed != nil {
+		// Best-effort: reclamation need not be durable for correctness;
+		// resurrected garbage is re-collected by the next sweep.
+		d.backend.SyncDir()
 	}
 	return removed, nil
 }

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"bullion/internal/core"
+	"bullion/internal/storage"
+)
+
+// FsckMember is one member file's verification result.
+type FsckMember struct {
+	Name string `json:"name"`
+	// Bytes/Rows/LiveRows echo the manifest entry.
+	Bytes    int64  `json:"bytes"`
+	Rows     uint64 `json:"rows"`
+	LiveRows uint64 `json:"live_rows"`
+	// DiskLiveRows is the live-row count the member's own footer reports.
+	// It may lag LiveRows when a Delete crashed after syncing deletion
+	// bits but before its manifest commit — tolerable drift, reported as
+	// a warning rather than an error.
+	DiskLiveRows uint64 `json:"disk_live_rows"`
+	// Errors lists integrity violations: missing file, size mismatch,
+	// unopenable footer, fingerprint or row-count mismatch, checksum
+	// failures under deep verification.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// FsckReport is the result of verifying one dataset directory.
+type FsckReport struct {
+	Dir        string       `json:"dir"`
+	Generation uint64       `json:"generation"`
+	Files      int          `json:"files"`
+	Rows       uint64       `json:"rows"`
+	LiveRows   uint64       `json:"live_rows"`
+	Members    []FsckMember `json:"members,omitempty"`
+	// OrphanTmps are commit temporaries (*.tmp) — crash debris the Open
+	// recovery sweep (or Vacuum) removes. OrphanParts are part files no
+	// longer referenced by the current generation and OrphanManifests are
+	// superseded generations; both are normal after commits and crashes
+	// alike and are reclaimed only by Vacuum, since readers may still be
+	// serving older generations from them.
+	OrphanTmps      []string `json:"orphan_tmps,omitempty"`
+	OrphanParts     []string `json:"orphan_parts,omitempty"`
+	OrphanManifests []string `json:"orphan_manifests,omitempty"`
+	// Errors are dataset-level failures (unreadable CURRENT or manifest);
+	// Warnings are tolerable anomalies (member live-row drift from a
+	// crashed Delete).
+	Errors   []string `json:"errors,omitempty"`
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// OK reports whether the dataset passed verification: no dataset-level
+// errors and no member errors. Warnings and orphans do not fail a check —
+// they are expected after crashes and before Vacuum.
+func (r *FsckReport) OK() bool {
+	if len(r.Errors) > 0 {
+		return false
+	}
+	for _, m := range r.Members {
+		if len(m.Errors) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fsck verifies the dataset at dir without modifying it: the manifest
+// chain loads, every referenced member exists with the recorded size and
+// a readable footer whose fingerprint and row count match, and every
+// unreferenced file is classified (temporary debris, unreferenced parts,
+// superseded manifests). With deep set, every member's page checksums are
+// verified too — a full read of the dataset.
+//
+// The error return covers only failures to reach the directory at all;
+// integrity violations land in the report.
+func Fsck(dir string, opts *Options, deep bool) (*FsckReport, error) {
+	b, err := backendFor(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	report := &FsckReport{Dir: dir}
+
+	m, err := loadManifest(b)
+	if err != nil {
+		report.Errors = append(report.Errors, err.Error())
+	} else {
+		report.Generation = m.Generation
+		report.Files = len(m.Files)
+	}
+
+	referenced := map[string]bool{currentName: true}
+	if m != nil {
+		referenced[manifestName(m.Generation)] = true
+		for _, e := range m.Files {
+			referenced[e.Name] = true
+			report.Rows += e.Rows
+			report.LiveRows += e.LiveRows
+			report.Members = append(report.Members, fsckMember(b, e, deep))
+		}
+	}
+	for i := range report.Members {
+		fm := &report.Members[i]
+		if len(fm.Errors) == 0 && fm.DiskLiveRows != fm.LiveRows {
+			report.Warnings = append(report.Warnings, fmt.Sprintf(
+				"member %s: footer reports %d live rows, manifest %d (crashed delete?)",
+				fm.Name, fm.DiskLiveRows, fm.LiveRows))
+		}
+	}
+
+	names, err := b.List()
+	if err != nil {
+		report.Errors = append(report.Errors, fmt.Sprintf("listing directory: %v", err))
+		return report, nil
+	}
+	for _, name := range names {
+		if referenced[name] {
+			continue
+		}
+		switch {
+		case isTempDebris(name):
+			report.OrphanTmps = append(report.OrphanTmps, name)
+		case strings.HasPrefix(name, "part-") || strings.HasPrefix(name, "ingest-"):
+			report.OrphanParts = append(report.OrphanParts, name)
+		case strings.HasPrefix(name, "manifest-"):
+			report.OrphanManifests = append(report.OrphanManifests, name)
+		}
+	}
+	return report, nil
+}
+
+// fsckMember verifies one manifest entry against its on-disk file.
+func fsckMember(b storage.Backend, e FileEntry, deep bool) FsckMember {
+	fm := FsckMember{Name: e.Name, Bytes: e.Bytes, Rows: e.Rows, LiveRows: e.LiveRows}
+	fail := func(format string, args ...any) FsckMember {
+		fm.Errors = append(fm.Errors, fmt.Sprintf(format, args...))
+		return fm
+	}
+	h, size, err := b.ReadAt(e.Name)
+	if err != nil {
+		return fail("open: %v", err)
+	}
+	defer h.Close()
+	if size != e.Bytes {
+		return fail("size %d, manifest records %d", size, e.Bytes)
+	}
+	f, err := core.Open(h, size)
+	if err != nil {
+		return fail("footer: %v", err)
+	}
+	if fp := f.Schema().Fingerprint(); fp != e.SchemaFP {
+		fail("schema fingerprint %s, manifest records %s", fp, e.SchemaFP)
+	}
+	if rows := f.NumRows(); rows != e.Rows {
+		fail("%d rows, manifest records %d", rows, e.Rows)
+	}
+	fm.DiskLiveRows = f.NumLiveRows()
+	// The footer can only ever run ahead of the manifest (a crashed
+	// Delete synced bits before its commit); resurrected rows mean the
+	// commit protocol broke.
+	if fm.DiskLiveRows > e.LiveRows {
+		fail("footer reports %d live rows, more than manifest's %d", fm.DiskLiveRows, e.LiveRows)
+	}
+	if deep {
+		if err := f.VerifyChecksums(); err != nil {
+			fail("checksums: %v", err)
+		}
+	}
+	return fm
+}

@@ -14,20 +14,66 @@
 // holding an older generation keep serving from it — member files are
 // immutable (deletion flips footer bits; compaction writes replacement
 // files) and are only reclaimed by an explicit Vacuum.
+//
+// # Durability and crash recovery
+//
+// All dataset I/O flows through a storage.Backend (local FS by default;
+// Options.Backend overrides it), and the commit protocol is
+// crash-consistent against power cuts:
+//
+//   - Member file contents are fsynced before the file is renamed to its
+//     final part name, and the directory is fsynced after the renames, so
+//     a manifest can never reference bytes that are not durable.
+//   - Both steps of a manifest commit — the manifest generation file and
+//     the CURRENT pointer swap — are temp-write + fsync + rename + fsync
+//     of the directory. After any mutation (ShardedWriter.Close, Append,
+//     Delete, Compact) returns nil, the new generation survives a power
+//     cut; a crash mid-commit leaves the previous generation intact.
+//   - Commits CAS on the generation number: the CURRENT pointer is
+//     re-read under a per-directory critical section and the commit fails
+//     with ErrGenerationConflict if another handle moved it. The losing
+//     mutator cleans up its files and the dataset is unchanged.
+//   - Delete is the one mutation that updates member bytes in place (its
+//     deletion-vector footer rewrite is fsynced before the manifest
+//     commit). A crash inside a Delete can therefore leave some of that
+//     call's target rows already deleted even though the commit never
+//     landed — rows outside an in-flight Delete's target set are never
+//     affected.
+//
+// A crash between publishing part files and committing the manifest
+// strands orphans. OpenDataset sweeps *.tmp debris automatically (see
+// Options.DisableRecoverySweep); Vacuum additionally reclaims
+// unreferenced part files and superseded manifests; Fsck reports all of
+// it without deleting anything.
 package dataset
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 	"strings"
+	"sync"
 
 	"bullion/internal/core"
 	"bullion/internal/footer"
 	"bullion/internal/quant"
+	"bullion/internal/storage"
 )
+
+// ErrGenerationConflict reports a commit that lost the generation CAS:
+// another handle (or process) moved CURRENT since this handle last
+// observed it. The dataset is unchanged by the losing commit; reopen to
+// observe the winner's generation and retry.
+var ErrGenerationConflict = errors.New("dataset: generation conflict: CURRENT moved underneath the commit")
+
+// ErrCommitIndeterminate marks a commit whose outcome is unknown: the
+// CURRENT pointer was renamed into place but the directory sync after it
+// failed, so the swap may or may not survive. The commit's data files are
+// deliberately left in place — if the swap landed they are referenced; if
+// not they are orphans for Vacuum. Reopen the dataset to observe the
+// outcome.
+var ErrCommitIndeterminate = errors.New("dataset: commit outcome indeterminate")
 
 // ManifestVersion is the manifest format version this package writes.
 const ManifestVersion = 1
@@ -221,56 +267,108 @@ func zonesFromColumns(cols []core.ColumnStats) []ColumnZone {
 
 func finite(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }
 
-// writeFileAtomic writes data to dir/name via a temporary file + rename,
-// syncing the file before the swap so a crash can't leave a half-written
-// manifest behind the rename.
-func writeFileAtomic(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+// commitLocks serializes the generation CAS per backend root: the
+// CURRENT re-read and the pointer swap must be one critical section so
+// two in-process handles racing a commit produce exactly one winner.
+// (Cross-process commits still CAS on the re-read CURRENT — best effort
+// until the ROADMAP's manifest service owns commits.) Entries are tiny
+// and keyed by directory identity, so the map's growth is bounded by the
+// number of distinct dataset directories a process touches.
+var commitLocks sync.Map // root string -> *sync.Mutex
+
+func commitLock(root string) *sync.Mutex {
+	v, _ := commitLocks.LoadOrStore(root, &sync.Mutex{})
+	return v.(*sync.Mutex)
+}
+
+// checkGeneration is the commit CAS: it re-reads CURRENT and fails with
+// ErrGenerationConflict unless it still names prevGen (0 = the directory
+// must hold no dataset yet). Callers hold the directory's commit lock.
+func checkGeneration(b storage.Backend, prevGen uint64) error {
+	cur, err := storage.ReadFile(b, currentName)
+	if prevGen == 0 {
+		if err == nil {
+			return fmt.Errorf("%w (dataset already initialized)", ErrGenerationConflict)
+		}
+		return nil
+	}
 	if err != nil {
-		return err
+		return fmt.Errorf("dataset: re-reading CURRENT for commit: %w", err)
 	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmpName)
-		return err
+	if got := strings.TrimSpace(string(cur)); got != manifestName(prevGen) {
+		return fmt.Errorf("%w: CURRENT is %s, commit expected %s",
+			ErrGenerationConflict, got, manifestName(prevGen))
 	}
 	return nil
 }
 
-// writeManifest commits m as dir's live generation: the manifest file
-// first, then the CURRENT pointer.
-func writeManifest(dir string, m *Manifest) error {
+// writeManifest commits m as the backend's live generation, CASing on
+// prevGen, under the directory's commit lock. Mutators that publish data
+// files under generation-derived names use Dataset.commit instead, which
+// holds the lock across the renames too.
+func writeManifest(b storage.Backend, m *Manifest, prevGen uint64) error {
+	lock := commitLock(b.Root())
+	lock.Lock()
+	defer lock.Unlock()
+	if err := checkGeneration(b, prevGen); err != nil {
+		return err
+	}
+	return writeManifestLocked(b, m)
+}
+
+// writeManifestLocked publishes m — the manifest file first, then the
+// CURRENT pointer, each with content fsync before the rename and a
+// directory fsync after it, so the commit survives a power cut the moment
+// this function returns. The caller holds the directory's commit lock and
+// has already CASed the generation.
+func writeManifestLocked(b storage.Backend, m *Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	name := manifestName(m.Generation)
-	if err := writeFileAtomic(dir, name, append(data, '\n')); err != nil {
+	if err := storage.WriteFileAtomic(b, name, append(data, '\n')); err != nil {
 		return fmt.Errorf("dataset: writing manifest: %w", err)
 	}
-	if err := writeFileAtomic(dir, currentName, []byte(name+"\n")); err != nil {
+	// Publish the pointer inline rather than via WriteFileAtomic: the
+	// rename is the commit's point of no return, and failures on either
+	// side of it need different handling. Before the rename the old
+	// generation is still current and cleanup is safe; a directory-sync
+	// failure after it is indeterminate — the swap happened in the live
+	// namespace but may not survive a power cut — so it surfaces as
+	// ErrCommitIndeterminate and mutators must leave their data files be.
+	tmp := currentName + ".tmp"
+	f, err := b.Create(tmp)
+	if err != nil {
 		return fmt.Errorf("dataset: writing CURRENT: %w", err)
+	}
+	if _, err := f.Write([]byte(name + "\n")); err != nil {
+		f.Close()
+		b.Remove(tmp)
+		return fmt.Errorf("dataset: writing CURRENT: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		b.Remove(tmp)
+		return fmt.Errorf("dataset: writing CURRENT: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		b.Remove(tmp)
+		return fmt.Errorf("dataset: writing CURRENT: %w", err)
+	}
+	if err := b.Rename(tmp, currentName); err != nil {
+		b.Remove(tmp)
+		return fmt.Errorf("dataset: swapping CURRENT: %w", err)
+	}
+	if err := b.SyncDir(); err != nil {
+		return fmt.Errorf("%w: directory sync after the CURRENT swap: %v", ErrCommitIndeterminate, err)
 	}
 	return nil
 }
 
-// loadManifest reads dir's live manifest via the CURRENT pointer.
-func loadManifest(dir string) (*Manifest, error) {
-	cur, err := os.ReadFile(filepath.Join(dir, currentName))
+// loadManifest reads the backend's live manifest via the CURRENT pointer.
+func loadManifest(b storage.Backend) (*Manifest, error) {
+	cur, err := storage.ReadFile(b, currentName)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading CURRENT: %w", err)
 	}
@@ -278,7 +376,7 @@ func loadManifest(dir string) (*Manifest, error) {
 	if name == "" || strings.ContainsAny(name, "/\\") {
 		return nil, fmt.Errorf("dataset: CURRENT names invalid manifest %q", name)
 	}
-	data, err := os.ReadFile(filepath.Join(dir, name))
+	data, err := storage.ReadFile(b, name)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading manifest: %w", err)
 	}

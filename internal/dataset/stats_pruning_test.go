@@ -11,7 +11,33 @@ import (
 	"testing"
 
 	"bullion/internal/core"
+	"bullion/internal/storage"
 )
+
+// memberOpenCounter wraps a storage.Backend and counts ReadAt opens of
+// member files (part-/ingest- names). Manifest and CURRENT reads — the
+// commit protocol re-reads CURRENT for its generation CAS — are not
+// member reopens and don't count.
+type memberOpenCounter struct {
+	storage.Backend
+	mu    sync.Mutex
+	opens int
+}
+
+func (c *memberOpenCounter) ReadAt(name string) (storage.File, int64, error) {
+	if strings.HasPrefix(name, "part-") || strings.HasPrefix(name, "ingest-") {
+		c.mu.Lock()
+		c.opens++
+		c.mu.Unlock()
+	}
+	return c.Backend.ReadAt(name)
+}
+
+func (c *memberOpenCounter) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opens
+}
 
 // prunableDataset builds an 8-member dataset where member i holds float
 // values in [i*100, i*100+100) and string tags "file-i-*" — every member
@@ -133,19 +159,17 @@ func TestDatasetFloatAndBloomPruning(t *testing.T) {
 // file is opened exactly zero times — the manifest entries come from the
 // writers' own WrittenStats.
 func TestShardedWriterNeverReopensShards(t *testing.T) {
-	d, err := Create(t.TempDir(), testSchema(t), nil)
+	dir := t.TempDir()
+	local, err := storage.NewLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &memberOpenCounter{Backend: local}
+	d, err := Create(dir, testSchema(t), &Options{Backend: counter})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer d.Close()
-
-	opens := 0
-	prev := osOpen
-	osOpen = func(name string) (*os.File, error) {
-		opens++
-		return prev(name)
-	}
-	defer func() { osOpen = prev }()
 
 	sw, err := d.ShardedWriter(3)
 	if err != nil {
@@ -159,7 +183,7 @@ func TestShardedWriterNeverReopensShards(t *testing.T) {
 	if err := sw.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if opens != 0 {
+	if opens := counter.count(); opens != 0 {
 		t.Fatalf("commit opened member files %d times; the stats piggyback must lift entries from the writer", opens)
 	}
 	if d.NumRows() != 3000 {

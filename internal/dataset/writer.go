@@ -1,11 +1,11 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 
 	"bullion/internal/core"
+	"bullion/internal/storage"
 )
 
 // ShardedWriter routes ingest batches across N target member files, each
@@ -29,7 +29,7 @@ type ShardedWriter struct {
 
 type swShard struct {
 	tmpName string
-	osf     *os.File
+	f       storage.File
 	w       *core.Writer
 	// stats is the writer's WrittenStats, captured when the shard closes;
 	// the commit lifts its manifest entry from here instead of reopening
@@ -45,20 +45,20 @@ func (d *Dataset) ShardedWriter(n int) (*ShardedWriter, error) {
 	gen := d.generationSnapshot()
 	sw := &ShardedWriter{d: d, shards: make([]*swShard, n)}
 	for i := range sw.shards {
-		tmpName := fmt.Sprintf("ingest-%d-%d.tmp", d.nameSeq.Add(1), i)
-		osf, err := os.Create(filepath.Join(d.dir, tmpName))
+		tmpName := fmt.Sprintf("ingest-%d-%d-%d.tmp", d.handleID, d.nameSeq.Add(1), i)
+		f, err := d.backend.Create(tmpName)
 		if err != nil {
 			sw.discard()
 			return nil, err
 		}
-		w, err := core.NewWriter(osf, gen.schema, d.writerOpts())
+		w, err := core.NewWriter(f, gen.schema, d.writerOpts())
 		if err != nil {
-			osf.Close()
-			os.Remove(filepath.Join(d.dir, tmpName))
+			f.Close()
+			d.backend.Remove(tmpName)
 			sw.discard()
 			return nil, err
 		}
-		sw.shards[i] = &swShard{tmpName: tmpName, osf: osf, w: w}
+		sw.shards[i] = &swShard{tmpName: tmpName, f: f, w: w}
 	}
 	return sw, nil
 }
@@ -93,11 +93,11 @@ func (sw *ShardedWriter) discard() {
 		if sh.w != nil {
 			sh.w.Close() // joins the pipeline; error irrelevant, file is doomed
 		}
-		if sh.osf != nil {
-			sh.osf.Close()
+		if sh.f != nil {
+			sh.f.Close()
 		}
-		sh.w, sh.osf = nil, nil
-		os.Remove(filepath.Join(sw.d.dir, sh.tmpName))
+		sh.w, sh.f = nil, nil
+		sw.d.backend.Remove(sh.tmpName)
 	}
 }
 
@@ -119,12 +119,20 @@ func (sw *ShardedWriter) Close() error {
 			return err
 		}
 		sh.stats = sh.w.WrittenStats()
-		if err := sh.osf.Close(); err != nil {
+		// Force the shard's bytes durable before it is renamed into place:
+		// a committed manifest must never reference a member whose contents
+		// a power cut could still truncate.
+		if err := sh.f.Sync(); err != nil {
 			sw.err = err
 			sw.discard()
 			return err
 		}
-		sh.w, sh.osf = nil, nil
+		if err := sh.f.Close(); err != nil {
+			sw.err = err
+			sw.discard()
+			return err
+		}
+		sh.w, sh.f = nil, nil
 	}
 
 	sw.d.mu.Lock()
@@ -132,38 +140,49 @@ func (sw *ShardedWriter) Close() error {
 	gen := sw.d.generationSnapshot().manifest.Generation + 1
 	schemaFP := sw.d.Schema().Fingerprint()
 
-	// Rename shards into place, lifting each entry from the statistics its
-	// own writer surfaced at Close (the writer-side stats piggyback): a
-	// shard file is never opened between Write and the manifest commit.
-	// On any failure, discard removes every shard file — including ones
-	// already renamed, whose tmpName tracks the final name.
+	// Lift each shard's manifest entry from the statistics its own writer
+	// surfaced at Close (the writer-side stats piggyback): a shard file is
+	// never opened between Write and the manifest commit. On any failure,
+	// discard removes every shard file — including ones already renamed,
+	// whose tmpName tracks the final name.
 	var entries []FileEntry
+	var renames []*swShard
 	fail := func(err error) error {
 		sw.discard()
 		sw.err = err
 		return err
 	}
 	for i, sh := range sw.shards {
-		tmpPath := filepath.Join(sw.d.dir, sh.tmpName)
 		ws := sh.stats
 		if ws == nil {
 			return fail(fmt.Errorf("dataset: shard %d closed without stats", i))
 		}
 		if ws.NumRows == 0 {
-			os.Remove(tmpPath)
+			sw.d.backend.Remove(sh.tmpName)
 			continue
 		}
-		entry := entryFromWritten(fmt.Sprintf("part-%06d-%03d.bln", gen, i), schemaFP, ws)
-		if err := os.Rename(tmpPath, filepath.Join(sw.d.dir, entry.Name)); err != nil {
-			return fail(err)
-		}
-		sh.tmpName = entry.Name
-		entries = append(entries, entry)
+		entries = append(entries, entryFromWritten(fmt.Sprintf("part-%06d-%03d.bln", gen, i), schemaFP, ws))
+		renames = append(renames, sh)
 	}
 	if len(entries) == 0 {
 		return nil
 	}
-	if err := sw.d.commit(func(m *Manifest) error {
+	// The renames to final generation-derived part names run inside the
+	// commit critical section, after the generation CAS: a racing commit
+	// that already moved CURRENT fails cleanly before touching any final
+	// name another committer may own. The directory sync makes the
+	// renames durable before the manifest references them; the commit
+	// dir-syncs again after the CURRENT swap.
+	publish := func() error {
+		for j, sh := range renames {
+			if err := sw.d.backend.Rename(sh.tmpName, entries[j].Name); err != nil {
+				return err
+			}
+			sh.tmpName = entries[j].Name
+		}
+		return sw.d.backend.SyncDir()
+	}
+	if err := sw.d.commit(publish, func(m *Manifest) error {
 		for _, e := range entries {
 			if e.SchemaFP != m.SchemaFP {
 				return fmt.Errorf("dataset: shard %s fingerprint %s != dataset %s",
@@ -173,6 +192,13 @@ func (sw *ShardedWriter) Close() error {
 		m.Files = append(m.Files, entries...)
 		return nil
 	}); err != nil {
+		if errors.Is(err, ErrCommitIndeterminate) {
+			// The CURRENT swap may have landed: the part files may be
+			// referenced, so they must stay. Vacuum reclaims them if the
+			// swap turns out to have failed.
+			sw.err = err
+			return err
+		}
 		return fail(err)
 	}
 	return nil

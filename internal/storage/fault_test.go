@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func writeFile(t *testing.T, b Backend, name, data string, sync bool) {
+	t.Helper()
+	f, err := b.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFileOr(t *testing.T, b Backend, name string) (string, error) {
+	t.Helper()
+	data, err := ReadFile(b, name)
+	return string(data), err
+}
+
+func TestFaultUnsyncedWriteLostOnCrash(t *testing.T) {
+	fb := NewFault("t")
+	writeFile(t, fb, "a", "synced", true)
+	if err := fb.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, fb, "b", "never synced", false)
+
+	fb.Crash()
+
+	if _, err := readFileOr(t, fb, "b"); err == nil {
+		t.Fatal("never-synced, never-SyncDir'd file survived the crash")
+	}
+	got, err := readFileOr(t, fb, "a")
+	if err != nil || got != "synced" {
+		t.Fatalf("a = %q, %v; want synced content", got, err)
+	}
+}
+
+func TestFaultSyncedContentWithoutSyncDirLosesName(t *testing.T) {
+	fb := NewFault("t")
+	// Content fsynced, but the directory entry never was: a power cut
+	// drops the name (strict model).
+	writeFile(t, fb, "a", "content", true)
+	fb.Crash()
+	if _, err := readFileOr(t, fb, "a"); err == nil {
+		t.Fatal("file with unsynced directory entry survived the crash")
+	}
+}
+
+func TestFaultRenameRevertsWithoutSyncDir(t *testing.T) {
+	fb := NewFault("t")
+	writeFile(t, fb, "old", "v1", true)
+	if err := fb.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Rename("old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	fb.Crash()
+	if got, err := readFileOr(t, fb, "old"); err != nil || got != "v1" {
+		t.Fatalf("old = %q, %v; rename should revert at crash", got, err)
+	}
+	if _, err := readFileOr(t, fb, "new"); err == nil {
+		t.Fatal("unsynced rename target survived the crash")
+	}
+}
+
+func TestFaultContentRevertsToLastSync(t *testing.T) {
+	fb := NewFault("t")
+	f, err := fb.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("v2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := readFileOr(t, fb, "a"); got != "v2" {
+		t.Fatalf("live read = %q, want v2", got)
+	}
+	fb.Crash()
+	if got, err := readFileOr(t, fb, "a"); err != nil || got != "v1" {
+		t.Fatalf("after crash = %q, %v; want last-synced v1", got, err)
+	}
+}
+
+func TestFaultCrashAfter(t *testing.T) {
+	fb := NewFault("t")
+	writeFile(t, fb, "a", "x", true)
+	fb.CrashAfter(fb.OpCount())
+	if _, err := fb.Create("b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op after trip point = %v, want ErrCrashed", err)
+	}
+	if _, err := fb.List(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("every op after the trip fails; got %v", err)
+	}
+	fb.Crash()
+	if _, err := fb.List(); err != nil {
+		t.Fatalf("backend should serve durable state after Crash: %v", err)
+	}
+}
+
+func TestFaultFailOpHook(t *testing.T) {
+	fb := NewFault("t")
+	boom := errors.New("boom")
+	fb.SetFailOp(func(op Op) error {
+		if op.Kind == OpSync {
+			return boom
+		}
+		return nil
+	})
+	f, err := fb.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync = %v, want injected error", err)
+	}
+	fb.SetFailOp(nil)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after clearing hook = %v", err)
+	}
+}
+
+func TestFaultSnapshotsStrictVsLoose(t *testing.T) {
+	fb := NewFault("t")
+	fb.EnableSnapshots()
+
+	// Publish "a" properly, then leave a synced-but-unrenamed temporary
+	// and take one more snapshot via SyncDir.
+	writeFile(t, fb, "a.tmp", "payload", true)
+	if err := fb.Rename("a.tmp", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, fb, "b.tmp", "temp", false)
+	writeFile(t, fb, "c", "synced content", true)
+
+	snaps := fb.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3 (Sync, SyncDir, Sync)", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+
+	// Strict: only "a" has a durable directory entry.
+	if len(last.Strict) != 1 || string(last.Strict["a"]) != "payload" {
+		t.Fatalf("strict = %v, want exactly {a: payload}", last.Strict)
+	}
+	// Loose: namespace edits survive; b.tmp is a zero-length husk, c has
+	// its synced contents.
+	if got := last.Loose["c"]; string(got) != "synced content" {
+		t.Fatalf("loose c = %q", got)
+	}
+	if got, ok := last.Loose["b.tmp"]; !ok || len(got) != 0 {
+		t.Fatalf("loose b.tmp = %q, %v; want zero-length husk", got, ok)
+	}
+	if got := last.Loose["a"]; string(got) != "payload" {
+		t.Fatalf("loose a = %q", got)
+	}
+
+	// AfterOps must be non-decreasing.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].AfterOps < snaps[i-1].AfterOps {
+			t.Fatalf("snapshot op counts regress: %d then %d", snaps[i-1].AfterOps, snaps[i].AfterOps)
+		}
+	}
+
+	// Rehydrating the strict snapshot yields exactly its files.
+	re := NewFaultFromState("t2", last.Strict)
+	names, err := re.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("rehydrated names = %v", names)
+	}
+}
+
+func TestFaultListSortedAndReadAtEOF(t *testing.T) {
+	fb := NewFault("t")
+	for _, n := range []string{"c", "a", "b"} {
+		writeFile(t, fb, n, n, true)
+	}
+	names, err := fb.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(names) != "[a b c]" {
+		t.Fatalf("List = %v, want sorted", names)
+	}
+	f, size, err := fb.ReadAt("a")
+	if err != nil || size != 1 {
+		t.Fatalf("ReadAt: %v, size %d", err, size)
+	}
+	defer f.Close()
+	buf := make([]byte, 4)
+	n, err := f.ReadAt(buf, 0)
+	if n != 1 || err != io.EOF {
+		t.Fatalf("short read = %d, %v; want 1, EOF", n, err)
+	}
+	if _, err := f.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("past-end read = %v, want EOF", err)
+	}
+}

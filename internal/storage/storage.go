@@ -1,0 +1,127 @@
+// Package storage abstracts the flat-directory file system the dataset
+// layer commits into. A Backend owns one directory of files addressed by
+// bare names (no separators): member part files, manifest generations,
+// and the CURRENT pointer all live side by side, and every byte the
+// dataset layer reads or writes flows through this interface.
+//
+// The abstraction exists for two reasons. First, durability: the commit
+// protocol's correctness depends on exactly where file contents and
+// directory entries are forced to stable storage, so the interface makes
+// both explicit — File.Sync for contents, Backend.SyncDir for the
+// namespace (creates, renames, removes). A rename is only crash-durable
+// after a SyncDir; file bytes are only crash-durable after a Sync. Local
+// is the production implementation over a real directory; Fault is a
+// deterministic in-memory implementation that injects per-op errors and
+// latency and simulates power cuts by dropping everything not yet
+// fsynced, which is what the dataset crash-matrix harness runs against.
+// Second, the ROADMAP's distributed-dataset direction: remote members
+// (HTTP range reads, object stores) slot in behind the same surface.
+package storage
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// File is an open handle on one backend file. Reads and positional
+// writes address the file's current contents; Write appends at the
+// handle's own sequential offset (handles used for writing start at 0).
+// Sync forces the file's contents — not its directory entry — to stable
+// storage: bytes written but not synced may vanish at a power cut even
+// after Close returns.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	// Sync forces the file's contents durable.
+	Sync() error
+	Close() error
+}
+
+// Backend is one flat directory of files. Implementations must be safe
+// for concurrent use by multiple goroutines.
+//
+// Durability contract: Create, Rename, and Remove are namespace edits
+// that a power cut may undo until a subsequent SyncDir returns; file
+// contents are durable only up to the last File.Sync. A crash-safe
+// publish of new bytes under a final name is therefore always the
+// sequence: Create(tmp), write, Sync, Close, Rename(tmp, final),
+// SyncDir.
+type Backend interface {
+	// ReadAt opens the named file for random-access reads (and in-place
+	// positional writes — deletion vectors rewrite footer bytes in
+	// place), returning the handle and the file's current size.
+	ReadAt(name string) (File, int64, error)
+	// Create creates or truncates the named file for writing.
+	Create(name string) (File, error)
+	// Rename atomically replaces newName with oldName's file.
+	Rename(oldName, newName string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// SyncDir forces the directory's namespace — every Create, Rename,
+	// and Remove issued so far — to stable storage.
+	SyncDir() error
+	// List returns the backend's file names in lexical order.
+	List() ([]string, error)
+	// Root identifies the directory this backend serves (an absolute
+	// path for Local, a caller-chosen identity for fakes). Two backends
+	// with equal Roots address the same underlying state; the dataset
+	// layer keys its commit critical sections by Root.
+	Root() string
+}
+
+// ValidateName rejects names that would escape the backend's flat
+// namespace.
+func ValidateName(name string) error {
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("storage: invalid file name %q", name)
+	}
+	return nil
+}
+
+// ReadFile reads the named file's full contents through b.
+func ReadFile(b Backend, name string) ([]byte, error) {
+	f, size, err := b.ReadAt(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return data, nil
+}
+
+// WriteFileAtomic publishes data under name via the crash-safe sequence:
+// a deterministic temporary (name + ".tmp"), content sync, rename, and
+// directory sync. A crash at any point leaves either the old file or the
+// new one, never a torn mix; leftover temporaries are debris for the
+// dataset layer's recovery sweep.
+func WriteFileAtomic(b Backend, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := b.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		b.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		b.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		b.Remove(tmp)
+		return err
+	}
+	if err := b.Rename(tmp, name); err != nil {
+		b.Remove(tmp)
+		return err
+	}
+	return b.SyncDir()
+}
