@@ -153,6 +153,23 @@
 // include them keep the buffers alive for the batch's lifetime instead of
 // pooling them.
 //
+// Decode kernels. Once the bytes are in memory, scans are decode-bound,
+// so the hot inner loops decode word-at-a-time rather than value-at-a-
+// time: bit-packed integer payloads (FixedBitWidth, FOR, SIMDFastPFOR,
+// SIMDFastBP128, Delta's sub-streams) unpack eight values per group from
+// unaligned 64-bit loads, with frame-of-reference bases and zigzag
+// decoding fused into the same pass; run-length and constant pages fill
+// output by copy doubling (memmove-speed); and the Gorilla/Chimp float
+// decoders read each value's control bits, window header, and mantissa
+// from a single 64-bit peek instead of three bit-reader calls. The
+// kernels are exact drop-ins — a scalar reference path is kept behind a
+// test hook and every scheme is property-tested byte-identical against
+// it — and they keep fixed-width decodes at zero allocations per page on
+// the reuse path above. For timestamp-like columns (drifting arrival
+// cadence, monotone ids) the cascade also offers DeltaDelta, a zigzag
+// delta-of-delta scheme whose second-order residuals bit-pack far
+// narrower than first-order deltas.
+//
 // # Writing at scale
 //
 // The write path is a pipeline, mirroring the streaming scan: the calling

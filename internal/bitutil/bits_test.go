@@ -178,6 +178,144 @@ func TestZigZagProperty(t *testing.T) {
 	}
 }
 
+// TestUnpackKernelEquivalence sweeps every width and the lengths around
+// the kernels' region boundaries (8-value groups, the per-value fast
+// path, the scalar tail) and requires the word-at-a-time kernels to match
+// the byte-at-a-time reference exactly — for the uint64, fused-base, and
+// fused-zigzag variants alike. Shifted source copies catch any hidden
+// alignment assumption in the unaligned 64-bit loads.
+func TestUnpackKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	lengths := []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 23, 63, 64, 65, 100, 127, 128, 129}
+	for width := 0; width <= 64; width++ {
+		for _, n := range lengths {
+			vs := make([]uint64, n)
+			if width > 0 {
+				for i := range vs {
+					vs[i] = rng.Uint64()
+					if width < 64 {
+						vs[i] &= (1 << uint(width)) - 1
+					}
+				}
+			}
+			packed := Pack(nil, vs, width)
+			for _, off := range []int{0, 1, 3, 7} {
+				src := packed
+				if off > 0 {
+					shifted := make([]byte, off+len(packed))
+					copy(shifted[off:], packed)
+					src = shifted[off:]
+				}
+				want, err := UnpackScalar(make([]uint64, n), src, n, width)
+				if err != nil {
+					t.Fatalf("w=%d n=%d off=%d: scalar: %v", width, n, off, err)
+				}
+				got, err := Unpack(make([]uint64, n), src, n, width)
+				if err != nil {
+					t.Fatalf("w=%d n=%d off=%d: kernel: %v", width, n, off, err)
+				}
+				base := int64(rng.Intn(2001) - 1000)
+				signed := make([]int64, n)
+				if err := UnpackInt64(signed, src, width, base); err != nil {
+					t.Fatalf("w=%d n=%d off=%d: UnpackInt64: %v", width, n, off, err)
+				}
+				zz := make([]int64, n)
+				if err := UnpackZigZagInt64(zz, src, width); err != nil {
+					t.Fatalf("w=%d n=%d off=%d: UnpackZigZagInt64: %v", width, n, off, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("w=%d n=%d off=%d value %d: kernel %d != scalar %d",
+							width, n, off, i, got[i], want[i])
+					}
+					if signed[i] != base+int64(want[i]) {
+						t.Fatalf("w=%d n=%d off=%d value %d: UnpackInt64 %d != %d",
+							width, n, off, i, signed[i], base+int64(want[i]))
+					}
+					if zz[i] != UnZigZag(want[i]) {
+						t.Fatalf("w=%d n=%d off=%d value %d: UnpackZigZagInt64 %d != %d",
+							width, n, off, i, zz[i], UnZigZag(want[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUnpackScalarHook pins that the ScalarKernels escape hatch really
+// does bypass the kernels (both paths must agree, and the hook must not
+// change results — this is what the enc-level equivalence suite relies on).
+func TestUnpackScalarHook(t *testing.T) {
+	vs := []uint64{5, 0, 7, 3, 1, 6, 2, 4, 7, 7, 0}
+	packed := Pack(nil, vs, 3)
+	ScalarKernels = true
+	hooked, err := Unpack(make([]uint64, len(vs)), packed, len(vs), 3)
+	ScalarKernels = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Unpack(make([]uint64, len(vs)), packed, len(vs), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if hooked[i] != vs[i] || plain[i] != vs[i] {
+			t.Fatalf("value %d: hooked %d plain %d want %d", i, hooked[i], plain[i], vs[i])
+		}
+	}
+}
+
+// TestPeekReadBitsAt pins the stateless bit-cursor primitives the float
+// decoders are built on against the Reader: identical values at every bit
+// position, correct ok=false near the end of the buffer, and Peek64's
+// 9-byte guarantee (a true return always carries 64 valid bits).
+func TestPeekReadBitsAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	w := NewWriter(nil)
+	type field struct {
+		v     uint64
+		width int
+	}
+	var fields []field
+	for i := 0; i < 300; i++ {
+		width := rng.Intn(64) + 1
+		v := rng.Uint64()
+		if width < 64 {
+			v &= (1 << uint(width)) - 1
+		}
+		fields = append(fields, field{v, width})
+		w.WriteBits(v, width)
+	}
+	buf := w.Bytes()
+	bitPos := 0
+	for i, f := range fields {
+		v, ok := ReadBitsAt(buf, bitPos, f.width)
+		if !ok || v != f.v {
+			t.Fatalf("field %d at bit %d: ReadBitsAt = (%x,%v), want %x", i, bitPos, v, ok, f.v)
+		}
+		if peek, ok := Peek64(buf, bitPos); ok {
+			mask := ^uint64(0)
+			if f.width < 64 {
+				mask = (1 << uint(f.width)) - 1
+			}
+			if peek&mask != f.v {
+				t.Fatalf("field %d at bit %d: Peek64 low bits %x, want %x", i, bitPos, peek&mask, f.v)
+			}
+		}
+		bitPos += f.width
+	}
+	// Out-of-range reads must fail cleanly, never panic.
+	if _, ok := ReadBitsAt(buf, len(buf)*8-3, 4); ok {
+		t.Fatal("ReadBitsAt read past the end")
+	}
+	if _, ok := Peek64(buf, len(buf)*8-63); ok {
+		t.Fatal("Peek64 claimed 64 bits near the end without its 9-byte margin")
+	}
+	if _, ok := ReadBitsAt(buf, len(buf)*8-8, 8); !ok {
+		t.Fatal("ReadBitsAt rejected a valid final byte read")
+	}
+}
+
 func BenchmarkPack(b *testing.B) {
 	b.ReportAllocs()
 	vs := make([]uint64, 4096)

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"bullion/internal/enc"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.bullion")
@@ -179,6 +181,149 @@ func TestGoldenFile(t *testing.T) {
 	for i := range proj.Columns {
 		if !reflect.DeepEqual(scanned[i], proj.Columns[i]) {
 			t.Errorf("scanner column %q differs from Project", names[i])
+		}
+	}
+}
+
+const goldenDDPath = "testdata/golden_dd.bullion"
+
+// goldenDDTable builds the delta-of-delta golden: a jittered millisecond
+// timestamp column and a constant-stride event id — the distributions the
+// DeltaDelta scheme exists for — plus a drifting float gauge so the file
+// also covers the rewritten Gorilla/Chimp decode path. Pinned separately
+// from golden.bullion because that file predates the scheme and must stay
+// byte-identical forever.
+func goldenDDTable(t *testing.T) (*Schema, *Batch, *Options) {
+	t.Helper()
+	schema, err := NewSchema(
+		Field{Name: "ts", Type: Type{Kind: Int64}},
+		Field{Name: "event_id", Type: Type{Kind: Int64}},
+		Field{Name: "gauge", Type: Type{Kind: Float64}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	rng := rand.New(rand.NewSource(20250808))
+	ts := make(Int64Data, n)
+	eventID := make(Int64Data, n)
+	gauge := make(Float64Data, n)
+	// The arrival cadence drifts as a bounded random walk: first-order
+	// deltas spread over thousands of microseconds (wide for Delta's
+	// child) while second-order diffs stay within ±127 (8 bits for
+	// DeltaDelta's child) — the distribution the scheme exists for.
+	cur := int64(1_722_000_000_000_000)
+	delta := int64(5000)
+	walk := 250.0
+	for i := 0; i < n; i++ {
+		delta += rng.Int63n(255) - 127
+		if delta < 100 {
+			delta = 100
+		}
+		cur += delta
+		ts[i] = cur
+		eventID[i] = 7_000_000 + int64(i)*3
+		walk += rng.NormFloat64() * 0.25
+		gauge[i] = walk
+	}
+	batch, err := NewBatch(schema, []ColumnData{ts, eventID, gauge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level1: Level2's in-place masking restricts the cascade to
+	// point-addressable schemes, which rules delta chains out by design.
+	return schema, batch, &Options{RowsPerPage: 512, GroupRows: 2000, Compliance: Level1}
+}
+
+// TestGoldenDeltaDeltaFile pins the DeltaDelta wire format: the writer
+// must reproduce testdata/golden_dd.bullion byte-for-byte, the selector
+// must actually pick DeltaDelta for the timestamp column (otherwise the
+// golden would silently pin the wrong scheme), and scanning the committed
+// bytes must reproduce the source table exactly.
+func TestGoldenDeltaDeltaFile(t *testing.T) {
+	schema, batch, opts := goldenDDTable(t)
+	marshal := func() []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, schema, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := marshal()
+	if again := marshal(); !bytes.Equal(got, again) {
+		t.Fatal("writer is nondeterministic: two runs produced different bytes")
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenDDPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDDPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", len(got), goldenDDPath)
+	}
+	want, err := os.ReadFile(goldenDDPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden drift: generated %d bytes != committed %d bytes; "+
+			"the DeltaDelta wire format changed (run with -update if intentional)", len(got), len(want))
+	}
+
+	f, err := Open(bytes.NewReader(want), int64(len(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range f.Stats().Columns {
+		if cs.Name != "ts" {
+			continue
+		}
+		if cs.Encodings[enc.DeltaDelta] == 0 {
+			t.Fatalf("timestamp column encoded as %v, not DeltaDelta", cs.Encodings)
+		}
+	}
+	proj, err := f.Project("ts", "event_id", "gauge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range batch.Columns {
+		compareGoldenColumn(t, schema.Fields[i].Name, proj.Columns[i], want)
+	}
+	sc, err := f.Scan(ScanOptions{Workers: 2, BatchRows: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	var scanned []ColumnData
+	for {
+		b, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scanned == nil {
+			scanned = make([]ColumnData, len(b.Columns))
+		}
+		for i, c := range b.Columns {
+			scanned[i] = appendColumn(scanned[i], c)
+		}
+	}
+	for i := range proj.Columns {
+		if !reflect.DeepEqual(scanned[i], proj.Columns[i]) {
+			t.Errorf("scanner column %q differs from Project", schema.Fields[i].Name)
 		}
 	}
 }

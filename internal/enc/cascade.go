@@ -20,6 +20,7 @@ var intCosts = map[SchemeID]relCost{
 	RLE:         {0.7, 0.4},
 	Dict:        {1.4, 0.6},
 	Delta:       {0.9, 0.8},
+	DeltaDelta:  {1.0, 0.7},
 	FOR:         {0.7, 0.5},
 	PFOR:        {1.1, 0.7},
 	FastBP128:   {0.8, 0.6},
@@ -150,6 +151,12 @@ func chooseIntScheme(vs []int64, opts *Options, depth int) SchemeID {
 		}
 		if s.deltaSafe {
 			add(Delta)
+			// Second-order deltas only pay off when first-order deltas
+			// cluster tightly (timestamps, monotone ids); the sortedness
+			// gate keeps the trial-encode set lean on unordered streams.
+			if s.sorted && s.n >= 3 {
+				add(DeltaDelta)
+			}
 		}
 		add(BitShuffle)
 		add(Chunked)

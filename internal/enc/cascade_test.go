@@ -11,8 +11,9 @@ import (
 // correctness backbone.
 func TestCatalogCoverage(t *testing.T) {
 	all := []SchemeID{
-		Plain, BitPack, Varint, ZigZagVar, RLE, Dict, Delta, FOR, PFOR,
-		FastBP128, Constant, MainlyConst, Huffman, BitShuffle, Chunked,
+		Plain, BitPack, Varint, ZigZagVar, RLE, Dict, Delta, DeltaDelta,
+		FOR, PFOR, FastBP128, Constant, MainlyConst, Huffman, BitShuffle,
+		Chunked,
 		PlainF, GorillaF, ChimpF, ALPF, PseudoDec, ConstantF, ChunkedF,
 		PlainB, DictB, FSST, ChunkedB, ConstantB,
 		PlainBool, SparseBool, Roaring,
@@ -28,8 +29,8 @@ func TestCatalogCoverage(t *testing.T) {
 			t.Errorf("scheme %d has no catalog name", uint8(id))
 		}
 	}
-	if len(all) != 32 {
-		t.Fatalf("catalog has %d entries, want 32", len(all))
+	if len(all) != 33 {
+		t.Fatalf("catalog has %d entries, want 33", len(all))
 	}
 }
 

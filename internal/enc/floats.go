@@ -130,10 +130,25 @@ func decodeConstantFloats(dst []float64, src []byte) ([]float64, error) {
 		return nil, corruptf("constant float: short payload")
 	}
 	c := math.Float64frombits(binary.LittleEndian.Uint64(src))
-	for i := range dst {
-		dst[i] = c
-	}
+	fillFloat64(dst, c)
 	return dst, nil
+}
+
+// fillFloat64 mirrors fillInt64's copy-doubling memset for float runs.
+func fillFloat64(dst []float64, v float64) {
+	if len(dst) == 0 {
+		return
+	}
+	if bitutil.ScalarKernels {
+		for i := range dst {
+			dst[i] = v
+		}
+		return
+	}
+	dst[0] = v
+	for filled := 1; filled < len(dst); filled *= 2 {
+		copy(dst[filled:], dst[:filled])
+	}
 }
 
 // ---- Chunked ----
@@ -194,7 +209,105 @@ func encodeGorilla(dst []byte, vs []float64) []byte {
 	return append(dst, w.Bytes()...)
 }
 
+// decodeGorilla reads the stream word-at-a-time: one Peek64 per value
+// yields the control bits, the window header, and — for every mantissa
+// narrow enough to share the peeked word (the overwhelmingly common case) —
+// the meaningful bits themselves, so the per-value cost is a single
+// unaligned load plus shifts. Values whose bits straddle the peek window
+// or sit in the final 9 bytes fall back to ReadBitsAt. The Reader-based
+// reference implementation survives as decodeGorillaScalar for the
+// equivalence tests.
 func decodeGorilla(dst []float64, src []byte) ([]float64, error) {
+	if bitutil.ScalarKernels {
+		return decodeGorillaScalar(dst, src)
+	}
+	if len(dst) == 0 {
+		return dst, nil
+	}
+	first, ok := bitutil.ReadBitsAt(src, 0, 64)
+	if !ok {
+		return nil, corruptf("gorilla: truncated first value")
+	}
+	prev := first
+	dst[0] = math.Float64frombits(first)
+	bitPos := 64
+	prevLead, prevTrail := 0, 0
+	for i := 1; i < len(dst); i++ {
+		w, wide := bitutil.Peek64(src, bitPos)
+		if !wide {
+			// Stream tail: per-field safe reads.
+			b, ok := bitutil.ReadBitsAt(src, bitPos, 1)
+			if !ok {
+				return nil, corruptf("gorilla: truncated at value %d", i)
+			}
+			bitPos++
+			if b == 0 {
+				dst[i] = math.Float64frombits(prev)
+				continue
+			}
+			nw, ok := bitutil.ReadBitsAt(src, bitPos, 1)
+			if !ok {
+				return nil, corruptf("gorilla: truncated at value %d", i)
+			}
+			bitPos++
+			if nw == 1 {
+				hdr, ok := bitutil.ReadBitsAt(src, bitPos, 12)
+				if !ok {
+					return nil, corruptf("gorilla: truncated window at value %d", i)
+				}
+				bitPos += 12
+				prevLead = int(hdr & 0x3f)
+				meaningful := int(hdr>>6) + 1
+				if prevLead+meaningful > 64 {
+					return nil, corruptf("gorilla: bad window lead=%d len=%d", prevLead, meaningful)
+				}
+				prevTrail = 64 - prevLead - meaningful
+			}
+			width := 64 - prevLead - prevTrail
+			m, ok := bitutil.ReadBitsAt(src, bitPos, width)
+			if !ok {
+				return nil, corruptf("gorilla: truncated mantissa at value %d", i)
+			}
+			bitPos += width
+			prev ^= m << uint(prevTrail)
+			dst[i] = math.Float64frombits(prev)
+			continue
+		}
+		if w&1 == 0 { // control bit 0: identical value
+			bitPos++
+			dst[i] = math.Float64frombits(prev)
+			continue
+		}
+		used := 2
+		if w&2 != 0 { // new leading/trailing window: 6+6 header bits
+			prevLead = int(w>>2) & 0x3f
+			meaningful := int(w>>8)&0x3f + 1
+			if prevLead+meaningful > 64 {
+				return nil, corruptf("gorilla: bad window lead=%d len=%d", prevLead, meaningful)
+			}
+			prevTrail = 64 - prevLead - meaningful
+			used = 14
+		}
+		width := 64 - prevLead - prevTrail
+		var m uint64
+		if used+width <= 64 { // mantissa already in the peeked word
+			m = (w >> uint(used)) & (uint64(1)<<uint(width) - 1)
+			bitPos += used + width
+		} else {
+			var ok bool
+			m, ok = bitutil.ReadBitsAt(src, bitPos+used, width)
+			if !ok {
+				return nil, corruptf("gorilla: truncated mantissa at value %d", i)
+			}
+			bitPos += used + width
+		}
+		prev ^= m << uint(prevTrail)
+		dst[i] = math.Float64frombits(prev)
+	}
+	return dst, nil
+}
+
+func decodeGorillaScalar(dst []float64, src []byte) ([]float64, error) {
 	r := bitutil.NewReader(src)
 	var prev uint64
 	prevLead, prevTrail := 0, 0
@@ -314,7 +427,97 @@ func encodeChimp(dst []byte, vs []float64) []byte {
 	return append(dst, w.Bytes()...)
 }
 
+// decodeChimp mirrors decodeGorilla's peek-based rewrite for the Chimp
+// flag grammar: one Peek64 per value carries the 2-bit flag, the 3-bit
+// lead code, the 6-bit center length, and usually the significant bits
+// too; decodeChimpScalar is the Reader-based reference.
 func decodeChimp(dst []float64, src []byte) ([]float64, error) {
+	if bitutil.ScalarKernels {
+		return decodeChimpScalar(dst, src)
+	}
+	if len(dst) == 0 {
+		return dst, nil
+	}
+	first, ok := bitutil.ReadBitsAt(src, 0, 64)
+	if !ok {
+		return nil, corruptf("chimp: truncated first value")
+	}
+	prev := first
+	dst[0] = math.Float64frombits(first)
+	bitPos := 64
+	prevLead := -1
+	for i := 1; i < len(dst); i++ {
+		w, wide := bitutil.Peek64(src, bitPos)
+		if !wide {
+			var ok bool
+			if w, ok = bitutil.ReadBitsAt(src, bitPos, 2); !ok {
+				return nil, corruptf("chimp: truncated at value %d", i)
+			}
+			// Fall through with only the flag bits peeked; the per-case
+			// reads below re-fetch their fields through ReadBitsAt.
+		}
+		switch w & 0b11 {
+		case 0b00:
+			bitPos += 2
+			prevLead = -1
+		case 0b01:
+			hdr, ok := bitutil.ReadBitsAt(src, bitPos+2, 9)
+			if !ok {
+				return nil, corruptf("chimp: truncated header at value %d", i)
+			}
+			lead := chimpLeadValue[hdr&0x7]
+			center := int(hdr >> 3)
+			if center == 0 || lead+center > 64 {
+				return nil, corruptf("chimp: bad center lead=%d center=%d", lead, center)
+			}
+			var m uint64
+			if wide && 11+center <= 64 {
+				m = (w >> 11) & (uint64(1)<<uint(center) - 1)
+			} else if m, ok = bitutil.ReadBitsAt(src, bitPos+11, center); !ok {
+				return nil, corruptf("chimp: truncated center at value %d", i)
+			}
+			bitPos += 11 + center
+			prev ^= m << uint(64-lead-center)
+			prevLead = -1
+		case 0b10:
+			if prevLead < 0 {
+				return nil, corruptf("chimp: flag 10 with no previous lead")
+			}
+			width := 64 - prevLead
+			var m uint64
+			var ok bool
+			if wide && 2+width <= 64 {
+				m = (w >> 2) & (uint64(1)<<uint(width) - 1)
+			} else if m, ok = bitutil.ReadBitsAt(src, bitPos+2, width); !ok {
+				return nil, corruptf("chimp: truncated xor at value %d", i)
+			}
+			bitPos += 2 + width
+			prev ^= m
+		case 0b11:
+			var leadCode uint64
+			var ok bool
+			if wide {
+				leadCode = (w >> 2) & 0x7
+			} else if leadCode, ok = bitutil.ReadBitsAt(src, bitPos+2, 3); !ok {
+				return nil, corruptf("chimp: truncated lead at value %d", i)
+			}
+			prevLead = chimpLeadValue[leadCode]
+			width := 64 - prevLead
+			var m uint64
+			if wide && 5+width <= 64 {
+				m = (w >> 5) & (uint64(1)<<uint(width) - 1)
+			} else if m, ok = bitutil.ReadBitsAt(src, bitPos+5, width); !ok {
+				return nil, corruptf("chimp: truncated xor at value %d", i)
+			}
+			bitPos += 5 + width
+			prev ^= m
+		}
+		dst[i] = math.Float64frombits(prev)
+	}
+	return dst, nil
+}
+
+func decodeChimpScalar(dst []float64, src []byte) ([]float64, error) {
 	r := bitutil.NewReader(src)
 	var prev uint64
 	prevLead := -1

@@ -43,13 +43,92 @@ func decodeDeltaInts(dst []int64, src []byte) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	deltas, err := DecodeInts(deltaStream, len(dst)-1)
+	p := getInt64Scratch(len(dst) - 1)
+	defer putInt64Scratch(p)
+	deltas, err := DecodeIntsInto(*p, deltaStream)
 	if err != nil {
 		return nil, err
 	}
 	dst[0] = first
 	for i := 1; i < len(dst); i++ {
 		dst[i] = dst[i-1] + bitutil.UnZigZag(uint64(deltas[i-1]))
+	}
+	return dst, nil
+}
+
+// ---- DeltaDelta: zigzag delta-of-delta ----
+//
+// Stores the first value, the first delta, and the zigzag'd second-order
+// differences as a cascaded sub-column. Timestamps and monotone ids have
+// near-constant deltas, so the second-order stream collapses to tiny
+// bit-packed values (mebo's delta-of-delta timestamp result).
+//
+// payload := first(varint) firstDelta(varint) childDeltaDeltas
+//
+// Not applicable when any first- or second-order difference overflows.
+
+func encodeDeltaDeltaInts(dst []byte, vs []int64, opts *Options, depth int) ([]byte, error) {
+	if len(vs) == 0 {
+		return nil, ErrNotApplicable
+	}
+	dst = binary.AppendVarint(dst, vs[0])
+	if len(vs) == 1 {
+		return dst, nil
+	}
+	firstDelta, ok := subOverflow(vs[1], vs[0])
+	if !ok {
+		return nil, ErrNotApplicable
+	}
+	dds := make([]int64, len(vs)-2)
+	prevDelta := firstDelta
+	for i := 2; i < len(vs); i++ {
+		d, ok := subOverflow(vs[i], vs[i-1])
+		if !ok {
+			return nil, ErrNotApplicable
+		}
+		dd, ok := subOverflow(d, prevDelta)
+		if !ok {
+			return nil, ErrNotApplicable
+		}
+		dds[i-2] = int64(bitutil.ZigZag(dd))
+		prevDelta = d
+	}
+	dst = binary.AppendVarint(dst, firstDelta)
+	return encodeChildInts(dst, dds, opts, depth+1)
+}
+
+func decodeDeltaDeltaInts(dst []int64, src []byte) ([]int64, error) {
+	if len(dst) == 0 {
+		return dst, nil
+	}
+	first, sz := binary.Varint(src)
+	if sz <= 0 {
+		return nil, corruptf("deltadelta: bad first value")
+	}
+	dst[0] = first
+	if len(dst) == 1 {
+		return dst, nil
+	}
+	src = src[sz:]
+	firstDelta, sz := binary.Varint(src)
+	if sz <= 0 {
+		return nil, corruptf("deltadelta: bad first delta")
+	}
+	ddStream, _, err := readChild(src[sz:])
+	if err != nil {
+		return nil, err
+	}
+	p := getInt64Scratch(len(dst) - 2)
+	defer putInt64Scratch(p)
+	dds, err := DecodeIntsInto(*p, ddStream)
+	if err != nil {
+		return nil, err
+	}
+	delta := firstDelta
+	dst[1] = first + delta
+	for i := 2; i < len(dst); i++ {
+		delta += bitutil.UnZigZag(uint64(dds[i-2]))
+		dst[i] = dst[i-1] + delta
 	}
 	return dst, nil
 }
@@ -99,14 +178,8 @@ func decodeFORInts(dst []int64, src []byte) ([]int64, error) {
 		return nil, corruptf("for: missing width")
 	}
 	w := int(src[0])
-	p := getUint64Scratch(len(dst))
-	defer putUint64Scratch(p)
-	us, err := bitutil.Unpack(*p, src[1:], len(dst), w)
-	if err != nil {
+	if err := bitutil.UnpackInt64(dst, src[1:], w, base); err != nil {
 		return nil, corruptf("for: %v", err)
-	}
-	for i, u := range us {
-		dst[i] = base + int64(u)
 	}
 	return dst, nil
 }
@@ -144,9 +217,6 @@ func encodeBP128Ints(dst []byte, vs []int64) ([]byte, error) {
 }
 
 func decodeBP128Ints(dst []int64, src []byte) ([]int64, error) {
-	p := getUint64Scratch(blockSize)
-	defer putUint64Scratch(p)
-	us := *p
 	for lo := 0; lo < len(dst); lo += blockSize {
 		hi := lo + blockSize
 		if hi > len(dst) {
@@ -162,12 +232,8 @@ func decodeBP128Ints(dst []int64, src []byte) ([]int64, error) {
 		if len(src) < need {
 			return nil, corruptf("bp128: short block at value %d", lo)
 		}
-		blk, err := bitutil.Unpack(us[:n], src[:need], n, w)
-		if err != nil {
+		if err := bitutil.UnpackZigZagInt64(dst[lo:hi], src[:need], w); err != nil {
 			return nil, corruptf("bp128: %v", err)
-		}
-		for i, u := range blk {
-			dst[lo+i] = bitutil.UnZigZag(u)
 		}
 		src = src[need:]
 	}
@@ -255,9 +321,6 @@ func pforWidth(offs []uint64) int {
 }
 
 func decodePFORInts(dst []int64, src []byte) ([]int64, error) {
-	p := getUint64Scratch(blockSize)
-	defer putUint64Scratch(p)
-	us := *p
 	for lo := 0; lo < len(dst); lo += blockSize {
 		hi := lo + blockSize
 		if hi > len(dst) {
@@ -283,8 +346,10 @@ func decodePFORInts(dst []int64, src []byte) ([]int64, error) {
 		if len(src) < need {
 			return nil, corruptf("pfor: short packed block")
 		}
-		lows, err := bitutil.Unpack(us[:n], src[:need], n, w)
-		if err != nil {
+		// Unpack the low bits with the base already added; exceptions then
+		// patch in their high bits additively (low | high<<w == low + high<<w
+		// because the bit ranges are disjoint).
+		if err := bitutil.UnpackInt64(dst[lo:hi], src[:need], w, base); err != nil {
 			return nil, corruptf("pfor: %v", err)
 		}
 		src = src[need:]
@@ -293,9 +358,6 @@ func decodePFORInts(dst []int64, src []byte) ([]int64, error) {
 		}
 		excPos := src[:nExc]
 		src = src[nExc:]
-		for i := 0; i < n; i++ {
-			dst[lo+i] = base + int64(lows[i])
-		}
 		for _, p := range excPos {
 			high, sz := binary.Uvarint(src)
 			if sz <= 0 {
@@ -305,7 +367,7 @@ func decodePFORInts(dst []int64, src []byte) ([]int64, error) {
 			if int(p) >= n {
 				return nil, corruptf("pfor: exception position %d out of block", p)
 			}
-			dst[lo+int(p)] = base + int64(lows[p]|high<<uint(w))
+			dst[lo+int(p)] += int64(high << uint(w))
 		}
 	}
 	return dst, nil

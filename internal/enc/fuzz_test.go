@@ -190,6 +190,69 @@ func FuzzBloomRoundTrip(f *testing.F) {
 	})
 }
 
+// fuzzTimestamps derives a DeltaDelta-friendly series: each fuzz byte
+// perturbs a running delta, so the values look like jittered timestamps
+// (the scheme's target distribution) while still reaching hostile shapes
+// — sign flips, zero deltas, widening gaps — as the fuzzer mutates bytes.
+func fuzzTimestamps(data []byte) []int64 {
+	vs := make([]int64, 0, len(data))
+	cur := int64(1_700_000_000_000)
+	delta := int64(1000)
+	for _, b := range data {
+		delta += int64(int8(b))
+		cur += delta
+		vs = append(vs, cur)
+	}
+	return vs
+}
+
+// FuzzDeltaDeltaRoundTrip drives the DeltaDelta scheme directly (the
+// cascade fuzz above only reaches it when the selector picks it): encode
+// a fuzz-derived timestamp series with the scheme forced, require exact
+// reconstruction through the second-order prefix sums, and feed the raw
+// bytes back as a hostile DeltaDelta stream that must error, not panic.
+func FuzzDeltaDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{0}, 100))           // constant delta: empty dd stream
+	f.Add([]byte{1, 255, 3, 253, 5, 251, 7, 249}) // oscillating deltas
+	f.Add(bytes.Repeat([]byte{127, 129}, 64))     // max jitter both directions
+	f.Add([]byte{0x80, 0x7f, 0x00, 0xff, 0x13, 0x37})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 { // keep per-exec cost bounded
+			data = data[:4096]
+		}
+		vs := fuzzTimestamps(data)
+		if len(vs) > 0 { // the scheme refuses empty input by design
+			encoded, err := EncodeIntsWith(nil, DeltaDelta, vs, DefaultOptions())
+			if err != nil {
+				// The running delta can only drift ~128 per step from a
+				// 1.7e12 base, so overflow (the one legitimate refusal)
+				// is unreachable here.
+				t.Fatalf("EncodeIntsWith(DeltaDelta, %d values): %v", len(vs), err)
+			}
+			if TopScheme(encoded) != DeltaDelta {
+				t.Fatalf("forced scheme encoded as %v", TopScheme(encoded))
+			}
+			decoded, err := DecodeInts(encoded, len(vs))
+			if err != nil {
+				t.Fatalf("DecodeInts round-trip: %v", err)
+			}
+			for i := range vs {
+				if decoded[i] != vs[i] {
+					t.Fatalf("value %d: %d != %d", i, decoded[i], vs[i])
+				}
+			}
+		}
+		// Malformed-input half: arbitrary bytes as a DeltaDelta payload.
+		hostile := append([]byte{byte(DeltaDelta)}, data...)
+		for _, n := range []int{0, 1, 2, len(vs), 1024} {
+			_, _ = DecodeInts(hostile, n)
+		}
+	})
+}
+
 func boolsFromBytes(data []byte, n int) []bool {
 	vs := make([]bool, n)
 	for i := range vs {

@@ -50,6 +50,8 @@ func DecodeIntsInto(dst []int64, src []byte) ([]int64, error) {
 		return decodeDictInts(dst, payload)
 	case Delta:
 		return decodeDeltaInts(dst, payload)
+	case DeltaDelta:
+		return decodeDeltaDeltaInts(dst, payload)
 	case FOR:
 		return decodeFORInts(dst, payload)
 	case PFOR:
@@ -97,6 +99,8 @@ func encodeIntsWithDepth(dst []byte, id SchemeID, vs []int64, opts *Options, dep
 		return encodeDictInts(dst, vs, opts, depth)
 	case Delta:
 		return encodeDeltaInts(dst, vs, opts, depth)
+	case DeltaDelta:
+		return encodeDeltaDeltaInts(dst, vs, opts, depth)
 	case FOR:
 		return encodeFORInts(dst, vs)
 	case PFOR:
@@ -171,14 +175,8 @@ func decodeBitPackInts(dst []int64, src []byte) ([]int64, error) {
 		return nil, corruptf("bitpack: missing width")
 	}
 	w := int(src[0])
-	p := getUint64Scratch(len(dst))
-	defer putUint64Scratch(p)
-	us, err := bitutil.Unpack(*p, src[1:], len(dst), w)
-	if err != nil {
+	if err := bitutil.UnpackInt64(dst, src[1:], w, 0); err != nil {
 		return nil, corruptf("bitpack: %v", err)
-	}
-	for i, u := range us {
-		dst[i] = int64(u)
 	}
 	return dst, nil
 }
@@ -235,10 +233,27 @@ func decodeConstantInts(dst []int64, src []byte) ([]int64, error) {
 	if sz <= 0 {
 		return nil, corruptf("constant: bad value")
 	}
-	for i := range dst {
-		dst[i] = c
-	}
+	fillInt64(dst, c)
 	return dst, nil
+}
+
+// fillInt64 sets every element of dst to v, memset-style: seed one element
+// and double the initialized prefix with copy, which the runtime turns
+// into wide memmove operations instead of a per-value store loop.
+func fillInt64(dst []int64, v int64) {
+	if len(dst) == 0 {
+		return
+	}
+	if bitutil.ScalarKernels {
+		for i := range dst {
+			dst[i] = v
+		}
+		return
+	}
+	dst[0] = v
+	for filled := 1; filled < len(dst); filled *= 2 {
+		copy(dst[filled:], dst[:filled])
+	}
 }
 
 // ---- MainlyConstant (Frequency) ----
@@ -285,17 +300,19 @@ func decodeMainlyConstInts(dst []int64, src []byte) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	pos, err := DecodeInts(posStream, int(nExc))
+	pp := getInt64Scratch(int(nExc))
+	defer putInt64Scratch(pp)
+	pos, err := DecodeIntsInto(*pp, posStream)
 	if err != nil {
 		return nil, err
 	}
-	exc, err := DecodeInts(excStream, int(nExc))
+	ep := getInt64Scratch(int(nExc))
+	defer putInt64Scratch(ep)
+	exc, err := DecodeIntsInto(*ep, excStream)
 	if err != nil {
 		return nil, err
 	}
-	for i := range dst {
-		dst[i] = c
-	}
+	fillInt64(dst, c)
 	for i, p := range pos {
 		if p < 0 || p >= int64(len(dst)) {
 			return nil, corruptf("mainlyconst: exception position %d out of range", p)

@@ -20,6 +20,7 @@ var intSchemes = []struct {
 	{RLE, genRuns},
 	{Dict, genLowCardinality},
 	{Delta, genSorted},
+	{DeltaDelta, genSorted},
 	{FOR, genClustered},
 	{PFOR, genClusteredWithOutliers},
 	{FastBP128, genSmallSigned},
@@ -131,7 +132,7 @@ func TestIntSchemesRoundTrip(t *testing.T) {
 		t.Run(tc.id.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(7))
 			for _, n := range []int{0, 1, 2, 127, 128, 129, 1000} {
-				if n == 0 && (tc.id == Delta || tc.id == MainlyConst) {
+				if n == 0 && (tc.id == Delta || tc.id == DeltaDelta || tc.id == MainlyConst) {
 					continue // not applicable to empty input by design
 				}
 				vs := tc.gen(rng, n)
@@ -388,7 +389,7 @@ func TestCascadeDepthLimit(t *testing.T) {
 	vs := genRuns(rng, 2000)
 	id := chooseIntScheme(vs, opts, opts.MaxDepth)
 	switch id {
-	case RLE, Dict, Delta, MainlyConst, Chunked, BitShuffle:
+	case RLE, Dict, Delta, DeltaDelta, MainlyConst, Chunked, BitShuffle:
 		t.Fatalf("composite scheme %v chosen at max depth", id)
 	}
 }

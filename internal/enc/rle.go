@@ -47,11 +47,15 @@ func decodeRLEInts(dst []int64, src []byte) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	values, err := DecodeInts(valStream, int(nRuns))
+	vp := getInt64Scratch(int(nRuns))
+	defer putInt64Scratch(vp)
+	values, err := DecodeIntsInto(*vp, valStream)
 	if err != nil {
 		return nil, err
 	}
-	lengths, err := DecodeInts(lenStream, int(nRuns))
+	lp := getInt64Scratch(int(nRuns))
+	defer putInt64Scratch(lp)
+	lengths, err := DecodeIntsInto(*lp, lenStream)
 	if err != nil {
 		return nil, err
 	}
@@ -61,9 +65,7 @@ func decodeRLEInts(dst []int64, src []byte) ([]int64, error) {
 		if l <= 0 || pos+l > len(dst) {
 			return nil, corruptf("rle: run %d length %d overflows %d values", r, l, len(dst))
 		}
-		for k := 0; k < l; k++ {
-			dst[pos+k] = values[r]
-		}
+		fillInt64(dst[pos:pos+l], values[r])
 		pos += l
 	}
 	if pos != len(dst) {

@@ -41,6 +41,7 @@ const (
 	Huffman     SchemeID = 13 // canonical Huffman for small-range ints
 	BitShuffle  SchemeID = 14 // bit transpose + flate
 	Chunked     SchemeID = 15 // flate over raw chunks (zstd substitute)
+	DeltaDelta  SchemeID = 16 // zigzag delta-of-delta (timestamps, monotone ids)
 
 	// Float schemes.
 	PlainF    SchemeID = 32 // raw IEEE754 bits
@@ -82,7 +83,7 @@ var schemeNames = map[SchemeID]string{
 	ZigZagVar: "ZigZag", RLE: "RLE", Dict: "Dictionary", Delta: "Delta",
 	FOR: "FOR", PFOR: "SIMDFastPFOR", FastBP128: "SIMDFastBP128",
 	Constant: "Constant", MainlyConst: "MainlyConstant", Huffman: "Huffman",
-	BitShuffle: "BitShuffle", Chunked: "Chunked",
+	BitShuffle: "BitShuffle", Chunked: "Chunked", DeltaDelta: "DeltaDelta",
 	PlainF: "PlainFloat", GorillaF: "Gorilla", ChimpF: "Chimp",
 	ALPF: "ALP", PseudoDec: "Pseudodecimal", ConstantF: "ConstantFloat",
 	ChunkedF: "ChunkedFloat",
