@@ -267,11 +267,56 @@
 // which Open sweeps and Vacuum reclaims. The full contract — including
 // the two crash models the fault-injection matrix replays — is documented
 // in bullion/internal/dataset and bullion/internal/storage.
+//
+// # Remote datasets and resilience
+//
+// A dataset published behind any HTTP(S) server that honors Range
+// requests — an object-store gateway, nginx, or DatasetHTTPHandler —
+// opens directly from its URL:
+//
+//	ds, _ := bullion.OpenDataset("https://data.example.com/ads.blnds", nil)
+//	sc, _ := ds.Scan(bullion.DatasetScanOptions{
+//	    ScanOptions: bullion.ScanOptions{Columns: hotFeatures},
+//	    Degraded:    true, // skip+report unreachable members
+//	})
+//
+// The handle is read-only (mutators fail with ErrBackendReadOnly), and
+// its reads flow through two layers that are also exposed standalone:
+//
+//   - NewHTTPBackend: a StorageBackend over HTTP range reads. Opening a
+//     member HEADs it once and pins its strong ETag; every range GET
+//     then carries If-Match, so a file replaced mid-scan surfaces as
+//     ErrChangedUnderRead instead of torn bytes. List is unsupported
+//     (recovery sweeps, Vacuum, and fsck orphan classification degrade
+//     gracefully).
+//
+//   - NewResilientBackend: a backend-agnostic wrapper adding per-read
+//     deadlines, capped exponential backoff with jitter on transient
+//     errors (timeouts, 5xx, connection resets — never 4xx, not-found,
+//     or integrity failures), hedged reads (when a read outlives the
+//     backend's tracked p95 latency a second identical request races
+//     it; the first success wins and the loser is cancelled and joined,
+//     so no goroutine or buffer outlives the call), and a
+//     consecutive-failure circuit breaker that fails fast with
+//     ErrCircuitOpen while the remote is down, probing again after a
+//     cooldown. Writes pass through un-retried: the dataset commit
+//     protocol already makes them safe to fail, and blind retries of
+//     non-idempotent operations are not.
+//
+// DatasetScanOptions.Degraded chooses availability over completeness
+// for scans: a member still unreachable after the wrapper's full retry
+// budget is skipped and reported in DatasetScanStats.DegradedMembers —
+// never dropped silently — while DatasetScanStats also counts the
+// Retries, Hedges, and HedgeWins spent on the scanner's behalf.
+// ResilienceOptions tunes every knob (deadlines, retry budget, backoff
+// shape, hedge delay, breaker thresholds); the zero value gives the
+// defaults OpenDataset uses for http(s) URLs.
 package bullion
 
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 
 	"bullion/internal/core"
@@ -611,12 +656,14 @@ type (
 	// reader wrapping).
 	DatasetOptions = dataset.Options
 	// DatasetScanOptions configures Dataset.Scan: the embedded ScanOptions
-	// per member engine, plus FileConcurrency.
+	// per member engine, plus FileConcurrency and Degraded (skip-and-report
+	// unreachable members instead of failing).
 	DatasetScanOptions = dataset.ScanOptions
 	// DatasetScanner streams batches across member files in manifest order.
 	DatasetScanner = dataset.Scanner
 	// DatasetScanStats aggregates per-file ScanStats with file-pruning
-	// counters.
+	// counters, the resilience work done on the scan's behalf
+	// (Retries/Hedges/HedgeWins), and any DegradedMembers skipped.
 	DatasetScanStats = dataset.ScanStats
 	// ShardedWriter routes ingest batches across N new member files.
 	ShardedWriter = dataset.ShardedWriter
@@ -635,6 +682,18 @@ type (
 	StorageBackend = storage.Backend
 	// StorageFile is an open handle within a StorageBackend.
 	StorageFile = storage.File
+	// HTTPBackendOptions configures NewHTTPBackend (client override, ETag
+	// pinning).
+	HTTPBackendOptions = storage.HTTPOptions
+	// ResilienceOptions tunes NewResilientBackend: per-op deadlines, retry
+	// budget, backoff shape, hedge delay, breaker thresholds. The zero
+	// value selects the defaults.
+	ResilienceOptions = storage.ResilienceOptions
+	// ResilientBackend is a StorageBackend wrapped with the retry, hedging,
+	// and circuit-breaker policy (see "Remote datasets and resilience").
+	ResilientBackend = storage.Resilient
+	// ResilienceStats is a ResilientBackend's cumulative counter snapshot.
+	ResilienceStats = storage.ResilienceStats
 )
 
 // Sentinel errors surfaced by dataset commits.
@@ -647,6 +706,15 @@ var (
 	// published but could not be confirmed durable. The data files are
 	// left in place; reopen to learn the outcome, Vacuum to reclaim.
 	ErrCommitIndeterminate = dataset.ErrCommitIndeterminate
+	// ErrBackendReadOnly reports a mutating operation on a read-only
+	// backend (a dataset opened from an http(s) URL).
+	ErrBackendReadOnly = storage.ErrReadOnly
+	// ErrChangedUnderRead reports a remote member whose ETag no longer
+	// matches the one pinned at open — the file changed mid-scan.
+	ErrChangedUnderRead = storage.ErrChangedUnderRead
+	// ErrCircuitOpen reports a read failed fast because the resilience
+	// wrapper's circuit breaker is open after consecutive failures.
+	ErrCircuitOpen = storage.ErrCircuitOpen
 )
 
 // CreateDataset initializes a new dataset directory with an empty
@@ -672,6 +740,27 @@ func FsckDataset(dir string, opts *DatasetOptions, deep bool) (*FsckReport, erro
 // (created if absent) — the backend OpenDataset uses by default, exposed
 // for wrapping with instrumentation or fault injection.
 func NewLocalBackend(dir string) (StorageBackend, error) { return storage.NewLocal(dir) }
+
+// NewHTTPBackend returns a read-only StorageBackend over the dataset
+// published at baseURL via HTTP range reads with ETag pinning (see
+// "Remote datasets and resilience"). OpenDataset calls this implicitly —
+// wrapped in NewResilientBackend — for http(s) URLs; construct it
+// directly to customize the client or the resilience policy.
+func NewHTTPBackend(baseURL string, opts *HTTPBackendOptions) (StorageBackend, error) {
+	return storage.NewHTTP(baseURL, opts)
+}
+
+// NewResilientBackend wraps any StorageBackend with the retry, hedged-
+// read, and circuit-breaker policy. A nil opts selects the defaults.
+func NewResilientBackend(b StorageBackend, opts *ResilienceOptions) *ResilientBackend {
+	return storage.NewResilient(b, opts)
+}
+
+// DatasetHTTPHandler serves a StorageBackend's files over GET/HEAD with
+// byte-range and If-Match support — the reference server side for
+// NewHTTPBackend, used by the examples and integration tests to publish
+// a local dataset directory.
+func DatasetHTTPHandler(b StorageBackend) http.Handler { return storage.NewHTTPHandler(b) }
 
 // Quantize converts float32 values to a Figure 6 format's bit patterns
 // (widened for the integer cascade).

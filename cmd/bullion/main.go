@@ -14,7 +14,10 @@
 //	bullion demo <file>                  write a small demo ads file
 //
 // scan and ingest accept any number of paths; a path that is a directory
-// is treated as a dataset (see bullion.OpenDataset). Flags come before
+// is treated as a dataset (see bullion.OpenDataset). scan, info, and
+// fsck also accept http(s):// dataset URLs, read through the resilient
+// range-read backend; scan then reports the retry/hedge work and — with
+// -degraded — the members it skipped as unreachable. Flags come before
 // paths; for scan, positional arguments that do not name an existing path
 // are treated as projected column names.
 package main
@@ -76,14 +79,15 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   bullion inspect <file>
-  bullion info [-json] <file|dir>...
+  bullion info [-json] <file|dir|url>...
   bullion verify <file>
   bullion project <file> <column>...
   bullion scan [-batch N] [-workers N] [-file-workers N] [-coalesce-gap N] [-no-coalesce]
-               [-filter-int col:lo:hi] [-filter-float col:lo:hi] [-filter-in col:v1,v2] <file|dir>... [column]...
+               [-degraded] [-json] [-filter-int col:lo:hi] [-filter-float col:lo:hi]
+               [-filter-in col:v1,v2] <file|dir|url>... [column]...
   bullion ingest [-rows N] [-cols N] [-group N] [-workers N] [-shards N] [-no-cache] <file>... | <dir>
   bullion compact [-threshold R] [-vacuum] <dir>...
-  bullion fsck [-json] [-deep] [-repair] <dir>...
+  bullion fsck [-json] [-deep] [-repair] <dir|url>...
   bullion delete <file|dir> <row>...
   bullion demo <file>`)
 	os.Exit(2)
@@ -94,6 +98,15 @@ func isDir(path string) bool {
 	st, err := os.Stat(path)
 	return err == nil && st.IsDir()
 }
+
+// isRemote reports whether path is an http(s) dataset URL.
+func isRemote(path string) bool {
+	return strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://")
+}
+
+// isDataset reports whether path should open via OpenDataset: a local
+// directory or a remote dataset URL.
+func isDataset(path string) bool { return isRemote(path) || isDir(path) }
 
 func inspect(path string) error {
 	f, err := bullion.OpenPath(path)
@@ -268,7 +281,7 @@ func info(args []string) error {
 	}
 	var docs []any
 	for _, p := range paths {
-		if isDir(p) {
+		if isDataset(p) {
 			di, err := datasetInfoFor(p)
 			if err != nil {
 				return err
@@ -458,13 +471,46 @@ func parseFilters(ints, floats, ins repeatedFlag) ([]bullion.ColumnFilter, error
 }
 
 // scanResult is one path's scan outcome, for the aggregate report.
+// stats is the dataset-level shape for every target: single files report
+// themselves as a one-member dataset with no resilience work.
 type scanResult struct {
 	path    string
 	rows    int64
 	batches int64
 	elapsed time.Duration
-	stats   bullion.ScanStats
+	stats   bullion.DatasetScanStats
 	phys    iostats.Snapshot
+}
+
+// scanJSON is the -json document emitted per scan target.
+type scanJSON struct {
+	Path      string                   `json:"path"`
+	Rows      int64                    `json:"rows"`
+	Batches   int64                    `json:"batches"`
+	ElapsedMS float64                  `json:"elapsed_ms"`
+	Stats     bullion.DatasetScanStats `json:"stats"`
+	Retries   int64                    `json:"retries"`
+	Hedges    int64                    `json:"hedges"`
+	HedgeWins int64                    `json:"hedge_wins"`
+	Degraded  []string                 `json:"degraded_members,omitempty"`
+	ReadOps   int64                    `json:"phys_read_ops"`
+	ReadBytes int64                    `json:"phys_read_bytes"`
+}
+
+func toScanJSON(r scanResult) scanJSON {
+	return scanJSON{
+		Path:      r.path,
+		Rows:      r.rows,
+		Batches:   r.batches,
+		ElapsedMS: float64(r.elapsed.Microseconds()) / 1e3,
+		Stats:     r.stats,
+		Retries:   r.stats.Retries,
+		Hedges:    r.stats.Hedges,
+		HedgeWins: r.stats.HedgeWins,
+		Degraded:  r.stats.DegradedMembers,
+		ReadOps:   r.phys.ReadOps,
+		ReadBytes: r.phys.ReadBytes,
+	}
 }
 
 // scan streams the projected columns (default: all) of every path —
@@ -478,6 +524,9 @@ func scan(args []string) error {
 	coalesceGap := fs.Int("coalesce-gap", 0,
 		"cold bytes to read through when merging reads (0 = default, negative = none)")
 	noCoalesce := fs.Bool("no-coalesce", false, "one read per column chunk run (pre-planner path)")
+	degraded := fs.Bool("degraded", false,
+		"skip and report dataset members that stay unreachable after retries instead of failing")
+	asJSON := fs.Bool("json", false, "emit one JSON document per path")
 	var fInt, fFloat, fIn repeatedFlag
 	fs.Var(&fInt, "filter-int", "int zone-map filter col:lo:hi (repeatable; empty bound = open)")
 	fs.Var(&fFloat, "filter-float", "float zone-map filter col:lo:hi (repeatable; empty bound = open)")
@@ -494,7 +543,7 @@ func scan(args []string) error {
 	// CLI silently scanned only the first path.)
 	var paths, cols []string
 	for _, a := range fs.Args() {
-		if _, err := os.Stat(a); err == nil {
+		if _, err := os.Stat(a); err == nil || isRemote(a) {
 			paths = append(paths, a)
 		} else {
 			cols = append(cols, a)
@@ -519,15 +568,17 @@ func scan(args []string) error {
 			res scanResult
 			err error
 		)
-		if isDir(path) {
-			res, err = scanDataset(path, opts, *fileWorkers)
+		if isDataset(path) {
+			res, err = scanDataset(path, opts, *fileWorkers, *degraded, *asJSON)
 		} else {
 			res, err = scanFile(path, opts)
 		}
 		if err != nil {
 			return fmt.Errorf("scan %s: %w", path, err)
 		}
-		printScanResult(res)
+		if !*asJSON {
+			printScanResult(res)
+		}
 		results = append(results, res)
 	}
 	if len(results) > 1 {
@@ -542,12 +593,27 @@ func scan(args []string) error {
 			agg.phys.ReadBytes += r.phys.ReadBytes
 			agg.phys.Seeks += r.phys.Seeks
 		}
-		printScanResult(agg)
+		if !*asJSON {
+			printScanResult(agg)
+		}
+		results = append(results, agg)
+	}
+	if *asJSON {
+		docs := make([]scanJSON, len(results))
+		for i, r := range results {
+			docs[i] = toScanJSON(r)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(docs) == 1 {
+			return enc.Encode(docs[0])
+		}
+		return enc.Encode(docs)
 	}
 	return nil
 }
 
-func addScanStats(dst *bullion.ScanStats, src bullion.ScanStats) {
+func addScanStats(dst *bullion.DatasetScanStats, src bullion.DatasetScanStats) {
 	dst.BytesRead += src.BytesRead
 	dst.PagesDecoded += src.PagesDecoded
 	dst.PagesSkipped += src.PagesSkipped
@@ -557,6 +623,13 @@ func addScanStats(dst *bullion.ScanStats, src bullion.ScanStats) {
 	dst.ReadOps += src.ReadOps
 	dst.CoalescedBytes += src.CoalescedBytes
 	dst.WastedBytes += src.WastedBytes
+	dst.FilesPlanned += src.FilesPlanned
+	dst.FilesPruned += src.FilesPruned
+	dst.FilesScanned += src.FilesScanned
+	dst.Retries += src.Retries
+	dst.Hedges += src.Hedges
+	dst.HedgeWins += src.HedgeWins
+	dst.DegradedMembers = append(dst.DegradedMembers, src.DegradedMembers...)
 }
 
 func printScanResult(r scanResult) {
@@ -571,6 +644,13 @@ func printScanResult(r scanResult) {
 		r.stats.ReadOps, r.stats.CoalescedBytes, r.stats.WastedBytes)
 	fmt.Printf("  pages:          %d decoded, %d skipped; batches: %d emitted, %d skipped\n",
 		r.stats.PagesDecoded, r.stats.PagesSkipped, r.stats.BatchesEmitted, r.stats.BatchesSkipped)
+	if r.stats.Retries > 0 || r.stats.Hedges > 0 || len(r.stats.DegradedMembers) > 0 {
+		fmt.Printf("  resilience:     %d retries, %d hedges (%d won), %d degraded members\n",
+			r.stats.Retries, r.stats.Hedges, r.stats.HedgeWins, len(r.stats.DegradedMembers))
+		for _, name := range r.stats.DegradedMembers {
+			fmt.Printf("    degraded: %s (unreachable after retries; rows skipped)\n", name)
+		}
+	}
 }
 
 func scanFile(path string, opts bullion.ScanOptions) (scanResult, error) {
@@ -612,12 +692,12 @@ func scanFile(path string, opts bullion.ScanOptions) (scanResult, error) {
 		sc.Recycle(batch)
 	}
 	res.elapsed = time.Since(start)
-	res.stats = sc.Stats()
+	res.stats = bullion.DatasetScanStats{ScanStats: sc.Stats(), FilesPlanned: 1, FilesScanned: 1}
 	res.phys = counters.Snapshot()
 	return res, nil
 }
 
-func scanDataset(dir string, opts bullion.ScanOptions, fileWorkers int) (scanResult, error) {
+func scanDataset(dir string, opts bullion.ScanOptions, fileWorkers int, degraded, quiet bool) (scanResult, error) {
 	// One iostats counter per member file, so pruning is visible in the
 	// per-file physical I/O (pruned members never appear at all).
 	var mu sync.Mutex
@@ -637,7 +717,11 @@ func scanDataset(dir string, opts bullion.ScanOptions, fileWorkers int) (scanRes
 	}
 	defer ds.Close()
 
-	sc, err := ds.Scan(bullion.DatasetScanOptions{ScanOptions: opts, FileConcurrency: fileWorkers})
+	sc, err := ds.Scan(bullion.DatasetScanOptions{
+		ScanOptions:     opts,
+		FileConcurrency: fileWorkers,
+		Degraded:        degraded,
+	})
 	if err != nil {
 		return scanResult{}, err
 	}
@@ -658,19 +742,22 @@ func scanDataset(dir string, opts bullion.ScanOptions, fileWorkers int) (scanRes
 		sc.Recycle(batch)
 	}
 	res.elapsed = time.Since(start)
-	dstats := sc.Stats()
-	res.stats = dstats.ScanStats
+	res.stats = sc.Stats()
 
 	names := make([]string, 0, len(perFile))
 	for name := range perFile {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("%s: %d member files scanned, %d pruned by manifest\n",
-		dir, dstats.FilesScanned, dstats.FilesPruned)
+	if !quiet {
+		fmt.Printf("%s: %d member files scanned, %d pruned by manifest\n",
+			dir, res.stats.FilesScanned, res.stats.FilesPruned)
+	}
 	for _, name := range names {
 		snap := perFile[name].Snapshot()
-		fmt.Printf("  %-28s %6d reads %12d bytes\n", name, snap.ReadOps, snap.ReadBytes)
+		if !quiet {
+			fmt.Printf("  %-28s %6d reads %12d bytes\n", name, snap.ReadOps, snap.ReadBytes)
+		}
 		res.phys.ReadOps += snap.ReadOps
 		res.phys.ReadBytes += snap.ReadBytes
 		res.phys.Seeks += snap.Seeks
@@ -951,6 +1038,9 @@ func fsck(args []string) error {
 	bad := 0
 	for _, dir := range dirs {
 		if *repair {
+			if isRemote(dir) {
+				return fmt.Errorf("fsck: -repair requires a local dataset, %s is remote (read-only)", dir)
+			}
 			ds, err := bullion.OpenDataset(dir, nil) // Open sweeps *.tmp debris
 			if err != nil {
 				return fmt.Errorf("fsck: repair %s: %w", dir, err)
@@ -1038,7 +1128,7 @@ func deleteRows(path string, args []string) error {
 		}
 		rows[i] = v
 	}
-	if isDir(path) {
+	if isDataset(path) {
 		ds, err := bullion.OpenDataset(path, nil)
 		if err != nil {
 			return err

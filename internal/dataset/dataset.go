@@ -196,10 +196,20 @@ func sameEntry(a, b FileEntry) bool {
 }
 
 // backendFor resolves the storage backend for dir: the caller-supplied
-// one, or a local-FS backend rooted at dir (created if needed).
+// one; for an http(s):// URL, a read-only HTTP range-read backend
+// wrapped in the default resilience policy (retries, hedged reads,
+// circuit breaker); otherwise a local-FS backend rooted at dir (created
+// if needed).
 func backendFor(dir string, opts *Options) (storage.Backend, error) {
 	if opts != nil && opts.Backend != nil {
 		return opts.Backend, nil
+	}
+	if storage.IsHTTPURL(dir) {
+		h, err := storage.NewHTTP(dir, nil)
+		if err != nil {
+			return nil, err
+		}
+		return storage.NewResilient(h, nil), nil
 	}
 	return storage.NewLocal(dir)
 }
@@ -231,7 +241,10 @@ func Create(dir string, schema *core.Schema, opts *Options) (*Dataset, error) {
 }
 
 // Open opens the dataset at dir, reading its current manifest
-// generation. Unless Options.DisableRecoverySweep is set, Open first
+// generation. dir may be an http(s):// URL naming a dataset published
+// over HTTP (see storage.NewHTTP): the dataset opens read-only behind
+// the default resilience policy, and mutating operations fail with
+// storage.ErrReadOnly. Unless Options.DisableRecoverySweep is set, Open first
 // garbage-collects orphaned temporary files — debris a crash mid-commit
 // can leave behind. (Like Vacuum, the sweep assumes no ShardedWriter is
 // concurrently active on another handle of the same directory: an

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -110,6 +111,14 @@ func Fsck(dir string, opts *Options, deep bool) (*FsckReport, error) {
 
 	names, err := b.List()
 	if err != nil {
+		// A backend with no namespace enumeration (HTTP) simply cannot
+		// classify orphans — that is a structural limitation, not an
+		// integrity violation.
+		if errors.Is(err, storage.ErrListUnsupported) {
+			report.Warnings = append(report.Warnings,
+				"backend cannot list its namespace; orphan classification skipped")
+			return report, nil
+		}
 		report.Errors = append(report.Errors, fmt.Sprintf("listing directory: %v", err))
 		return report, nil
 	}

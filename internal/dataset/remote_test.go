@@ -1,0 +1,280 @@
+package dataset
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"bullion/internal/storage"
+)
+
+// buildFaultDataset creates an nFiles×rowsPerFile dataset on a fresh
+// fault backend (keys partitioned by file, newTestDataset-style) and
+// returns the backend for reopening under fault policies.
+func buildFaultDataset(t *testing.T, nFiles, rowsPerFile int) *storage.Fault {
+	t.Helper()
+	fb := storage.NewFault("mem://remote")
+	d, err := Create("remoteds", testSchema(t), &Options{Backend: fb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < nFiles; i++ {
+		if err := d.Append(keyBatch(t, d.Schema(), i*rowsPerFile, rowsPerFile)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fb
+}
+
+// buildLocalDataset creates an nFiles×rowsPerFile dataset in a real
+// temp directory (newTestDataset partitioning) and returns its path —
+// the publishable form the HTTP tests serve.
+func buildLocalDataset(t *testing.T, nFiles, rowsPerFile int) string {
+	t.Helper()
+	dir := t.TempDir()
+	d, err := Create(dir, testSchema(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < nFiles; i++ {
+		if err := d.Append(keyBatch(t, d.Schema(), i*rowsPerFile, rowsPerFile)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// resilientOver wraps a fault backend in the retry policy tuned for
+// tests: generous retries, nanosecond backoffs, hedging off.
+func resilientOver(fb *storage.Fault) *storage.Resilient {
+	return storage.NewResilient(fb, &storage.ResilienceOptions{
+		MaxRetries:  8,
+		BackoffBase: 1,
+		HedgeDelay:  storage.DisableHedging,
+	})
+}
+
+// TestRemoteScanFaultMatrix: a scan through the retry policy over a
+// backend injecting transient errors at up to 20% must return exactly
+// the bytes a clean scan returns — the resilience acceptance bar.
+func TestRemoteScanFaultMatrix(t *testing.T) {
+	const nFiles, rows = 6, 300
+	for _, tc := range []struct {
+		label string
+		nf    storage.NetFaults
+	}{
+		{"err10", storage.NetFaults{Seed: 11, ErrRate: 0.10}},
+		{"err20", storage.NetFaults{Seed: 12, ErrRate: 0.20}},
+		{"partial15", storage.NetFaults{Seed: 13, PartialRate: 0.15}},
+		{"mixed20", storage.NetFaults{Seed: 14, ErrRate: 0.10, PartialRate: 0.05, TruncateAfter: 1 << 16}},
+	} {
+		tc := tc
+		t.Run(tc.label, func(t *testing.T) {
+			fb := buildFaultDataset(t, nFiles, rows)
+			fb.SetNetFaults(&tc.nf)
+			d, err := Open("remoteds", &Options{Backend: resilientOver(fb)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			keys, stats := scanKeys(t, d, ScanOptions{})
+			checkKeys(t, keys, wantKeys(0, nFiles*rows))
+			if stats.Retries == 0 {
+				t.Fatal("fault rates injected nothing — the matrix is not exercising retries")
+			}
+			if len(stats.DegradedMembers) != 0 {
+				t.Fatalf("transient faults degraded members %v; retries should have absorbed them", stats.DegradedMembers)
+			}
+		})
+	}
+}
+
+// TestRemoteScanDegraded: a permanently failing member is skipped and
+// reported in degraded mode, and fails the scan outside it. Rows from
+// every healthy member still arrive.
+func TestRemoteScanDegraded(t *testing.T) {
+	const nFiles, rows = 5, 200
+	fb := buildFaultDataset(t, nFiles, rows)
+	names, err := fb.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var members []string
+	for _, n := range names {
+		if strings.HasPrefix(n, "part-") {
+			members = append(members, n)
+		}
+	}
+	sort.Strings(members)
+	if len(members) != nFiles {
+		t.Fatalf("found %d member files, want %d", len(members), nFiles)
+	}
+	victim := members[2]
+	sick := errors.New("disk sector unreadable") // non-retryable: retries must not mask it
+	failVictim := func(op storage.Op) error {
+		if op.Name == victim && (op.Kind == storage.OpOpen || op.Kind == storage.OpRead) {
+			return sick
+		}
+		return nil
+	}
+
+	t.Run("degraded-skips-and-reports", func(t *testing.T) {
+		fb.SetFailOp(failVictim)
+		defer fb.SetFailOp(nil)
+		d, err := Open("remoteds", &Options{Backend: resilientOver(fb)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		keys, stats := scanKeys(t, d, ScanOptions{Degraded: true})
+		if len(stats.DegradedMembers) != 1 || stats.DegradedMembers[0] != victim {
+			t.Fatalf("DegradedMembers = %v, want [%s]", stats.DegradedMembers, victim)
+		}
+		// Every healthy member's rows arrive intact; the victim's may be
+		// absent entirely (it failed at open, before any rows).
+		got := map[int64]bool{}
+		for _, k := range keys {
+			got[k] = true
+		}
+		for f := 0; f < nFiles; f++ {
+			if f == 2 {
+				continue
+			}
+			for k := int64(f * rows); k < int64((f+1)*rows); k++ {
+				if !got[k] {
+					t.Fatalf("healthy member %d lost key %d in degraded scan", f, k)
+				}
+			}
+		}
+		if len(keys) != (nFiles-1)*rows {
+			t.Fatalf("got %d keys, want %d (victim contributes none)", len(keys), (nFiles-1)*rows)
+		}
+	})
+
+	t.Run("default-mode-fails", func(t *testing.T) {
+		fb.SetFailOp(failVictim)
+		defer fb.SetFailOp(nil)
+		d, err := Open("remoteds", &Options{Backend: resilientOver(fb)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		var sopts ScanOptions
+		sopts.Columns = []string{"key"}
+		sc, err := d.Scan(sopts)
+		if err == nil {
+			defer sc.Close()
+			for {
+				if _, err = sc.Next(); err != nil {
+					break
+				}
+			}
+		}
+		if !errors.Is(err, sick) {
+			t.Fatalf("non-degraded scan err = %v, want the member failure", err)
+		}
+	})
+}
+
+// TestRemoteHTTPEndToEnd: publish a real dataset directory behind an
+// HTTP server and drive the full read stack over the URL — open, scan,
+// fsck — plus the read-only and list-degradation contracts.
+func TestRemoteHTTPEndToEnd(t *testing.T) {
+	const nFiles, rows = 4, 250
+	dir := buildLocalDataset(t, nFiles, rows)
+	lb, err := storage.NewLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(storage.NewHTTPHandler(lb))
+	defer srv.Close()
+
+	d, err := Open(srv.URL, nil)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", srv.URL, err)
+	}
+	defer d.Close()
+
+	keys, stats := scanKeys(t, d, ScanOptions{})
+	checkKeys(t, keys, wantKeys(0, nFiles*rows))
+	if stats.FilesScanned != nFiles {
+		t.Fatalf("FilesScanned = %d, want %d", stats.FilesScanned, nFiles)
+	}
+	if len(stats.DegradedMembers) != 0 {
+		t.Fatalf("clean remote scan degraded %v", stats.DegradedMembers)
+	}
+
+	// Writes are rejected loudly, not swallowed.
+	if err := d.Append(keyBatch(t, d.Schema(), 9999, 10)); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("Append over HTTP err = %v, want ErrReadOnly", err)
+	}
+
+	// Fsck works over HTTP: members verify byte-for-byte (deep), and the
+	// un-listable namespace degrades to a warning instead of failing.
+	rep, err := Fsck(srv.URL, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("fsck over HTTP failed: errors=%v members=%+v", rep.Errors, rep.Members)
+	}
+	if rep.Files != nFiles {
+		t.Fatalf("fsck Files = %d, want %d", rep.Files, nFiles)
+	}
+	foundWarning := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "cannot list") {
+			foundWarning = true
+		}
+	}
+	if !foundWarning {
+		t.Fatalf("fsck warnings = %v, want the list-unsupported warning", rep.Warnings)
+	}
+}
+
+// TestRemoteHTTPFaultRecovery: transient HTTP-level failures (503s on a
+// fraction of requests) are absorbed by the retry policy end to end.
+func TestRemoteHTTPFaultRecovery(t *testing.T) {
+	const nFiles, rows = 3, 200
+	dir := buildLocalDataset(t, nFiles, rows)
+	lb, err := storage.NewLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := storage.NewHTTPHandler(lb)
+	var reqs atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reqs.Add(1)%5 == 0 { // every 5th request: transient server failure
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	h, err := storage.NewHTTP(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := storage.NewResilient(h, &storage.ResilienceOptions{
+		MaxRetries:  8,
+		BackoffBase: 1,
+		HedgeDelay:  storage.DisableHedging,
+	})
+	d, err := Open(srv.URL, &Options{Backend: rb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	keys, stats := scanKeys(t, d, ScanOptions{})
+	checkKeys(t, keys, wantKeys(0, nFiles*rows))
+	if stats.Retries == 0 {
+		t.Fatal("flaky server injected nothing")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"bullion/internal/core"
 	"bullion/internal/enc"
+	"bullion/internal/storage"
 )
 
 // maxFileConcurrency bounds explicit ScanOptions.FileConcurrency requests.
@@ -25,6 +26,14 @@ type ScanOptions struct {
 	// with the embedded options' Workers; batches are always emitted in
 	// manifest file order regardless of concurrency.
 	FileConcurrency int
+	// Degraded makes the scan skip — instead of fail on — members that
+	// stay unreachable after the storage backend's full retry budget.
+	// Every skipped member is reported in ScanStats.DegradedMembers;
+	// nothing is ever dropped silently. A member that fails mid-stream
+	// may already have emitted a prefix of its rows before being
+	// skipped. Off by default: a normal scan fails fast on the first
+	// member error.
+	Degraded bool
 }
 
 // ScanStats aggregates the physical work of a dataset scan: the sums of
@@ -41,6 +50,21 @@ type ScanStats struct {
 	// cover finished engines only, so mid-scan snapshots lag the engines
 	// currently streaming.
 	FilesScanned int
+	// Retries, Hedges, and HedgeWins count the resilience work the
+	// storage backend performed while this scanner was live: reads
+	// re-issued after transient errors, hedge legs launched against slow
+	// reads, and hedge legs that beat their primary. All zero when the
+	// dataset's backend carries no resilience wrapper (local datasets).
+	// The counters are a backend-wide delta since Scan, so concurrent
+	// scanners over the same dataset each observe the union of their
+	// overlapping work.
+	Retries   int64
+	Hedges    int64
+	HedgeWins int64
+	// DegradedMembers lists the member files a Degraded scan skipped
+	// after the retry budget was exhausted, in manifest order. Empty
+	// unless ScanOptions.Degraded was set.
+	DegradedMembers []string
 }
 
 // Scanner streams a projected column set across a dataset's member files
@@ -67,10 +91,21 @@ type Scanner struct {
 	failed error
 	closed bool
 
-	statsMu sync.Mutex
-	agg     core.ScanStats
-	done    int
-	pruned  int
+	// res, when the dataset's backend exposes resilience counters, is
+	// that backend; resBase is its counter snapshot at Scan time, so
+	// Stats can report this scanner's delta.
+	res interface {
+		ResilienceStats() storage.ResilienceStats
+	}
+	resBase storage.ResilienceStats
+
+	degradedOK bool
+
+	statsMu  sync.Mutex
+	agg      core.ScanStats
+	done     int
+	pruned   int
+	degraded []string
 }
 
 // memberScan is one planned member file: a gate the dispatcher opens when
@@ -125,11 +160,18 @@ func (d *Dataset) Scan(opts ScanOptions) (*Scanner, error) {
 	}
 
 	s := &Scanner{
-		schema:  schema,
-		reuseOn: opts.ReuseBatches && !opts.DisableCoalesce,
-		owners:  map[*core.Batch]*memberScan{},
-		sem:     make(chan struct{}, k),
-		stop:    make(chan struct{}),
+		schema:     schema,
+		reuseOn:    opts.ReuseBatches && !opts.DisableCoalesce,
+		owners:     map[*core.Batch]*memberScan{},
+		sem:        make(chan struct{}, k),
+		stop:       make(chan struct{}),
+		degradedOK: opts.Degraded,
+	}
+	if res, ok := d.backend.(interface {
+		ResilienceStats() storage.ResilienceStats
+	}); ok {
+		s.res = res
+		s.resBase = res.ResilienceStats()
 	}
 	prepared := prepareFilters(opts.Filters)
 	for i, m := range gen.members {
@@ -154,6 +196,13 @@ func (d *Dataset) Scan(opts ScanOptions) (*Scanner, error) {
 		// not leak into this scanner's batches. Opens are cached per
 		// generation, so only the first scan of a generation pays them.
 		if _, err := m.open(d); err != nil {
+			// A Degraded scan reports the unreachable member (the retry
+			// budget was already spent inside the resilient backend) and
+			// plans around it instead of failing the whole scan.
+			if opts.Degraded {
+				s.degraded = append(s.degraded, m.entry.Name)
+				continue
+			}
 			return nil, err
 		}
 		s.members = append(s.members, &memberScan{
@@ -354,6 +403,17 @@ func (s *Scanner) Next() (*core.Batch, error) {
 		b, ok := <-ms.ch
 		if !ok {
 			if ms.err != nil {
+				if s.degradedOK {
+					// The member died after its retry budget; report it and
+					// move on. Any batches it emitted before failing were
+					// already returned — a degraded scan may serve a prefix
+					// of a failed member.
+					s.statsMu.Lock()
+					s.degraded = append(s.degraded, ms.m.entry.Name)
+					s.statsMu.Unlock()
+					s.cur++
+					continue
+				}
 				s.failed = ms.err
 				s.shutdown()
 				return nil, ms.err
@@ -392,13 +452,21 @@ func (s *Scanner) Schema() *core.Schema { return s.schema }
 // Stats returns the aggregated scan statistics (see ScanStats).
 func (s *Scanner) Stats() ScanStats {
 	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return ScanStats{
-		ScanStats:    s.agg,
-		FilesPlanned: len(s.members),
-		FilesPruned:  s.pruned,
-		FilesScanned: s.done,
+	st := ScanStats{
+		ScanStats:       s.agg,
+		FilesPlanned:    len(s.members),
+		FilesPruned:     s.pruned,
+		FilesScanned:    s.done,
+		DegradedMembers: append([]string(nil), s.degraded...),
 	}
+	s.statsMu.Unlock()
+	if s.res != nil {
+		cur := s.res.ResilienceStats()
+		st.Retries = cur.Retries - s.resBase.Retries
+		st.Hedges = cur.Hedges - s.resBase.Hedges
+		st.HedgeWins = cur.HedgeWins - s.resBase.HedgeWins
+	}
+	return st
 }
 
 // Close stops the member engines. Safe to call more than once and after

@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"testing"
+)
+
+// TestResilientReadAllocs pins the per-read allocation cost of the
+// policy layer — the CI ceiling that keeps retries/hedging from
+// quietly taxing the hot read path.
+func TestResilientReadAllocs(t *testing.T) {
+	data := conformanceData()
+
+	// Plain handles (no ReadAtContext) take the synchronous fast path:
+	// zero allocations per read.
+	t.Run("plain-sync-path", func(t *testing.T) {
+		pf := &plainFile{read: func(p []byte, off int64) (int, error) {
+			return copy(p, data[off:]), nil
+		}}
+		r := NewResilient(&stubBackend{file: pf, size: int64(len(data))}, nil)
+		f, _, err := r.ReadAt("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]byte, 256)
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := f.ReadAt(p, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("plain read costs %.1f allocs/op, want 0", allocs)
+		}
+	})
+
+	// Cancellable handles pay for the context, timers, and leg
+	// goroutine that make hedging and deadlines possible. The ceiling
+	// is generous but present: a regression that allocates per byte or
+	// per retry-loop iteration trips it.
+	t.Run("hedged-path-ceiling", func(t *testing.T) {
+		b := NewFaultFromState("mem://alloc", map[string][]byte{"f": data})
+		r := NewResilient(b, nil)
+		f, _, err := r.ReadAt("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]byte, 256)
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := f.ReadAt(p, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const ceiling = 24
+		if allocs > ceiling {
+			t.Fatalf("cancellable read costs %.1f allocs/op, ceiling %d", allocs, ceiling)
+		}
+	})
+}

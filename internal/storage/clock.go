@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the three time operations the resilience policy uses,
+// so backoff, hedge-delay, and circuit-breaker behavior is unit-testable
+// against a hand-advanced fake with no real sleeps. The zero ResilienceOptions
+// selects the real clock.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+	// AfterFunc schedules fn after d on its own goroutine and returns a
+	// stop function (false if fn already ran or was stopped).
+	AfterFunc(d time.Duration, fn func()) (stop func() bool)
+}
+
+// realClock is the production Clock over package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (realClock) AfterFunc(d time.Duration, fn func()) func() bool {
+	t := time.AfterFunc(d, fn)
+	return t.Stop
+}
+
+// FakeClock is a hand-advanced Clock for deterministic policy tests: no
+// timer fires and no sleeper wakes until Advance moves the fake time
+// past its deadline.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at      time.Time
+	fn      func()       // AfterFunc timers
+	wake    chan<- error // Sleep waiters
+	stopped bool
+}
+
+// NewFakeClock returns a fake clock starting at an arbitrary fixed
+// epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep blocks until Advance passes d or ctx is cancelled.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	wake := make(chan error, 1)
+	c.mu.Lock()
+	t := &fakeTimer{at: c.now.Add(d), wake: wake}
+	c.timers = append(c.timers, t)
+	c.mu.Unlock()
+	select {
+	case err := <-wake:
+		return err
+	case <-ctx.Done():
+		c.mu.Lock()
+		t.stopped = true
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// AfterFunc schedules fn at now+d; Advance fires it on its own
+// goroutine, mirroring time.AfterFunc.
+func (c *FakeClock) AfterFunc(d time.Duration, fn func()) func() bool {
+	c.mu.Lock()
+	t := &fakeTimer{at: c.now.Add(d), fn: fn}
+	c.timers = append(c.timers, t)
+	c.mu.Unlock()
+	return func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		was := t.stopped
+		t.stopped = true
+		return !was
+	}
+}
+
+// Advance moves the fake time forward, firing every due timer in
+// deadline order (so a 10ms hedge timer fires before a 50ms deadline
+// timer within one Advance).
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []*fakeTimer
+	rest := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.stopped && !t.at.After(now) {
+			due = append(due, t)
+		} else if !t.stopped {
+			rest = append(rest, t)
+		}
+	}
+	c.timers = rest
+	c.mu.Unlock()
+	sort.SliceStable(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, t := range due {
+		if t.fn != nil {
+			go t.fn()
+		}
+		if t.wake != nil {
+			t.wake <- nil
+		}
+	}
+}
+
+// Waiters reports how many timers and sleepers are pending — tests use
+// it to synchronize "the policy is now blocked in backoff" states.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"net/http/httptest"
+	"testing"
+)
+
+// conformanceData is the file every backend serves in the contract
+// suite: long enough for interior reads, with content that makes any
+// offset mix-up visible.
+func conformanceData() []byte {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i*7 + i>>4)
+	}
+	return data
+}
+
+// writeViaBackend creates name with the given contents through the
+// backend's own write path.
+func writeViaBackend(t *testing.T, b Backend, name string, data []byte) {
+	t.Helper()
+	f, err := b.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := b.SyncDir(); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}
+
+// TestReadAtConformance runs the documented File.ReadAt contract over
+// every backend: local FS, the in-memory fault backend, the HTTP range
+// backend (against the reference handler), and the resilient wrapper
+// over each — all five must be byte-for-byte and error-for-error
+// interchangeable.
+func TestReadAtConformance(t *testing.T) {
+	const name = "part-000001-000.bln"
+	data := conformanceData()
+
+	backends := []struct {
+		label string
+		mk    func(t *testing.T) Backend
+	}{
+		{"local", func(t *testing.T) Backend {
+			b, err := NewLocal(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			writeViaBackend(t, b, name, data)
+			return b
+		}},
+		{"fault", func(t *testing.T) Backend {
+			return NewFaultFromState("mem://conf", map[string][]byte{name: data})
+		}},
+		{"http", func(t *testing.T) Backend {
+			local, err := NewLocal(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			writeViaBackend(t, local, name, data)
+			srv := httptest.NewServer(NewHTTPHandler(local))
+			t.Cleanup(srv.Close)
+			h, err := NewHTTP(srv.URL, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		}},
+	}
+
+	for _, bk := range backends {
+		bk := bk
+		t.Run(bk.label, func(t *testing.T) {
+			checkReadAtContract(t, bk.mk(t), name, data)
+		})
+		t.Run("resilient-"+bk.label, func(t *testing.T) {
+			checkReadAtContract(t, NewResilient(bk.mk(t), nil), name, data)
+		})
+	}
+}
+
+func checkReadAtContract(t *testing.T, b Backend, name string, data []byte) {
+	t.Helper()
+	size := int64(len(data))
+
+	f, gotSize, err := b.ReadAt(name)
+	if err != nil {
+		t.Fatalf("ReadAt(%s): %v", name, err)
+	}
+	defer f.Close()
+	if gotSize != size {
+		t.Fatalf("size = %d, want %d", gotSize, size)
+	}
+
+	// Interior read: fills p exactly, no error.
+	p := make([]byte, 100)
+	n, err := f.ReadAt(p, 50)
+	if n != 100 || err != nil {
+		t.Fatalf("interior read = (%d, %v), want (100, nil)", n, err)
+	}
+	if !bytes.Equal(p, data[50:150]) {
+		t.Fatal("interior read returned wrong bytes")
+	}
+
+	// Exact tail fill: still (len(p), nil).
+	n, err = f.ReadAt(p, size-100)
+	if n != 100 || err != nil {
+		t.Fatalf("exact-tail read = (%d, %v), want (100, nil)", n, err)
+	}
+	if !bytes.Equal(p, data[size-100:]) {
+		t.Fatal("exact-tail read returned wrong bytes")
+	}
+
+	// Tail overlap: the bytes that exist plus io.EOF.
+	n, err = f.ReadAt(p, size-37)
+	if n != 37 || err != io.EOF {
+		t.Fatalf("tail read = (%d, %v), want (37, io.EOF)", n, err)
+	}
+	if !bytes.Equal(p[:37], data[size-37:]) {
+		t.Fatal("tail read returned wrong bytes")
+	}
+
+	// At and past EOF: (0, io.EOF).
+	if n, err = f.ReadAt(p, size); n != 0 || err != io.EOF {
+		t.Fatalf("at-EOF read = (%d, %v), want (0, io.EOF)", n, err)
+	}
+	if n, err = f.ReadAt(p, size+10); n != 0 || err != io.EOF {
+		t.Fatalf("past-EOF read = (%d, %v), want (0, io.EOF)", n, err)
+	}
+
+	// Zero-length destination: (0, nil), even at or past EOF.
+	if n, err = f.ReadAt(nil, 10); n != 0 || err != nil {
+		t.Fatalf("empty read = (%d, %v), want (0, nil)", n, err)
+	}
+	if n, err = f.ReadAt(nil, size); n != 0 || err != nil {
+		t.Fatalf("empty read at EOF = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// Negative offset: an error, and not io.EOF.
+	if n, err = f.ReadAt(p, -1); err == nil || err == io.EOF {
+		t.Fatalf("negative-offset read = (%d, %v), want non-EOF error", n, err)
+	}
+
+	// Missing files surface fs.ErrNotExist from open.
+	if _, _, err := b.ReadAt("no-such-file"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open of missing file = %v, want fs.ErrNotExist", err)
+	}
+}

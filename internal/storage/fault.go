@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"io/fs"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -94,8 +96,55 @@ type Fault struct {
 	failOp func(Op) error
 	delay  func(Op) time.Duration
 
+	net    *NetFaults
+	netRng *rand.Rand
+
 	snapOn bool
 	snaps  []Snapshot
+}
+
+// NetFaults shapes network-like read faults, drawn per read from one
+// seeded distribution — the deterministic stand-in for a flaky remote
+// backend that the retry/hedge policy tests and the remote benchmark
+// run against. All rates are probabilities in [0, 1]; zero fields
+// inject nothing.
+type NetFaults struct {
+	// Seed seeds the fault distribution; equal seeds replay the same
+	// fault sequence for a serial sequence of reads.
+	Seed int64
+	// ErrRate fails the read before any byte is served ("flaky first
+	// byte") with a Transient error.
+	ErrRate float64
+	// PartialRate serves only a random prefix of the requested bytes,
+	// then fails with a Transient error — a connection reset mid-body.
+	PartialRate float64
+	// TruncateAfter, when positive, caps every read: requests for more
+	// than TruncateAfter bytes serve exactly that many and then fail
+	// with a Transient error ("error after N bytes").
+	TruncateAfter int
+	// SpikeRate adds SpikeDur of latency to the read — the tail-latency
+	// spike hedged reads exist to absorb. Spiked reads sleep
+	// cancellably: a hedge or deadline cancellation wakes them.
+	SpikeRate float64
+	SpikeDur  time.Duration
+	// StuckRate makes the read hang until its context is cancelled (a
+	// stuck connection). Reads without a context (plain ReadAt) sleep
+	// SpikeDur instead, since nothing could ever unblock them.
+	StuckRate float64
+}
+
+// SetNetFaults installs (or, with nil, clears) the network fault
+// policy. Only file reads (OpRead) are shaped; metadata ops stay
+// governed by SetFailOp/SetDelay.
+func (f *Fault) SetNetFaults(nf *NetFaults) {
+	f.mu.Lock()
+	f.net = nf
+	if nf != nil {
+		f.netRng = rand.New(rand.NewSource(nf.Seed))
+	} else {
+		f.netRng = nil
+	}
+	f.mu.Unlock()
 }
 
 // NewFault returns an empty fault backend. root is its identity (see
@@ -366,22 +415,112 @@ func (f *Fault) List() ([]string, error) {
 }
 
 func (h *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	return h.readAt(nil, p, off)
+}
+
+// ReadAtContext is the cancellable read path (storage.ContextFile):
+// injected latency spikes and stuck reads respect ctx, so hedged reads
+// against a Fault backend can cancel a slow losing leg exactly as they
+// would cancel an in-flight HTTP request.
+func (h *faultFile) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return h.readAt(ctx, p, off)
+}
+
+func (h *faultFile) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 	h.f.mu.Lock()
-	defer h.f.mu.Unlock()
 	if err := h.f.begin(OpRead, h.name); err != nil {
+		h.f.mu.Unlock()
 		return 0, err
 	}
+	// Draw this read's faults under the lock, from one shared rng, so a
+	// given seed replays the same fault sequence across a serial run of
+	// reads regardless of where they land.
+	var (
+		spike  time.Duration
+		stuck  bool
+		errNow bool
+		cutAt  = -1
+	)
+	if nf := h.f.net; nf != nil {
+		r := h.f.netRng
+		if nf.SpikeRate > 0 && r.Float64() < nf.SpikeRate {
+			spike = nf.SpikeDur
+		}
+		if nf.StuckRate > 0 && r.Float64() < nf.StuckRate {
+			stuck = true
+		}
+		if nf.ErrRate > 0 && r.Float64() < nf.ErrRate {
+			errNow = true
+		}
+		if nf.PartialRate > 0 && len(p) > 1 && r.Float64() < nf.PartialRate {
+			cutAt = 1 + r.Intn(len(p)-1)
+		}
+		if nf.TruncateAfter > 0 && len(p) > nf.TruncateAfter && (cutAt < 0 || cutAt > nf.TruncateAfter) {
+			cutAt = nf.TruncateAfter
+		}
+		if stuck && ctx == nil {
+			// Nothing can ever cancel a context-free read, so a hang would
+			// deadlock the caller; degrade to one latency spike.
+			stuck = false
+			if nf.SpikeDur > spike {
+				spike = nf.SpikeDur
+			}
+		}
+	}
+	h.f.mu.Unlock()
+
+	if stuck {
+		<-ctx.Done()
+		return 0, fmt.Errorf("storage: %s: stuck read: %w", h.name, ctx.Err())
+	}
+	if spike > 0 {
+		if err := sleepCtx(ctx, spike); err != nil {
+			return 0, fmt.Errorf("storage: %s: %w", h.name, err)
+		}
+	}
+	if errNow {
+		return 0, Transient(fmt.Errorf("storage: %s: injected connection error", h.name))
+	}
+
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
 	if off < 0 {
 		return 0, fmt.Errorf("storage: %s: negative offset", h.name)
+	}
+	if len(p) == 0 {
+		return 0, nil
 	}
 	if off >= int64(len(h.ino.data)) {
 		return 0, io.EOF
 	}
 	n := copy(p, h.ino.data[off:])
+	if cutAt >= 0 && n > cutAt {
+		return cutAt, Transient(fmt.Errorf("storage: %s: connection reset after %d of %d bytes",
+			h.name, cutAt, len(p)))
+	}
 	if n < len(p) {
 		return n, io.EOF
 	}
 	return n, nil
+}
+
+// sleepCtx sleeps d, or less if ctx (which may be nil) is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (h *faultFile) Write(p []byte) (int, error) {

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NewHTTPHandler serves a Backend's files over GET/HEAD with the two
+// features the HTTP range-read backend depends on: byte-range requests
+// and strong ETags honored through If-Match. It is the reference server
+// side — httptest integration tests, the examples, and small deployments
+// publish a local dataset directory through it; production object stores
+// already speak the same protocol.
+//
+// Each request reads the file through the backend and serves it via
+// http.ServeContent (which implements Range and precondition handling);
+// the ETag is a strong hash of the content, cached per (name, size) so
+// immutable members hash once.
+func NewHTTPHandler(b Backend) http.Handler {
+	return &httpHandler{b: b, etags: map[string]string{}}
+}
+
+type httpHandler struct {
+	b Backend
+
+	mu    sync.Mutex
+	etags map[string]string // "name\x00size" -> etag
+}
+
+func (h *httpHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "read-only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/")
+	if err := ValidateName(name); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := ReadFile(h.b, name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			http.NotFound(w, r)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	key := fmt.Sprintf("%s\x00%d", name, len(data))
+	h.mu.Lock()
+	etag, ok := h.etags[key]
+	h.mu.Unlock()
+	if !ok {
+		sum := fnv.New64a()
+		sum.Write(data)
+		etag = fmt.Sprintf("\"%016x-%x\"", sum.Sum64(), len(data))
+		h.mu.Lock()
+		h.etags[key] = etag
+		h.mu.Unlock()
+	}
+	w.Header().Set("ETag", etag)
+	// ServeContent handles Range, If-Match/If-None-Match preconditions
+	// (412 on ETag mismatch), and HEAD; a zero modtime suppresses
+	// Last-Modified so the ETag is the only validator.
+	http.ServeContent(w, r, name, time.Time{}, bytes.NewReader(data))
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// netFaultTrace replays nReads sequential full-file reads against a
+// freshly seeded fault backend and records each outcome.
+func netFaultTrace(t *testing.T, nf NetFaults, data []byte, nReads int) []string {
+	t.Helper()
+	b := NewFaultFromState("mem://netfault", map[string][]byte{"f": data})
+	b.SetNetFaults(&nf)
+	f, _, err := b.ReadAt("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := make([]string, 0, nReads)
+	p := make([]byte, len(data))
+	for i := 0; i < nReads; i++ {
+		n, err := f.ReadAt(p, 0)
+		switch {
+		case err == nil:
+			out = append(out, "ok")
+		case IsRetryable(err):
+			out = append(out, "transient@"+itoa(n))
+		default:
+			t.Fatalf("read %d: non-retryable injected error %v", i, err)
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestNetFaultsDeterministic: equal seeds replay the identical fault
+// sequence; a different seed diverges. This is what makes remote-read
+// failures reproducible in tests and benchmarks.
+func TestNetFaultsDeterministic(t *testing.T) {
+	data := conformanceData()
+	nf := NetFaults{Seed: 42, ErrRate: 0.3, PartialRate: 0.3}
+	a := netFaultTrace(t, nf, data, 200)
+	b := netFaultTrace(t, nf, data, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d diverged under equal seeds: %q vs %q", i, a[i], b[i])
+		}
+	}
+	sawTransient := false
+	for _, o := range a {
+		if o != "ok" {
+			sawTransient = true
+		}
+	}
+	if !sawTransient {
+		t.Fatal("0.3+0.3 fault rates over 200 reads injected nothing")
+	}
+	c := netFaultTrace(t, NetFaults{Seed: 43, ErrRate: 0.3, PartialRate: 0.3}, data, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds replayed the identical sequence")
+	}
+}
+
+// TestNetFaultsShapes: each fault shape honors its contract — errors
+// are Transient (retryable), partial reads really serve a proper
+// prefix, truncation caps at the configured byte count.
+func TestNetFaultsShapes(t *testing.T) {
+	data := conformanceData()
+
+	t.Run("err-before-first-byte", func(t *testing.T) {
+		b := NewFaultFromState("mem://nf1", map[string][]byte{"f": data})
+		b.SetNetFaults(&NetFaults{Seed: 1, ErrRate: 1})
+		f, _, _ := b.ReadAt("f")
+		p := make([]byte, 64)
+		n, err := f.ReadAt(p, 0)
+		if n != 0 || err == nil || !IsRetryable(err) {
+			t.Fatalf("read = (%d, %v), want (0, transient)", n, err)
+		}
+	})
+
+	t.Run("partial-prefix", func(t *testing.T) {
+		b := NewFaultFromState("mem://nf2", map[string][]byte{"f": data})
+		b.SetNetFaults(&NetFaults{Seed: 1, PartialRate: 1})
+		f, _, _ := b.ReadAt("f")
+		p := make([]byte, 256)
+		n, err := f.ReadAt(p, 100)
+		if err == nil || !IsRetryable(err) {
+			t.Fatalf("err = %v, want transient", err)
+		}
+		if n <= 0 || n >= 256 {
+			t.Fatalf("partial read served %d of 256 bytes, want a proper prefix", n)
+		}
+		if !bytes.Equal(p[:n], data[100:100+n]) {
+			t.Fatal("partial prefix holds wrong bytes")
+		}
+	})
+
+	t.Run("truncate-after", func(t *testing.T) {
+		b := NewFaultFromState("mem://nf3", map[string][]byte{"f": data})
+		b.SetNetFaults(&NetFaults{Seed: 1, TruncateAfter: 10})
+		f, _, _ := b.ReadAt("f")
+		p := make([]byte, 64)
+		n, err := f.ReadAt(p, 0)
+		if n != 10 || err == nil || !IsRetryable(err) {
+			t.Fatalf("read = (%d, %v), want (10, transient)", n, err)
+		}
+		// Requests at or under the cap pass untouched.
+		small := make([]byte, 10)
+		if n, err := f.ReadAt(small, 0); n != 10 || err != nil {
+			t.Fatalf("under-cap read = (%d, %v), want (10, nil)", n, err)
+		}
+	})
+
+	t.Run("resilient-recovers-through-faults", func(t *testing.T) {
+		// End-to-end: a 30% flaky backend behind the retry policy reads
+		// byte-identically to the clean file.
+		b := NewFaultFromState("mem://nf4", map[string][]byte{"f": data})
+		b.SetNetFaults(&NetFaults{Seed: 7, ErrRate: 0.2, PartialRate: 0.1})
+		r := NewResilient(b, &ResilienceOptions{
+			MaxRetries:  8,
+			BackoffBase: 1, // nanoseconds: keep the test instant
+			HedgeDelay:  DisableHedging,
+		})
+		f, size, err := r.ReadAt("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, size)
+		for i := 0; i < 50; i++ {
+			n, err := f.ReadAt(got, 0)
+			if err != nil && err != io.EOF {
+				t.Fatalf("read %d: %v", i, err)
+			}
+			if n != len(data) || !bytes.Equal(got, data) {
+				t.Fatalf("read %d returned wrong bytes", i)
+			}
+		}
+		if st := r.ResilienceStats(); st.Retries == 0 {
+			t.Fatal("fault rates injected nothing across 50 reads")
+		}
+	})
+}

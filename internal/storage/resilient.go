@@ -1,0 +1,557 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ResilienceOptions tunes the Resilient wrapper's policy. The zero
+// value selects the documented defaults; DisableHedging turns hedging
+// off entirely.
+type ResilienceOptions struct {
+	// OpTimeout is the per-attempt deadline for reads on handles that
+	// support cancellation (ContextFile). Attempts on plain handles run
+	// to completion. 0 = DefaultOpTimeout; negative = no deadline.
+	OpTimeout time.Duration
+	// MaxRetries is how many fresh attempts follow a retryable failure
+	// (so an op issues at most MaxRetries+1 attempts). 0 = DefaultMaxRetries;
+	// negative = no retries.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between attempts: attempt k (0-based) sleeps
+	// min(BackoffBase << k, BackoffMax), scaled by ±50% jitter.
+	// 0 selects DefaultBackoffBase / DefaultBackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeDelay controls hedged reads on cancellable handles: after
+	// this long without a first-leg response, a second identical request
+	// launches and the first success wins (the loser is cancelled).
+	// 0 = adaptive: track read latencies and hedge at their p95, once
+	// HedgeMinSamples reads have been observed. DisableHedging (or any
+	// negative value) turns hedging off.
+	HedgeDelay time.Duration
+	// HedgeMinSamples gates adaptive hedging until the latency tracker
+	// has seen this many reads (0 = DefaultHedgeMinSamples).
+	HedgeMinSamples int
+	// BreakerThreshold opens the circuit breaker after this many
+	// consecutive failed operations: further ops fail fast with
+	// ErrCircuitOpen until BreakerCooldown elapses, then one probe op is
+	// let through (success closes the breaker, failure re-opens it).
+	// 0 = DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before probing
+	// (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Jitter returns a value in [0, 1) used to scale backoff (test hook;
+	// nil = seeded math/rand). The policy multiplies each backoff by
+	// (0.5 + Jitter()), i.e. ±50%.
+	Jitter func() float64
+	// Clock substitutes a fake time source for deterministic tests
+	// (nil = real time).
+	Clock Clock
+}
+
+// DisableHedging as ResilienceOptions.HedgeDelay turns hedged reads off.
+const DisableHedging = time.Duration(-1)
+
+// Resilience policy defaults.
+const (
+	DefaultOpTimeout        = 10 * time.Second
+	DefaultMaxRetries       = 4
+	DefaultBackoffBase      = 20 * time.Millisecond
+	DefaultBackoffMax       = 2 * time.Second
+	DefaultHedgeMinSamples  = 16
+	DefaultBreakerThreshold = 8
+	DefaultBreakerCooldown  = 5 * time.Second
+	// minHedgeDelay floors the adaptive hedge delay so a burst of
+	// cache-fast reads cannot drive it to ~0 and double every request.
+	minHedgeDelay = 200 * time.Microsecond
+)
+
+// ResilienceStats counts the wrapper's interventions. All counters are
+// cumulative over the wrapper's lifetime; callers diff snapshots to
+// attribute them to one scan.
+type ResilienceStats struct {
+	// Ops is the number of read operations issued through the wrapper
+	// (file reads and opens), Retries how many extra attempts retryable
+	// failures cost, and Failures how many ops exhausted their budget
+	// (or hit a permanent error) and surfaced an error.
+	Ops      int64
+	Retries  int64
+	Failures int64
+	// Hedges counts second requests launched; HedgeWins how many of them
+	// beat the first leg.
+	Hedges    int64
+	HedgeWins int64
+	// BreakerOpens counts closed->open transitions; BreakerFastFails the
+	// ops rejected without touching the backend while open.
+	BreakerOpens     int64
+	BreakerFastFails int64
+}
+
+// Resilient wraps any Backend with the remote-read survival policy:
+// per-attempt deadlines, capped-exponential backoff with jitter on
+// retryable errors (IsRetryable — never on 4xx, missing files, or
+// integrity failures), hedged reads against tail latency, and a
+// consecutive-failure circuit breaker. Wrapping is read-focused:
+// ReadAt/List (and file reads through handles it returns) get the full
+// policy, while mutating operations pass through untouched — blind
+// retries of non-idempotent writes would fight the commit protocol's
+// own error handling.
+//
+// When no faults occur the wrapper stays off the hot path: reads on
+// plain (non-cancellable) handles add no allocation and no goroutine,
+// and reads on cancellable handles add one goroutine plus O(1) small
+// allocations (pinned by the CI allocs/op ceiling).
+type Resilient struct {
+	b    Backend
+	opts ResilienceOptions
+	clk  Clock
+
+	jitterMu sync.Mutex
+	jitter   func() float64
+
+	lat     latencyTracker
+	breaker breaker
+
+	ops, retries, failures, hedges, hedgeWins int64
+	breakerOpens, breakerFastFails            int64
+}
+
+// NewResilient wraps b with the resilience policy. opts may be nil for
+// defaults.
+func NewResilient(b Backend, opts *ResilienceOptions) *Resilient {
+	r := &Resilient{b: b}
+	if opts != nil {
+		r.opts = *opts
+	}
+	o := &r.opts
+	if o.OpTimeout == 0 {
+		o.OpTimeout = DefaultOpTimeout
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.HedgeMinSamples <= 0 {
+		o.HedgeMinSamples = DefaultHedgeMinSamples
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	r.clk = o.Clock
+	if r.clk == nil {
+		r.clk = realClock{}
+	}
+	r.jitter = o.Jitter
+	if r.jitter == nil {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		r.jitter = rng.Float64
+	}
+	r.breaker.threshold = o.BreakerThreshold
+	r.breaker.cooldown = o.BreakerCooldown
+	return r
+}
+
+// Unwrap returns the wrapped backend.
+func (r *Resilient) Unwrap() Backend { return r.b }
+
+// Root returns the wrapped backend's identity.
+func (r *Resilient) Root() string { return r.b.Root() }
+
+// ResilienceStats snapshots the cumulative intervention counters.
+func (r *Resilient) ResilienceStats() ResilienceStats {
+	return ResilienceStats{
+		Ops:              atomic.LoadInt64(&r.ops),
+		Retries:          atomic.LoadInt64(&r.retries),
+		Failures:         atomic.LoadInt64(&r.failures),
+		Hedges:           atomic.LoadInt64(&r.hedges),
+		HedgeWins:        atomic.LoadInt64(&r.hedgeWins),
+		BreakerOpens:     atomic.LoadInt64(&r.breakerOpens),
+		BreakerFastFails: atomic.LoadInt64(&r.breakerFastFails),
+	}
+}
+
+// retryOp runs op under the breaker + retry/backoff policy. ctx bounds
+// the whole operation (all attempts and their backoffs).
+func (r *Resilient) retryOp(ctx context.Context, op func() error) error {
+	atomic.AddInt64(&r.ops, 1)
+	if err := r.breakerAllow(); err != nil {
+		return err
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil {
+			r.breakerResult(true)
+			return nil
+		}
+		if attempt >= r.opts.MaxRetries || !IsRetryable(err) {
+			break
+		}
+		atomic.AddInt64(&r.retries, 1)
+		if serr := r.clk.Sleep(ctx, r.backoff(attempt)); serr != nil {
+			err = fmt.Errorf("storage: retry abandoned: %w (last error: %v)", serr, err)
+			break
+		}
+	}
+	r.breakerResult(false)
+	atomic.AddInt64(&r.failures, 1)
+	return err
+}
+
+// backoff returns the capped-exponential, jittered delay before retry
+// attempt+1.
+func (r *Resilient) backoff(attempt int) time.Duration {
+	d := r.opts.BackoffBase << uint(attempt)
+	if d > r.opts.BackoffMax || d <= 0 { // <=0 guards shift overflow
+		d = r.opts.BackoffMax
+	}
+	r.jitterMu.Lock()
+	j := r.jitter()
+	r.jitterMu.Unlock()
+	return time.Duration(float64(d) * (0.5 + j))
+}
+
+// ReadAt opens the named file with retries; the returned handle applies
+// the full read policy (deadline, retry, hedge).
+func (r *Resilient) ReadAt(name string) (File, int64, error) {
+	var (
+		f    File
+		size int64
+	)
+	err := r.retryOp(context.Background(), func() error {
+		var err error
+		f, size, err = r.b.ReadAt(name)
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	cf, _ := f.(ContextFile)
+	return &resilientFile{r: r, under: f, cf: cf, name: name}, size, nil
+}
+
+// List enumerates with retries (remote listings are reads too).
+func (r *Resilient) List() ([]string, error) {
+	var names []string
+	err := r.retryOp(context.Background(), func() error {
+		var err error
+		names, err = r.b.List()
+		return err
+	})
+	return names, err
+}
+
+// Create passes through: writes carry their own transactional error
+// handling (the dataset commit protocol) and must not be blind-retried.
+func (r *Resilient) Create(name string) (File, error) { return r.b.Create(name) }
+
+// Rename passes through (see Create).
+func (r *Resilient) Rename(oldName, newName string) error { return r.b.Rename(oldName, newName) }
+
+// Remove passes through (see Create).
+func (r *Resilient) Remove(name string) error { return r.b.Remove(name) }
+
+// SyncDir passes through (see Create).
+func (r *Resilient) SyncDir() error { return r.b.SyncDir() }
+
+// resilientFile applies the read policy to one open handle.
+type resilientFile struct {
+	r     *Resilient
+	under File
+	cf    ContextFile // nil when the handle is not cancellable
+	name  string
+}
+
+func (f *resilientFile) ReadAt(p []byte, off int64) (int, error) {
+	r := f.r
+	atomic.AddInt64(&r.ops, 1)
+	if err := r.breakerAllow(); err != nil {
+		return 0, err
+	}
+	var (
+		n   int
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		n, err = f.readAttempt(p, off)
+		if err == nil || err == io.EOF {
+			// io.EOF outcomes (clean short read / past-end read) are part
+			// of the ReadAt contract — successful operations, not failures.
+			r.breakerResult(true)
+			return n, err
+		}
+		if attempt >= r.opts.MaxRetries || !IsRetryable(err) {
+			break
+		}
+		atomic.AddInt64(&r.retries, 1)
+		if serr := r.clk.Sleep(context.Background(), r.backoff(attempt)); serr != nil {
+			err = serr
+			break
+		}
+	}
+	r.breakerResult(false)
+	atomic.AddInt64(&r.failures, 1)
+	return n, err
+}
+
+// readAttempt issues one logical attempt: a plain synchronous read for
+// non-cancellable handles, or a deadline-bounded, possibly hedged read
+// for cancellable ones.
+func (f *resilientFile) readAttempt(p []byte, off int64) (int, error) {
+	if f.cf == nil {
+		return f.under.ReadAt(p, off)
+	}
+	return f.hedgedRead(p, off)
+}
+
+// legResult is one hedge leg's outcome; buf is non-nil for the hedge
+// leg, which reads into private storage so the two legs never race on p.
+type legResult struct {
+	n     int
+	err   error
+	hedge bool
+}
+
+// hedgedRead runs the cancellable read with a per-attempt deadline and,
+// if the first leg is slow, a hedge leg. First success wins; the loser
+// is cancelled and always joined before the winning bytes are exposed,
+// so no goroutine outlives the call and no buffer is written after
+// return.
+func (f *resilientFile) hedgedRead(p []byte, off int64) (int, error) {
+	r := f.r
+	ctx, cancelAll := context.WithCancel(context.Background())
+	defer cancelAll()
+	var timedOut atomic.Bool
+	if d := r.opts.OpTimeout; d > 0 {
+		stop := r.clk.AfterFunc(d, func() {
+			timedOut.Store(true)
+			cancelAll()
+		})
+		defer stop()
+	}
+
+	start := r.clk.Now()
+	ch := make(chan legResult, 2)
+	go func() {
+		n, err := f.cf.ReadAtContext(ctx, p, off)
+		ch <- legResult{n: n, err: err}
+	}()
+
+	legs := 1
+	var hedgeBuf []byte
+	hedgeCtx, hedgeCancel := context.Context(nil), context.CancelFunc(nil)
+	var hedgeTimerC chan struct{}
+	var stopHedgeTimer func() bool
+	if hd := r.hedgeDelay(); hd >= 0 {
+		hedgeTimerC = make(chan struct{}, 1)
+		stopHedgeTimer = r.clk.AfterFunc(hd, func() { hedgeTimerC <- struct{}{} })
+		defer stopHedgeTimer()
+	}
+
+	var winner legResult
+	haveWinner := false
+	for legs > 0 {
+		select {
+		case res := <-ch:
+			legs--
+			if res.err == nil || res.err == io.EOF {
+				if !haveWinner {
+					winner, haveWinner = res, true
+					if res.hedge {
+						atomic.AddInt64(&r.hedgeWins, 1)
+					}
+					cancelAll() // the loser must stop touching its buffer
+				}
+				continue
+			}
+			// This leg failed. If the other leg is still running, let it
+			// decide the op; if this was the last leg and nothing won, the
+			// failure stands.
+			if !haveWinner && legs == 0 {
+				winner = res
+			}
+		case <-hedgeTimerC:
+			if haveWinner || legs != 1 || hedgeCtx != nil {
+				continue
+			}
+			atomic.AddInt64(&r.hedges, 1)
+			hedgeCtx, hedgeCancel = context.WithCancel(ctx)
+			defer hedgeCancel()
+			hedgeBuf = make([]byte, len(p))
+			legs++
+			go func() {
+				n, err := f.cf.ReadAtContext(hedgeCtx, hedgeBuf, off)
+				ch <- legResult{n: n, err: err, hedge: true}
+			}()
+		}
+	}
+	if !haveWinner {
+		// Every leg failed; winner holds the last failure. A deadline
+		// expiry cancelled the legs with context.Canceled — surface it as
+		// the retryable timeout it is.
+		if timedOut.Load() {
+			return winner.n, fmt.Errorf("storage: %s: read deadline %v exceeded: %w",
+				f.name, r.opts.OpTimeout, context.DeadlineExceeded)
+		}
+		return winner.n, winner.err
+	}
+	if winner.hedge {
+		copy(p[:winner.n], hedgeBuf[:winner.n])
+	} else if winner.err == nil {
+		// Track only clean primary latencies: hedge wins and EOF tails
+		// would skew the p95 the hedge delay adapts to.
+		r.lat.record(r.clk.Now().Sub(start))
+	}
+	return winner.n, winner.err
+}
+
+// hedgeDelay resolves the current hedge trigger: fixed, adaptive p95,
+// or -1 when hedging is off (disabled, or adaptive without samples).
+func (r *Resilient) hedgeDelay() time.Duration {
+	hd := r.opts.HedgeDelay
+	if hd < 0 {
+		return -1
+	}
+	if hd > 0 {
+		return hd
+	}
+	p95, n := r.lat.p95()
+	if n < r.opts.HedgeMinSamples {
+		return -1
+	}
+	if p95 < minHedgeDelay {
+		p95 = minHedgeDelay
+	}
+	return p95
+}
+
+func (f *resilientFile) WriteAt(p []byte, off int64) (int, error) { return f.under.WriteAt(p, off) }
+func (f *resilientFile) Write(p []byte) (int, error)              { return f.under.Write(p) }
+func (f *resilientFile) Sync() error                              { return f.under.Sync() }
+func (f *resilientFile) Close() error                             { return f.under.Close() }
+
+// latencyTracker keeps a ring of recent read latencies and serves their
+// p95 for the adaptive hedge delay. The p95 is recomputed at most every
+// latRecomputeEvery inserts — reads between recomputes reuse the cached
+// value, keeping the tracker O(1) on the hot path.
+const (
+	latRingSize       = 128
+	latRecomputeEvery = 16
+)
+
+type latencyTracker struct {
+	mu      sync.Mutex
+	ring    [latRingSize]time.Duration
+	n       int // total recorded (ring holds min(n, latRingSize))
+	cached  time.Duration
+	pending int
+	scratch []time.Duration
+}
+
+func (t *latencyTracker) record(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.n%latRingSize] = d
+	t.n++
+	t.pending++
+	if t.pending >= latRecomputeEvery || t.cached == 0 {
+		t.recomputeLocked()
+		t.pending = 0
+	}
+	t.mu.Unlock()
+}
+
+func (t *latencyTracker) recomputeLocked() {
+	size := t.n
+	if size > latRingSize {
+		size = latRingSize
+	}
+	if size == 0 {
+		return
+	}
+	t.scratch = append(t.scratch[:0], t.ring[:size]...)
+	sort.Slice(t.scratch, func(i, j int) bool { return t.scratch[i] < t.scratch[j] })
+	t.cached = t.scratch[size*95/100]
+}
+
+func (t *latencyTracker) p95() (time.Duration, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cached, t.n
+}
+
+// breaker is the consecutive-failure circuit breaker. threshold <= 0
+// disables it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	fails    int
+	open     bool
+	openedAt time.Time
+	probing  bool
+}
+
+// breakerAllow gates one op: fail fast while open, let exactly one
+// probe through after the cooldown.
+func (r *Resilient) breakerAllow() error {
+	b := &r.breaker
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return nil
+	}
+	if r.clk.Now().Sub(b.openedAt) >= b.cooldown && !b.probing {
+		b.probing = true // half-open: this op is the probe
+		return nil
+	}
+	atomic.AddInt64(&r.breakerFastFails, 1)
+	return fmt.Errorf("%w (backend %s: %d consecutive failures)", ErrCircuitOpen, r.b.Root(), b.fails)
+}
+
+// breakerResult records an op outcome.
+func (r *Resilient) breakerResult(ok bool) {
+	b := &r.breaker
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		b.open = false
+		b.probing = false
+		return
+	}
+	b.fails++
+	b.probing = false
+	if !b.open && b.fails >= b.threshold {
+		b.open = true
+		atomic.AddInt64(&r.breakerOpens, 1)
+	}
+	if b.open {
+		b.openedAt = r.clk.Now() // failed probe restarts the cooldown
+	}
+}

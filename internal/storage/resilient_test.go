@@ -1,0 +1,565 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// stubBackend hands out one scripted file handle; everything else is
+// inert. It is the minimal substrate for exercising the policy alone.
+type stubBackend struct {
+	file File
+	size int64
+	open func() error // optional per-open error hook
+}
+
+func (s *stubBackend) ReadAt(string) (File, int64, error) {
+	if s.open != nil {
+		if err := s.open(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return s.file, s.size, nil
+}
+func (s *stubBackend) Create(string) (File, error) { return nil, ErrReadOnly }
+func (s *stubBackend) Rename(string, string) error { return ErrReadOnly }
+func (s *stubBackend) Remove(string) error         { return ErrReadOnly }
+func (s *stubBackend) SyncDir() error              { return nil }
+func (s *stubBackend) List() ([]string, error)     { return nil, ErrListUnsupported }
+func (s *stubBackend) Root() string                { return "stub://policy" }
+
+// plainFile is a scripted non-cancellable handle (the local-file shape).
+type plainFile struct {
+	read func(p []byte, off int64) (int, error)
+}
+
+func (f *plainFile) ReadAt(p []byte, off int64) (int, error) { return f.read(p, off) }
+func (f *plainFile) WriteAt([]byte, int64) (int, error)      { return 0, ErrReadOnly }
+func (f *plainFile) Write([]byte) (int, error)               { return 0, ErrReadOnly }
+func (f *plainFile) Sync() error                             { return ErrReadOnly }
+func (f *plainFile) Close() error                            { return nil }
+
+// ctxFile is a scripted cancellable handle (the remote-file shape).
+type ctxFile struct {
+	plainFile
+	readCtx func(ctx context.Context, p []byte, off int64) (int, error)
+}
+
+func (f *ctxFile) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
+	return f.readCtx(ctx, p, off)
+}
+func (f *ctxFile) ReadAt(p []byte, off int64) (int, error) {
+	return f.readCtx(context.Background(), p, off)
+}
+
+// waitWaiters blocks until the fake clock has n pending timers/sleepers —
+// how tests synchronize with policy goroutines that are about to sleep.
+func waitWaiters(t *testing.T, clk *FakeClock, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d clock waiters (have %d)", n, clk.Waiters())
+		}
+		runtime.Gosched()
+	}
+}
+
+func fixedJitter() float64 { return 0.5 } // (0.5 + 0.5) = exactly 1x backoff
+
+func TestIsRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{Transient(errors.New("flaky")), true},
+		{fmt.Errorf("wrapped: %w", Transient(errors.New("flaky"))), true},
+		{&StatusError{Name: "x", Status: 500}, true},
+		{&StatusError{Name: "x", Status: 503}, true},
+		{&StatusError{Name: "x", Status: 429}, true},
+		{&StatusError{Name: "x", Status: 403}, false},
+		{&StatusError{Name: "x", Status: 404}, false},
+		{context.DeadlineExceeded, true},
+		{context.Canceled, false},
+		{fs.ErrNotExist, false},
+		{fmt.Errorf("open: %w", fs.ErrNotExist), false},
+		{ErrChangedUnderRead, false},
+		{ErrCircuitOpen, false},
+		{syscall.ECONNRESET, true},
+		{syscall.ECONNREFUSED, true},
+		{io.ErrUnexpectedEOF, true},
+		{errors.New("something unknown"), false},
+	}
+	for _, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("IsRetryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBackoffCappedExponentialJittered(t *testing.T) {
+	r := NewResilient(&stubBackend{}, &ResilienceOptions{
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  40 * time.Millisecond,
+		Jitter:      fixedJitter,
+	})
+	want := []time.Duration{10, 20, 40, 40, 40} // ms; capped at max
+	for attempt, w := range want {
+		if got := r.backoff(attempt); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", attempt, got, w*time.Millisecond)
+		}
+	}
+	// Shift overflow on huge attempt counts must still hit the cap.
+	if got := r.backoff(400); got != 40*time.Millisecond {
+		t.Errorf("backoff(400) = %v, want 40ms", got)
+	}
+	// Jitter scales ±50%.
+	r2 := NewResilient(&stubBackend{}, &ResilienceOptions{
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  time.Second,
+		Jitter:      func() float64 { return 0 },
+	})
+	if got := r2.backoff(0); got != 5*time.Millisecond {
+		t.Errorf("zero-jitter backoff = %v, want 5ms", got)
+	}
+}
+
+// TestRetryTransientThenSuccess: two injected transient failures, then a
+// clean read. Deterministic: backoff sleeps run on the fake clock.
+func TestRetryTransientThenSuccess(t *testing.T) {
+	data := []byte("persistent payload")
+	var calls atomic.Int64
+	f := &plainFile{read: func(p []byte, off int64) (int, error) {
+		if calls.Add(1) <= 2 {
+			return 0, Transient(errors.New("injected"))
+		}
+		return copy(p, data[off:]), nil
+	}}
+	clk := NewFakeClock()
+	r := NewResilient(&stubBackend{file: f, size: int64(len(data))}, &ResilienceOptions{
+		BackoffBase: 10 * time.Millisecond,
+		Jitter:      fixedJitter,
+		Clock:       clk,
+		HedgeDelay:  DisableHedging,
+	})
+	h, _, err := r.ReadAt("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, len(data))
+	done := make(chan struct{})
+	var n int
+	var rerr error
+	go func() {
+		n, rerr = h.ReadAt(p, 0)
+		close(done)
+	}()
+	waitWaiters(t, clk, 1) // blocked in first backoff
+	clk.Advance(10 * time.Millisecond)
+	waitWaiters(t, clk, 1) // second backoff: 20ms
+	clk.Advance(20 * time.Millisecond)
+	<-done
+	if rerr != nil || n != len(data) || !bytes.Equal(p, data) {
+		t.Fatalf("read = (%d, %v), want clean full read", n, rerr)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("backend saw %d read calls, want 3", got)
+	}
+	st := r.ResilienceStats()
+	if st.Retries != 2 || st.Failures != 0 || st.Ops != 2 { // open + read
+		t.Fatalf("stats = %+v, want Retries 2, Failures 0, Ops 2", st)
+	}
+}
+
+func TestNonRetryableFailsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	permErr := errors.New("data corrupt")
+	f := &plainFile{read: func([]byte, int64) (int, error) {
+		calls.Add(1)
+		return 0, permErr
+	}}
+	r := NewResilient(&stubBackend{file: f, size: 8}, &ResilienceOptions{
+		Clock:      NewFakeClock(), // any sleep would hang the test — there must be none
+		HedgeDelay: DisableHedging,
+	})
+	h, _, err := r.ReadAt("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadAt(make([]byte, 8), 0); !errors.Is(err, permErr) {
+		t.Fatalf("err = %v, want %v", err, permErr)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("backend saw %d calls, want 1 (no retries of permanent errors)", calls.Load())
+	}
+	st := r.ResilienceStats()
+	if st.Retries != 0 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want Retries 0, Failures 1", st)
+	}
+}
+
+// TestRetryBudgetExhausted: a persistently transient error surfaces after
+// MaxRetries+1 attempts.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	f := &plainFile{read: func([]byte, int64) (int, error) {
+		calls.Add(1)
+		return 0, Transient(errors.New("always down"))
+	}}
+	clk := NewFakeClock()
+	r := NewResilient(&stubBackend{file: f, size: 8}, &ResilienceOptions{
+		MaxRetries:  2,
+		BackoffBase: time.Millisecond,
+		Jitter:      fixedJitter,
+		Clock:       clk,
+		HedgeDelay:  DisableHedging,
+	})
+	h, _, err := r.ReadAt("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.ReadAt(make([]byte, 8), 0)
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		waitWaiters(t, clk, 1)
+		clk.Advance(time.Second)
+	}
+	if err := <-done; !IsRetryable(err) {
+		t.Fatalf("surfaced error %v lost its retryable classification", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("backend saw %d calls, want 3 (1 + MaxRetries)", calls.Load())
+	}
+	if st := r.ResilienceStats(); st.Retries != 2 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want Retries 2, Failures 1", st)
+	}
+}
+
+// TestCircuitBreaker: consecutive failures open the breaker, ops then
+// fail fast without touching the backend, and a post-cooldown probe
+// closes it again. Entirely on the fake clock.
+func TestCircuitBreaker(t *testing.T) {
+	var calls atomic.Int64
+	var healthy atomic.Bool
+	data := []byte("back online")
+	f := &plainFile{read: func(p []byte, off int64) (int, error) {
+		calls.Add(1)
+		if !healthy.Load() {
+			return 0, errors.New("permanently confused") // non-retryable: no backoff sleeps
+		}
+		return copy(p, data[off:]), nil
+	}}
+	clk := NewFakeClock()
+	r := NewResilient(&stubBackend{file: f, size: int64(len(data))}, &ResilienceOptions{
+		MaxRetries:       -1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Second,
+		Clock:            clk,
+		HedgeDelay:       DisableHedging,
+	})
+	h, _, err := r.ReadAt("x") // success: breaker sees one good op
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, len(data))
+	for i := 0; i < 3; i++ {
+		if _, err := h.ReadAt(p, 0); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	st := r.ResilienceStats()
+	if st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", st.BreakerOpens)
+	}
+	before := calls.Load()
+	if _, err := h.ReadAt(p, 0); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("fast-fail op touched the backend")
+	}
+	if st := r.ResilienceStats(); st.BreakerFastFails != 1 {
+		t.Fatalf("BreakerFastFails = %d, want 1", st.BreakerFastFails)
+	}
+
+	// Probe before cooldown: still fast-failing. After cooldown: one
+	// probe reaches the (still broken) backend, re-arming the cooldown.
+	clk.Advance(9 * time.Second)
+	if _, err := h.ReadAt(p, 0); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("pre-cooldown err = %v, want ErrCircuitOpen", err)
+	}
+	clk.Advance(time.Second)
+	before = calls.Load()
+	if _, err := h.ReadAt(p, 0); errors.Is(err, ErrCircuitOpen) || calls.Load() != before+1 {
+		t.Fatalf("cooldown probe did not reach the backend (err %v)", err)
+	}
+	// Failed probe restarted the cooldown; after it elapses the next
+	// probe finds a healthy backend and closes the breaker for good.
+	healthy.Store(true)
+	clk.Advance(10 * time.Second)
+	if n, err := h.ReadAt(p, 0); err != nil || n != len(data) {
+		t.Fatalf("healthy probe = (%d, %v), want clean read", n, err)
+	}
+	if n, err := h.ReadAt(p, 0); err != nil || n != len(data) {
+		t.Fatalf("post-close read = (%d, %v), want clean read", n, err)
+	}
+}
+
+// TestHedgedReadWinsAndJoins: the primary leg hangs, the hedge leg
+// returns the bytes; the primary must be cancelled and joined before
+// ReadAt returns. Deterministic via the fake clock's hedge timer.
+func TestHedgedReadWinsAndJoins(t *testing.T) {
+	data := []byte("hedge payload wins the race")
+	var calls atomic.Int64
+	primaryJoined := make(chan struct{})
+	f := &ctxFile{readCtx: func(ctx context.Context, p []byte, off int64) (int, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // stuck primary: only cancellation frees it
+			close(primaryJoined)
+			return 0, ctx.Err()
+		}
+		return copy(p, data[off:]), nil
+	}}
+	clk := NewFakeClock()
+	r := NewResilient(&stubBackend{file: f, size: int64(len(data))}, &ResilienceOptions{
+		HedgeDelay: 10 * time.Millisecond,
+		Clock:      clk,
+		Jitter:     fixedJitter,
+	})
+	h, _, err := r.ReadAt("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, len(data))
+	done := make(chan struct{})
+	var n int
+	var rerr error
+	go func() {
+		n, rerr = h.ReadAt(p, 0)
+		close(done)
+	}()
+	waitWaiters(t, clk, 2) // hedge timer + op deadline registered
+	clk.Advance(10 * time.Millisecond)
+	<-done
+	if rerr != nil || n != len(data) || !bytes.Equal(p, data) {
+		t.Fatalf("hedged read = (%d, %v, %q), want the hedge's bytes", n, rerr, p[:n])
+	}
+	select {
+	case <-primaryJoined:
+	default:
+		t.Fatal("ReadAt returned before the losing primary leg was joined")
+	}
+	st := r.ResilienceStats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want Hedges 1, HedgeWins 1", st)
+	}
+}
+
+// TestHedgePrimaryStillWins: the hedge launches but the primary finishes
+// first — the hedge must be cancelled, joined, and not corrupt p.
+func TestHedgePrimaryStillWins(t *testing.T) {
+	data := []byte("primary payload")
+	var calls atomic.Int64
+	release := make(chan struct{})
+	f := &ctxFile{readCtx: func(ctx context.Context, p []byte, off int64) (int, error) {
+		if calls.Add(1) == 1 {
+			<-release // primary: slow but not dead
+			return copy(p, data[off:]), nil
+		}
+		<-ctx.Done() // hedge: hangs until the winner cancels it
+		return 0, ctx.Err()
+	}}
+	clk := NewFakeClock()
+	r := NewResilient(&stubBackend{file: f, size: int64(len(data))}, &ResilienceOptions{
+		HedgeDelay: 5 * time.Millisecond,
+		Clock:      clk,
+	})
+	h, _, err := r.ReadAt("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, len(data))
+	done := make(chan struct{})
+	var n int
+	var rerr error
+	go func() {
+		n, rerr = h.ReadAt(p, 0)
+		close(done)
+	}()
+	waitWaiters(t, clk, 2)
+	clk.Advance(5 * time.Millisecond) // hedge fires
+	for calls.Load() < 2 {            // hedge leg actually launched
+		runtime.Gosched()
+	}
+	close(release) // now let the primary win
+	<-done
+	if rerr != nil || n != len(data) || !bytes.Equal(p, data) {
+		t.Fatalf("read = (%d, %v, %q), want primary bytes", n, rerr, p[:n])
+	}
+	st := r.ResilienceStats()
+	if st.Hedges != 1 || st.HedgeWins != 0 {
+		t.Fatalf("stats = %+v, want Hedges 1, HedgeWins 0", st)
+	}
+}
+
+// TestDeadlineExpiryIsRetryable: every leg hangs, the op deadline fires,
+// and the surfaced error both wraps context.DeadlineExceeded and gets
+// retried as the transient failure it is.
+func TestDeadlineExpiryIsRetryable(t *testing.T) {
+	var calls atomic.Int64
+	data := []byte("eventually")
+	f := &ctxFile{readCtx: func(ctx context.Context, p []byte, off int64) (int, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return copy(p, data[off:]), nil
+	}}
+	clk := NewFakeClock()
+	r := NewResilient(&stubBackend{file: f, size: int64(len(data))}, &ResilienceOptions{
+		OpTimeout:   50 * time.Millisecond,
+		MaxRetries:  1,
+		BackoffBase: 10 * time.Millisecond,
+		Jitter:      fixedJitter,
+		Clock:       clk,
+		HedgeDelay:  DisableHedging,
+	})
+	h, _, err := r.ReadAt("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, len(data))
+	done := make(chan struct{})
+	var n int
+	var rerr error
+	go func() {
+		n, rerr = h.ReadAt(p, 0)
+		close(done)
+	}()
+	waitWaiters(t, clk, 1) // op deadline timer
+	clk.Advance(50 * time.Millisecond)
+	waitWaiters(t, clk, 1) // backoff before the retry
+	clk.Advance(10 * time.Millisecond)
+	<-done
+	if rerr != nil || n != len(data) || !bytes.Equal(p, data) {
+		t.Fatalf("read = (%d, %v), want retried success", n, rerr)
+	}
+	if st := r.ResilienceStats(); st.Retries != 1 {
+		t.Fatalf("stats = %+v, want Retries 1", st)
+	}
+}
+
+// TestAdaptiveHedgeGating: adaptive hedging stays off until enough
+// samples accumulate, then trips at the tracked p95, floored.
+func TestAdaptiveHedgeGating(t *testing.T) {
+	r := NewResilient(&stubBackend{}, &ResilienceOptions{
+		HedgeMinSamples: 4,
+	})
+	if hd := r.hedgeDelay(); hd != -1 {
+		t.Fatalf("hedgeDelay with no samples = %v, want -1 (off)", hd)
+	}
+	for i := 0; i < 4; i++ {
+		r.lat.record(2 * time.Millisecond)
+	}
+	if hd := r.hedgeDelay(); hd != 2*time.Millisecond {
+		t.Fatalf("hedgeDelay = %v, want the 2ms p95", hd)
+	}
+	// A burst of near-zero latencies must not drive the delay below the
+	// floor (which would hedge every read).
+	for i := 0; i < latRingSize; i++ {
+		r.lat.record(time.Nanosecond)
+	}
+	if hd := r.hedgeDelay(); hd != minHedgeDelay {
+		t.Fatalf("hedgeDelay = %v, want floor %v", hd, minHedgeDelay)
+	}
+	// Fixed and disabled settings bypass the tracker entirely.
+	rf := NewResilient(&stubBackend{}, &ResilienceOptions{HedgeDelay: 7 * time.Millisecond})
+	if hd := rf.hedgeDelay(); hd != 7*time.Millisecond {
+		t.Fatalf("fixed hedgeDelay = %v, want 7ms", hd)
+	}
+	rd := NewResilient(&stubBackend{}, &ResilienceOptions{HedgeDelay: DisableHedging})
+	if hd := rd.hedgeDelay(); hd != -1 {
+		t.Fatalf("disabled hedgeDelay = %v, want -1", hd)
+	}
+}
+
+// TestHedgedReadsLeakNoGoroutines: cancelled hedge legs and stuck
+// primaries must all be joined — after a burst of hedged reads the
+// goroutine count returns to baseline. Real clock: leaks here are
+// scheduling-dependent, so the test exercises the true timer paths.
+func TestHedgedReadsLeakNoGoroutines(t *testing.T) {
+	data := bytes.Repeat([]byte("x"), 512)
+	var calls atomic.Int64
+	f := &ctxFile{readCtx: func(ctx context.Context, p []byte, off int64) (int, error) {
+		if calls.Add(1)%3 == 1 { // every third read: stuck until cancelled
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return copy(p, data[off:]), nil
+	}}
+	r := NewResilient(&stubBackend{file: f, size: int64(len(data))}, &ResilienceOptions{
+		HedgeDelay: 200 * time.Microsecond,
+		OpTimeout:  2 * time.Second,
+	})
+	h, _, err := r.ReadAt("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	p := make([]byte, len(data))
+	for i := 0; i < 50; i++ {
+		if _, err := h.ReadAt(p, 0); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := r.ResilienceStats(); st.Hedges == 0 {
+		t.Fatal("test never hedged — stuck reads should have tripped the hedge timer")
+	}
+}
+
+// TestEOFIsSuccess: io.EOF outcomes are contract results, not failures —
+// they must not consume retries or feed the breaker.
+func TestEOFIsSuccess(t *testing.T) {
+	f := &plainFile{read: func(p []byte, off int64) (int, error) {
+		return 0, io.EOF
+	}}
+	r := NewResilient(&stubBackend{file: f, size: 0}, &ResilienceOptions{
+		MaxRetries:       -1,
+		BreakerThreshold: 1,
+		HedgeDelay:       DisableHedging,
+		Clock:            NewFakeClock(),
+	})
+	h, _, err := r.ReadAt("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if n, err := h.ReadAt(make([]byte, 4), 100); n != 0 || err != io.EOF {
+			t.Fatalf("read = (%d, %v), want (0, io.EOF)", n, err)
+		}
+	}
+	st := r.ResilienceStats()
+	if st.Failures != 0 || st.BreakerOpens != 0 {
+		t.Fatalf("stats = %+v: EOF reads were miscounted as failures", st)
+	}
+}

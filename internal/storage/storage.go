@@ -19,9 +19,12 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"syscall"
 )
 
 // File is an open handle on one backend file. Reads and positional
@@ -30,6 +33,18 @@ import (
 // Sync forces the file's contents — not its directory entry — to stable
 // storage: bytes written but not synced may vanish at a power cut even
 // after Close returns.
+//
+// ReadAt contract (identical across every backend, pinned by the
+// conformance suite in conformance_test.go):
+//
+//   - a read fully inside the file returns (len(p), nil) — never a
+//     short read with a nil error;
+//   - a read overlapping the end of the file returns the available
+//     prefix as (n, io.EOF) with 0 < n < len(p);
+//   - a read starting at or past the end of the file returns (0, io.EOF);
+//   - len(p) == 0 returns (0, nil) regardless of offset (offset
+//     validity is not probed);
+//   - a negative offset is an error that is not io.EOF.
 type File interface {
 	io.ReaderAt
 	io.WriterAt
@@ -37,6 +52,100 @@ type File interface {
 	// Sync forces the file's contents durable.
 	Sync() error
 	Close() error
+}
+
+// ContextFile is implemented by File handles whose reads can be
+// cancelled mid-flight — remote backends whose reads are network
+// requests, and fault backends that simulate them. The Resilient
+// wrapper uses it to enforce per-op deadlines and to cancel the losing
+// leg of a hedged read; handles without it (local files) are read
+// synchronously and never hedged.
+type ContextFile interface {
+	ReadAtContext(ctx context.Context, p []byte, off int64) (int, error)
+}
+
+// ErrReadOnly is returned by mutation operations on read-only backends
+// (the HTTP range-read backend serves immutable published datasets).
+var ErrReadOnly = errors.New("storage: backend is read-only")
+
+// ErrListUnsupported is returned by List on backends with no namespace
+// enumeration (HTTP exposes only named objects). Callers that can
+// degrade — recovery sweeps, orphan classification — treat it as an
+// empty, unknowable listing rather than a failure.
+var ErrListUnsupported = errors.New("storage: backend cannot list its namespace")
+
+// ErrChangedUnderRead reports that a remote file's ETag no longer
+// matches the one pinned when the handle was opened: the object was
+// replaced mid-scan. Never retryable — the bytes already read may be
+// from the old object, so the caller must reopen and restart.
+var ErrChangedUnderRead = errors.New("storage: remote file changed under read (etag mismatch)")
+
+// ErrCircuitOpen is returned by a Resilient backend whose circuit
+// breaker has tripped: the underlying backend failed too many
+// consecutive operations and calls now fail fast until the cooldown
+// elapses. Not retryable within the op — the point is to stop retrying.
+var ErrCircuitOpen = errors.New("storage: circuit breaker open")
+
+// StatusError is a non-2xx HTTP response surfaced as an error. 5xx and
+// 429 are transient server trouble and retryable; other 4xx are
+// caller/content errors and are not.
+type StatusError struct {
+	Name   string
+	Status int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("storage: %s: unexpected HTTP status %d", e.Name, e.Status)
+}
+
+// transientError marks an error as retryable (see Transient).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so IsRetryable reports true — the marker fault
+// injectors and backends use for failures that a retry may outrun.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsRetryable classifies an error for the retry/hedge policy: true for
+// failures where a fresh attempt can plausibly succeed (timeouts,
+// connection resets, 5xx server responses, explicitly Transient-marked
+// injections), false for everything else — 4xx responses, missing
+// files, checksum mismatches, ETag changes, and unknown errors are
+// permanent and must surface immediately.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var te *transientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500 || se.Status == 429
+	}
+	if errors.Is(err, ErrChangedUnderRead) || errors.Is(err, ErrCircuitOpen) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne interface{ Timeout() bool } // net.Error without importing net
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return false
 }
 
 // Backend is one flat directory of files. Implementations must be safe
