@@ -311,6 +311,34 @@
 // ResilienceOptions tunes every knob (deadlines, retry budget, backoff
 // shape, hedge delay, breaker thresholds); the zero value gives the
 // defaults OpenDataset uses for http(s) URLs.
+//
+// # Caching and memory tiering
+//
+// Committed member files are immutable — a dataset mutation publishes
+// new files under new names and bumps the manifest generation — so
+// everything derived from a member's bytes can be cached for as long as
+// the member exists. Datasets share a process-wide artifact cache
+// (private or disabled per handle via DatasetOptions) with three tiers:
+//
+//   - parsed footers and column bloom filters, keyed by member identity
+//     and version, with singleflight — N concurrent scanners opening the
+//     same member pay exactly one footer parse and one bloom decode;
+//   - open backend handles, a refcounted LRU bounding live file
+//     descriptors and HTTP HEAD+ETag pins across Dataset handles;
+//   - a segmented-LRU byte cache of coalesced page runs in front of every
+//     member read, with per-dataset budgets (DatasetOptions.CacheBytes)
+//     and an optional materialize mode (DatasetOptions.PinHotMembers)
+//     that pins small hot members wholly in RAM.
+//
+// The net effect is that a warm selective re-scan touches the backend
+// zero times for metadata and only for uncached data runs, which on a
+// remote dataset is the difference between a scan dominated by
+// round-trips and one dominated by decode. Versioned keys make
+// invalidation automatic: a replaced member (new ETag or new
+// row/byte accounting) can never serve stale bytes, and Vacuum
+// eagerly drops the entries of files it removes. Scan-visible effect is
+// reported per scanner in DatasetScanStats.Cache and cache-wide via
+// Dataset.CacheStats.
 package bullion
 
 import (
@@ -319,6 +347,7 @@ import (
 	"net/http"
 	"os"
 
+	"bullion/internal/cache"
 	"bullion/internal/core"
 	"bullion/internal/dataset"
 	"bullion/internal/enc"
@@ -694,6 +723,19 @@ type (
 	ResilientBackend = storage.Resilient
 	// ResilienceStats is a ResilientBackend's cumulative counter snapshot.
 	ResilienceStats = storage.ResilienceStats
+	// ArtifactCache is the shared immutable-artifact cache serving
+	// datasets: parsed footers/blooms, open handles, and page bytes (see
+	// "Caching and memory tiering"). Pass one via DatasetOptions.Cache to
+	// scope sharing explicitly.
+	ArtifactCache = cache.Cache
+	// CacheOptions sizes a NewCache instance (footer entries, handle
+	// entries, page bytes). Zero fields select the defaults.
+	CacheOptions = cache.Options
+	// CacheStats is a cache-wide counter snapshot (Dataset.CacheStats).
+	CacheStats = cache.Stats
+	// DatasetCacheScanStats is the per-scan delta of cache activity,
+	// reported in DatasetScanStats.Cache.
+	DatasetCacheScanStats = dataset.CacheScanStats
 )
 
 // Sentinel errors surfaced by dataset commits.
@@ -755,6 +797,14 @@ func NewHTTPBackend(baseURL string, opts *HTTPBackendOptions) (StorageBackend, e
 func NewResilientBackend(b StorageBackend, opts *ResilienceOptions) *ResilientBackend {
 	return storage.NewResilient(b, opts)
 }
+
+// NewCache builds a private ArtifactCache for DatasetOptions.Cache —
+// isolation from the process-wide shared cache, or bespoke sizing.
+func NewCache(opts CacheOptions) *ArtifactCache { return cache.New(opts) }
+
+// SharedCache returns the process-wide ArtifactCache that datasets use
+// by default (see "Caching and memory tiering").
+func SharedCache() *ArtifactCache { return cache.Shared() }
 
 // DatasetHTTPHandler serves a StorageBackend's files over GET/HEAD with
 // byte-range and If-Match support — the reference server side for

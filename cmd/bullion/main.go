@@ -484,17 +484,18 @@ type scanResult struct {
 
 // scanJSON is the -json document emitted per scan target.
 type scanJSON struct {
-	Path      string                   `json:"path"`
-	Rows      int64                    `json:"rows"`
-	Batches   int64                    `json:"batches"`
-	ElapsedMS float64                  `json:"elapsed_ms"`
-	Stats     bullion.DatasetScanStats `json:"stats"`
-	Retries   int64                    `json:"retries"`
-	Hedges    int64                    `json:"hedges"`
-	HedgeWins int64                    `json:"hedge_wins"`
-	Degraded  []string                 `json:"degraded_members,omitempty"`
-	ReadOps   int64                    `json:"phys_read_ops"`
-	ReadBytes int64                    `json:"phys_read_bytes"`
+	Path      string                        `json:"path"`
+	Rows      int64                         `json:"rows"`
+	Batches   int64                         `json:"batches"`
+	ElapsedMS float64                       `json:"elapsed_ms"`
+	Stats     bullion.DatasetScanStats      `json:"stats"`
+	Retries   int64                         `json:"retries"`
+	Hedges    int64                         `json:"hedges"`
+	HedgeWins int64                         `json:"hedge_wins"`
+	Degraded  []string                      `json:"degraded_members,omitempty"`
+	ReadOps   int64                         `json:"phys_read_ops"`
+	ReadBytes int64                         `json:"phys_read_bytes"`
+	Cache     bullion.DatasetCacheScanStats `json:"cache"`
 }
 
 func toScanJSON(r scanResult) scanJSON {
@@ -510,6 +511,7 @@ func toScanJSON(r scanResult) scanJSON {
 		Degraded:  r.stats.DegradedMembers,
 		ReadOps:   r.phys.ReadOps,
 		ReadBytes: r.phys.ReadBytes,
+		Cache:     r.stats.Cache,
 	}
 }
 
@@ -630,6 +632,13 @@ func addScanStats(dst *bullion.DatasetScanStats, src bullion.DatasetScanStats) {
 	dst.Hedges += src.Hedges
 	dst.HedgeWins += src.HedgeWins
 	dst.DegradedMembers = append(dst.DegradedMembers, src.DegradedMembers...)
+	dst.Cache.FooterHits += src.Cache.FooterHits
+	dst.Cache.FooterMisses += src.Cache.FooterMisses
+	dst.Cache.HandleHits += src.Cache.HandleHits
+	dst.Cache.HandleMisses += src.Cache.HandleMisses
+	dst.Cache.PageHits += src.Cache.PageHits
+	dst.Cache.PageMisses += src.Cache.PageMisses
+	dst.Cache.PageEvictions += src.Cache.PageEvictions
 }
 
 func printScanResult(r scanResult) {
@@ -644,6 +653,11 @@ func printScanResult(r scanResult) {
 		r.stats.ReadOps, r.stats.CoalescedBytes, r.stats.WastedBytes)
 	fmt.Printf("  pages:          %d decoded, %d skipped; batches: %d emitted, %d skipped\n",
 		r.stats.PagesDecoded, r.stats.PagesSkipped, r.stats.BatchesEmitted, r.stats.BatchesSkipped)
+	if c := r.stats.Cache; c.Any() {
+		fmt.Printf("  cache:          footers %d hit/%d miss, handles %d/%d, pages %d/%d (%d evicted)\n",
+			c.FooterHits, c.FooterMisses, c.HandleHits, c.HandleMisses,
+			c.PageHits, c.PageMisses, c.PageEvictions)
+	}
 	if r.stats.Retries > 0 || r.stats.Hedges > 0 || len(r.stats.DegradedMembers) > 0 {
 		fmt.Printf("  resilience:     %d retries, %d hedges (%d won), %d degraded members\n",
 			r.stats.Retries, r.stats.Hedges, r.stats.HedgeWins, len(r.stats.DegradedMembers))

@@ -90,10 +90,16 @@ func dsBenchDataset(b *testing.B, latency time.Duration) *Dataset {
 		}
 		ds.Close()
 
-		if dsBench.mem, err = OpenDataset(dir, nil); err != nil {
+		// DisableCache keeps these benches measuring the raw scan path:
+		// with the shared artifact cache on, the page tier would absorb
+		// the modeled blob latency and readops/op would collapse to the
+		// cache-miss fraction (that effect has its own benchmark pair in
+		// rescan_bench_test.go).
+		if dsBench.mem, err = OpenDataset(dir, &DatasetOptions{DisableCache: true}); err != nil {
 			panic(err)
 		}
 		dsBench.blob, err = OpenDataset(dir, &DatasetOptions{
+			DisableCache: true,
 			WrapReader: func(name string, r io.ReaderAt, size int64) io.ReaderAt {
 				return &latencyReaderAt{r: r, d: dsBenchLatency}
 			},

@@ -194,6 +194,31 @@ func main() {
 	sc.Close()
 	fmt.Printf("remote scan over %s: %d rows, %d reads, %d retries, %d hedges, %d degraded members\n",
 		srv.URL, rows, rstats.ReadOps, rstats.Retries, rstats.Hedges, len(rstats.DegradedMembers))
+
+	// 7. Scan it again from a fresh handle: member files are immutable,
+	//    so the first scan's footers, open handles, and page bytes are
+	//    still good in the process-wide artifact cache. The warm rescan
+	//    never asks the server for member metadata (or, here, any member
+	//    bytes at all) — on a real object store that is the difference
+	//    between a scan of round-trips and a scan of decode.
+	warm, err := bullion.OpenDataset(srv.URL, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer warm.Close()
+	sc, err = warm.Scan(bullion.DatasetScanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = drain(sc)
+	wstats := sc.Stats()
+	sc.Close()
+	fmt.Printf("warm rescan: %d rows; cache served %d footers, %d handles, %d page runs (%d footer misses)\n",
+		rows, wstats.Cache.FooterHits, wstats.Cache.HandleHits, wstats.Cache.PageHits,
+		wstats.Cache.FooterMisses)
+	if wstats.Cache.FooterMisses != 0 {
+		log.Fatalf("warm rescan re-parsed %d footers; expected all from cache", wstats.Cache.FooterMisses)
+	}
 }
 
 func drain(sc *bullion.DatasetScanner) int {

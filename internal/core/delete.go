@@ -329,10 +329,10 @@ func (f *File) rewriteFooter(w io.WriterAt, ftr *footer.Footer) error {
 	if err != nil {
 		return err
 	}
-	if len(buf) != f.footerLen {
-		return fmt.Errorf("core: footer changed size on rewrite: %d != %d", len(buf), f.footerLen)
+	if len(buf) != f.ftr.footerLen {
+		return fmt.Errorf("core: footer changed size on rewrite: %d != %d", len(buf), f.ftr.footerLen)
 	}
-	if _, err := w.WriteAt(buf, f.footerOff); err != nil {
+	if _, err := w.WriteAt(buf, f.ftr.footerOff); err != nil {
 		return fmt.Errorf("core: rewriting footer: %w", err)
 	}
 	view, err := footer.OpenView(buf)

@@ -7,27 +7,35 @@ import (
 	"math/bits"
 	"sync"
 
+	"bullion/internal/enc"
 	"bullion/internal/footer"
 	"bullion/internal/merkle"
 )
 
-// File is a read handle over a Bullion file. Opening parses only the fixed
-// footer header (O(1)); projecting a column touches O(log n) index bytes
-// plus that column's pages — the §2.3 wide-table property.
-type File struct {
-	r           io.ReaderAt
-	size        int64
-	footerOff   int64
-	view        *footer.View
-	footerLen   int
+// Footer is the parsed, immutable metadata artifact of one Bullion file:
+// the zero-copy footer view plus everything lazily derived from it —
+// group geometry and parsed file-level bloom filters. A Footer never
+// reads from the file after ParseFooter returns and is safe for
+// concurrent use, so one Footer can back any number of File handles over
+// the same bytes (the shared-cache path: N scans of a member pay one
+// footer parse total via OpenWithFooter).
+type Footer struct {
+	view      *footer.View
+	size      int64
+	footerOff int64
+	footerLen int
+
 	groupOnce   sync.Once
 	groupRows   []int    // lazy: logical rows per group
 	groupStarts []uint64 // lazy: global row id of each group's first row
-	rewriteOpts *Options // encoding options for Level-2 page rewrites
+
+	bloomOnce []sync.Once // per column, guards blooms[c]
+	blooms    []*enc.Bloom
 }
 
-// Open reads the footer from r and returns a file handle.
-func Open(r io.ReaderAt, size int64) (*File, error) {
+// ParseFooter reads and parses the footer of a size-byte file: the 8-byte
+// trailer, then the footer block — exactly two reads.
+func ParseFooter(r io.ReaderAt, size int64) (*Footer, error) {
 	if size < 8 {
 		return nil, fmt.Errorf("core: file of %d bytes is too small", size)
 	}
@@ -50,8 +58,98 @@ func Open(r io.ReaderAt, size int64) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{r: r, size: size, footerOff: size - 8 - fLen, view: view, footerLen: int(fLen)}, nil
+	return &Footer{
+		view:      view,
+		size:      size,
+		footerOff: size - 8 - fLen,
+		footerLen: int(fLen),
+		bloomOnce: make([]sync.Once, view.NumColumns()),
+		blooms:    make([]*enc.Bloom, view.NumColumns()),
+	}, nil
 }
+
+// View exposes the raw footer view.
+func (ftr *Footer) View() *footer.View { return ftr.view }
+
+// Size returns the file size the footer was parsed from.
+func (ftr *Footer) Size() int64 { return ftr.size }
+
+// DataEnd returns the byte offset where page data ends and the footer
+// block begins: coalesced page runs never cross it.
+func (ftr *Footer) DataEnd() int64 { return ftr.footerOff }
+
+// groupGeometry computes rows-per-group and group row starts once
+// (deletion-invariant, so safe to share across handles and deletions).
+func (ftr *Footer) groupGeometry() ([]int, []uint64) {
+	ftr.groupOnce.Do(func() {
+		out := make([]int, ftr.view.NumGroups())
+		starts := make([]uint64, ftr.view.NumGroups())
+		var row uint64
+		for g := range out {
+			starts[g] = row
+			first, count := ftr.view.ChunkPages(g, 0)
+			rows := 0
+			for p := first; p < first+count; p++ {
+				rows += ftr.view.PageRows(p)
+			}
+			out[g] = rows
+			row += uint64(rows)
+		}
+		ftr.groupRows = out
+		ftr.groupStarts = starts
+	})
+	return ftr.groupRows, ftr.groupStarts
+}
+
+// ColumnBloomFilter returns column c's parsed file-level bloom filter,
+// or nil when the column has none (or it fails to parse). The parse runs
+// once per column per Footer — the "parse once, probe forever" property
+// shared scans rely on.
+func (ftr *Footer) ColumnBloomFilter(c int) *enc.Bloom {
+	if c < 0 || c >= len(ftr.blooms) {
+		return nil
+	}
+	ftr.bloomOnce[c].Do(func() {
+		blob := ftr.view.ColumnBloom(c)
+		if len(blob) == 0 {
+			return
+		}
+		if fl, err := enc.OpenBloom(blob); err == nil {
+			ftr.blooms[c] = fl
+		}
+	})
+	return ftr.blooms[c]
+}
+
+// File is a read handle over a Bullion file. Opening parses only the fixed
+// footer header (O(1)); projecting a column touches O(log n) index bytes
+// plus that column's pages — the §2.3 wide-table property.
+type File struct {
+	r           io.ReaderAt
+	ftr         *Footer
+	view        *footer.View // this handle's view; DeleteRows replaces it
+	rewriteOpts *Options     // encoding options for Level-2 page rewrites
+}
+
+// Open reads the footer from r and returns a file handle.
+func Open(r io.ReaderAt, size int64) (*File, error) {
+	ftr, err := ParseFooter(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return OpenWithFooter(r, ftr), nil
+}
+
+// OpenWithFooter returns a handle over r reusing an already-parsed
+// Footer — zero reads. ftr must have been parsed from the same bytes r
+// addresses; the caller (the shared footer cache) guarantees this by
+// keying footers on the member's immutable version.
+func OpenWithFooter(r io.ReaderAt, ftr *Footer) *File {
+	return &File{r: r, ftr: ftr, view: ftr.view}
+}
+
+// Footer returns the file's shared parsed-footer artifact.
+func (f *File) Footer() *Footer { return f.ftr }
 
 // NumRows returns the logical row count (including deleted rows).
 func (f *File) NumRows() uint64 { return f.view.NumRows() }
@@ -101,33 +199,21 @@ func (f *File) Schema() *Schema {
 func (f *File) LookupColumn(name string) (int, bool) { return f.view.LookupColumn(name) }
 
 // GroupRowCounts returns logical rows per group (computed from column 0's
-// page index once, then cached; safe for concurrent readers).
+// page index once per Footer, then cached; safe for concurrent readers).
 func (f *File) GroupRowCounts() []int {
-	f.groupOnce.Do(func() {
-		out := make([]int, f.view.NumGroups())
-		starts := make([]uint64, f.view.NumGroups())
-		var row uint64
-		for g := range out {
-			starts[g] = row
-			first, count := f.view.ChunkPages(g, 0)
-			rows := 0
-			for p := first; p < first+count; p++ {
-				rows += f.view.PageRows(p)
-			}
-			out[g] = rows
-			row += uint64(rows)
-		}
-		f.groupRows = out
-		f.groupStarts = starts
-	})
-	return f.groupRows
+	rows, _ := f.ftr.groupGeometry()
+	return rows
 }
 
 // groupRowStart returns the global row id of the first row in group g.
 func (f *File) groupRowStart(g int) uint64 {
-	f.GroupRowCounts()
-	return f.groupStarts[g]
+	_, starts := f.ftr.groupGeometry()
+	return starts[g]
 }
+
+// parsedColumnBloom returns column c's parsed file-level bloom (nil when
+// absent), memoized on the shared Footer.
+func (f *File) parsedColumnBloom(c int) *enc.Bloom { return f.ftr.ColumnBloomFilter(c) }
 
 // pageByteRange returns the file byte span of global page p.
 func (f *File) pageByteRange(p int) (off, end int64) {
@@ -135,7 +221,7 @@ func (f *File) pageByteRange(p int) (off, end int64) {
 	if p+1 < f.view.NumPages() {
 		return off, int64(f.view.PageOffset(p + 1))
 	}
-	return off, f.footerOff
+	return off, f.ftr.footerOff
 }
 
 // deletedInRange counts deleted rows among global rows [lo, hi), one

@@ -22,7 +22,7 @@ func TestCorruptedPagePayload(t *testing.T) {
 	// decode to an error or be caught by checksum verification. (Some
 	// corruptions decode "successfully" to different values — that's what
 	// the Merkle tree exists to catch.)
-	dataEnd := int(f.footerOff)
+	dataEnd := int(f.ftr.footerOff)
 	for _, pos := range []int{0, dataEnd / 4, dataEnd / 2, dataEnd - 1} {
 		cp := &memFile{data: append([]byte{}, mf.data...)}
 		cp.data[pos] ^= 0xA5
@@ -52,7 +52,7 @@ func TestFooterRegionCorruption(t *testing.T) {
 	batch := testBatch(t, schema, rng, 200)
 	mf, f := writeTestFile(t, schema, batch, nil)
 
-	footerStart := int(f.footerOff)
+	footerStart := int(f.ftr.footerOff)
 	for delta := 0; delta < 64; delta += 7 {
 		cp := &memFile{data: append([]byte{}, mf.data...)}
 		cp.data[footerStart+delta] ^= 0xFF

@@ -417,6 +417,15 @@ func bloomExcludes(bf *boundFilter, blob []byte) bool {
 	if err != nil {
 		return false
 	}
+	return bloomFilterExcludes(bf, fl)
+}
+
+// bloomFilterExcludes is bloomExcludes over an already-parsed filter
+// (the memoized path: parse once per Footer, probe every scan).
+func bloomFilterExcludes(bf *boundFilter, fl *enc.Bloom) bool {
+	if len(bf.hashes) == 0 || fl == nil {
+		return false
+	}
 	for _, h := range bf.hashes {
 		if fl.ContainsHash(h) {
 			return false
@@ -451,12 +460,19 @@ func (s *Scanner) filterExcludesSpan(bf *boundFilter, span rowSpan) bool {
 // touching page statistics.
 func fileExcludedByFilters(src scanSource, filters []boundFilter) bool {
 	v := src.View()
+	// *File memoizes parsed column blooms on its shared Footer; fall back
+	// to a one-shot parse for sources without the memo.
+	memo, _ := src.(interface{ parsedColumnBloom(c int) *enc.Bloom })
 	for i := range filters {
 		bf := &filters[i]
 		if st, ok := v.ColumnStat(bf.col); ok && statExcludes(bf, st.Min, st.Max, st.Flags) {
 			return true
 		}
-		if bloomExcludes(bf, v.ColumnBloom(bf.col)) {
+		if memo != nil {
+			if bloomFilterExcludes(bf, memo.parsedColumnBloom(bf.col)) {
+				return true
+			}
+		} else if bloomExcludes(bf, v.ColumnBloom(bf.col)) {
 			return true
 		}
 	}

@@ -208,8 +208,8 @@ type FileStats struct {
 func (f *File) Stats() *FileStats {
 	v := f.view
 	s := &FileStats{
-		FileBytes:   f.size,
-		FooterBytes: f.footerLen,
+		FileBytes:   f.ftr.size,
+		FooterBytes: f.ftr.footerLen,
 		NumRows:     v.NumRows(),
 		LiveRows:    f.NumLiveRows(),
 		NumGroups:   v.NumGroups(),

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -8,7 +9,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bullion/internal/cache"
 	"bullion/internal/core"
+	"bullion/internal/enc"
 	"bullion/internal/storage"
 )
 
@@ -38,7 +41,37 @@ type Options struct {
 	// sweep only ever touches temporaries — never part files or
 	// manifests, which older-generation readers may still reference.
 	DisableRecoverySweep bool
+	// Cache overrides the shared artifact cache member opens flow
+	// through (parsed footers, open handles, page bytes — see
+	// internal/cache). Nil selects the process-wide shared cache, except
+	// when Backend is set: a caller-supplied backend may simulate faults
+	// or power cuts that violate the cache's member-immutability
+	// contract, so custom backends run uncached unless a Cache is passed
+	// explicitly. Set DisableCache to bypass caching entirely.
+	Cache *cache.Cache
+	// DisableCache bypasses the artifact cache: every member open reads
+	// and parses its footer from the backend, and page reads always hit
+	// storage. Scans are byte-identical either way.
+	DisableCache bool
+	// CacheBytes caps the page-cache bytes this dataset's members may
+	// hold (a per-root budget on whichever cache is in use; 0 = no
+	// per-dataset cap, only the cache's global budget applies).
+	CacheBytes int64
+	// FooterCacheEntries sizes the parsed-footer tier. Because entry
+	// caps are a property of the cache, setting this without an explicit
+	// Cache gives the dataset a private cache (sized with CacheBytes
+	// when that is also set) instead of resizing the shared one.
+	FooterCacheEntries int
+	// PinHotMembers materializes member files no larger than
+	// PinMemberBytes wholly in RAM on first open (mebo-style blobs):
+	// every page read of a pinned member is served at memory speed.
+	// Pins count against CacheBytes and the cache's global budget.
+	PinHotMembers bool
 }
+
+// PinMemberBytes is the size ceiling for Options.PinHotMembers: larger
+// members use the run cache only.
+const PinMemberBytes = 8 << 20
 
 // Dataset is a handle over a manifest-backed multi-file table. Scans may
 // run concurrently with each other and with Append/Delete/Compact: every
@@ -48,6 +81,11 @@ type Dataset struct {
 	dir     string
 	opts    Options
 	backend storage.Backend
+
+	// cache is the artifact cache member opens flow through (nil =
+	// uncached); ownsCache marks a private cache Close must tear down.
+	cache     *cache.Cache
+	ownsCache bool
 
 	// mu serializes mutators (Append/ShardedWriter commit/Delete/Compact).
 	mu sync.Mutex
@@ -94,49 +132,170 @@ type generation struct {
 type member struct {
 	entry FileEntry
 
-	once sync.Once
+	// mu memoizes a successful open forever; a failed open is NOT
+	// memoized, so a transient backend error (the resilient wrapper's
+	// budget exhausted during a network blip) is re-attempted by the
+	// next scan instead of poisoning every future scan of the snapshot.
+	mu   sync.Mutex
 	file *core.File
-	err  error
+
+	// zoneBlooms memoizes the manifest entry's parsed per-column bloom
+	// filters: entries are immutable and members are reused across
+	// generations, so each bloom is parsed once per Dataset, not once
+	// per scan. A nil value records "absent or unparseable".
+	zoneMu     sync.Mutex
+	zoneBlooms map[string]*enc.Bloom
 }
 
 // open opens the member file on first use — through the dataset's
 // storage backend, the single choke point for all member reads —
 // verifying its schema fingerprint and row count against the manifest
-// entry.
+// entry. Successful opens are memoized; failures are retried on the
+// next call.
 func (m *member) open(d *Dataset) (*core.File, error) {
-	m.once.Do(func() {
-		sf, size, err := d.backend.ReadAt(m.entry.Name)
-		if err != nil {
-			m.err = err
-			return
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.file != nil {
+		return m.file, nil
+	}
+	f, err := d.openMember(&m.entry)
+	if err != nil {
+		return nil, err
+	}
+	m.file = f
+	return f, nil
+}
+
+// manifestBloom returns the entry's parsed bloom filter for col (nil
+// when the manifest carries none, or it fails to parse), memoized for
+// the member's lifetime.
+func (m *member) manifestBloom(col string) *enc.Bloom {
+	m.zoneMu.Lock()
+	defer m.zoneMu.Unlock()
+	if fl, ok := m.zoneBlooms[col]; ok {
+		return fl
+	}
+	var fl *enc.Bloom
+	if z, ok := m.entry.zone(col); ok && len(z.Bloom) > 0 {
+		if parsed, err := enc.OpenBloom(z.Bloom); err == nil {
+			fl = parsed
 		}
-		if !d.track(sf) {
-			sf.Close()
-			m.err = fmt.Errorf("dataset: %s: dataset closed", m.entry.Name)
-			return
-		}
-		var r io.ReaderAt = sf
-		if d.opts.WrapReader != nil {
-			r = d.opts.WrapReader(m.entry.Name, r, size)
-		}
-		f, err := core.Open(r, size)
-		if err != nil {
-			m.err = fmt.Errorf("dataset: opening member %s: %w", m.entry.Name, err)
-			return
-		}
-		if fp := f.Schema().Fingerprint(); fp != m.entry.SchemaFP {
-			m.err = fmt.Errorf("dataset: member %s schema fingerprint %s != manifest %s",
-				m.entry.Name, fp, m.entry.SchemaFP)
-			return
-		}
-		if f.NumRows() != m.entry.Rows {
-			m.err = fmt.Errorf("dataset: member %s has %d rows, manifest records %d",
-				m.entry.Name, f.NumRows(), m.entry.Rows)
-			return
-		}
-		m.file = f
+	}
+	if m.zoneBlooms == nil {
+		m.zoneBlooms = map[string]*enc.Bloom{}
+	}
+	m.zoneBlooms[col] = fl
+	return fl
+}
+
+// memberVersion derives the cache-key version discriminator from the
+// manifest entry: any change to a member's bytes (a delete rewriting
+// footer bits, a replaced file) changes at least one of these fields,
+// so a version key always names exactly one byte-content.
+func memberVersion(e *FileEntry) string {
+	return fmt.Sprintf("%d|%d|%d|%s", e.Rows, e.LiveRows, e.Bytes, e.SchemaFP)
+}
+
+// openMember opens one member file through the cache tiers: the handle
+// LRU (skip re-open, one HEAD per member on HTTP), the parsed-footer
+// artifact cache (one core footer parse — and its two backend reads —
+// per member version process-wide, singleflighted), and the page cache
+// (scan runs served from memory on rescans). With no cache configured
+// it opens directly.
+func (d *Dataset) openMember(e *FileEntry) (*core.File, error) {
+	if d.cache == nil {
+		return d.openMemberDirect(e)
+	}
+	hk := cache.Key{Root: d.backend.Root(), Name: e.Name, Version: memberVersion(e)}
+	lease, err := d.cache.AcquireHandle(hk, func() (storage.File, int64, error) {
+		return d.backend.ReadAt(e.Name)
 	})
-	return m.file, m.err
+	if err != nil {
+		return nil, err
+	}
+	if !d.track(lease) {
+		lease.Release()
+		return nil, fmt.Errorf("dataset: %s: dataset closed", e.Name)
+	}
+	size := lease.Size()
+	var r io.ReaderAt = lease.File()
+	if d.opts.WrapReader != nil {
+		r = d.opts.WrapReader(e.Name, r, size)
+	}
+	// Content key: the manifest-derived version, sharpened by the
+	// backend's ETag when it pins one — a remote object replaced outside
+	// any manifest commit then gets fresh footer/page entries on reopen.
+	ck := hk
+	if et, ok := lease.File().(storage.ETagged); ok {
+		if tag := et.ETag(); tag != "" {
+			ck.Version += "|" + tag
+		}
+	}
+	ftrAny, err := d.cache.Artifact(ck, func() (any, error) {
+		return core.ParseFooter(r, size)
+	})
+	if err != nil {
+		lease.Release()
+		return nil, fmt.Errorf("dataset: opening member %s: %w", e.Name, err)
+	}
+	ftr := ftrAny.(*core.Footer)
+	if d.opts.PinHotMembers && size <= PinMemberBytes {
+		// Best-effort: a member that fails to materialize (budget, read
+		// error) still scans through the run cache.
+		d.cache.Materialize(ck, r, size)
+	}
+	// Reads that prove the pinned object was replaced under us drop the
+	// member's cache entries, so the next open re-probes instead of
+	// serving a version that can only keep failing.
+	onErr := func(rerr error) {
+		if errors.Is(rerr, storage.ErrChangedUnderRead) {
+			d.cache.Invalidate(ck.Root, ck.Name)
+		}
+	}
+	f := core.OpenWithFooter(d.cache.Reader(ck, r, onErr), ftr)
+	if err := checkMember(f, e); err != nil {
+		lease.Release()
+		return nil, err
+	}
+	return f, nil
+}
+
+// openMemberDirect is the uncached open path (DisableCache, or a
+// custom backend without an explicit cache).
+func (d *Dataset) openMemberDirect(e *FileEntry) (*core.File, error) {
+	sf, size, err := d.backend.ReadAt(e.Name)
+	if err != nil {
+		return nil, err
+	}
+	if !d.track(sf) {
+		sf.Close()
+		return nil, fmt.Errorf("dataset: %s: dataset closed", e.Name)
+	}
+	var r io.ReaderAt = sf
+	if d.opts.WrapReader != nil {
+		r = d.opts.WrapReader(e.Name, r, size)
+	}
+	f, err := core.Open(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: opening member %s: %w", e.Name, err)
+	}
+	if err := checkMember(f, e); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// checkMember verifies an opened file against its manifest entry.
+func checkMember(f *core.File, e *FileEntry) error {
+	if fp := f.Schema().Fingerprint(); fp != e.SchemaFP {
+		return fmt.Errorf("dataset: member %s schema fingerprint %s != manifest %s",
+			e.Name, fp, e.SchemaFP)
+	}
+	if f.NumRows() != e.Rows {
+		return fmt.Errorf("dataset: member %s has %d rows, manifest records %d",
+			e.Name, f.NumRows(), e.Rows)
+	}
+	return nil
 }
 
 // track registers an opened file for Close; it reports false when the
@@ -263,6 +422,7 @@ func Open(dir string, opts *Options) (*Dataset, error) {
 		return nil, err
 	}
 	d.backend = b
+	d.resolveCache()
 	if !d.opts.DisableRecoverySweep {
 		sweepTempDebris(b)
 	}
@@ -305,6 +465,47 @@ func sweepTempDebris(b storage.Backend) []string {
 		b.SyncDir()
 	}
 	return removed
+}
+
+// resolveCache applies the Options cache policy (see Options.Cache):
+// explicit instance > disabled > private (sizing knobs without an
+// instance) > process-wide shared, with custom backends defaulting to
+// uncached. CacheBytes becomes this root's page budget either way.
+func (d *Dataset) resolveCache() {
+	o := &d.opts
+	switch {
+	case o.DisableCache:
+		d.cache = nil
+	case o.Cache != nil:
+		d.cache = o.Cache
+	case o.FooterCacheEntries > 0:
+		d.cache = cache.New(cache.Options{
+			FooterEntries: o.FooterCacheEntries,
+			PageBytes:     o.CacheBytes,
+		})
+		d.ownsCache = true
+	case o.Backend != nil:
+		// A substituted backend (fault injection, power-cut simulation)
+		// may break the immutable-member contract the cache keys rely
+		// on: stay uncached unless the caller opts in with Cache.
+		d.cache = nil
+	default:
+		d.cache = cache.Shared()
+	}
+	if d.cache != nil && o.CacheBytes > 0 {
+		d.cache.SetRootBudget(d.backend.Root(), o.CacheBytes)
+	}
+}
+
+// CacheStats snapshots the artifact cache serving this dataset (the
+// shared process-wide cache unless Options selected a private one or
+// disabled caching; zero when disabled). Counters are cache-wide, so
+// they include work other datasets sharing the cache performed.
+func (d *Dataset) CacheStats() cache.Stats {
+	if d.cache == nil {
+		return cache.Stats{}
+	}
+	return d.cache.Stats()
 }
 
 // generationSnapshot returns the current generation.
@@ -538,6 +739,12 @@ func (d *Dataset) Vacuum() ([]string, error) {
 			return removed, err
 		}
 		removed = append(removed, name)
+		if d.cache != nil {
+			// Drop the removed file's cached artifacts: nothing can hit
+			// them again (its name left every manifest), so they would
+			// only hold handles and bytes until eviction.
+			d.cache.Invalidate(d.backend.Root(), name)
+		}
 	}
 	if removed != nil {
 		// Best-effort: reclamation need not be durable for correctness;
@@ -563,5 +770,13 @@ func (d *Dataset) Close() error {
 		}
 	}
 	d.opened = nil
+	if d.ownsCache {
+		// A private cache (Options.FooterCacheEntries without an explicit
+		// Cache) dies with its dataset; shared caches outlive every
+		// dataset and are never closed here.
+		if err := d.cache.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"bullion/internal/cache"
 	"bullion/internal/core"
 	"bullion/internal/enc"
 	"bullion/internal/storage"
@@ -65,6 +66,30 @@ type ScanStats struct {
 	// after the retry budget was exhausted, in manifest order. Empty
 	// unless ScanOptions.Degraded was set.
 	DegradedMembers []string
+	// Cache counts the artifact cache's work while this scanner was
+	// live. Like the resilience counters, it is a cache-wide delta since
+	// Scan: concurrent scanners sharing the cache observe the union of
+	// their overlapping work. All zero when caching is disabled.
+	Cache CacheScanStats
+}
+
+// CacheScanStats is the cache-counter section of ScanStats: hits and
+// misses per tier (parsed footers, open handles, page runs) plus page
+// evictions, as deltas over the scanner's lifetime.
+type CacheScanStats struct {
+	FooterHits    int64
+	FooterMisses  int64
+	HandleHits    int64
+	HandleMisses  int64
+	PageHits      int64
+	PageMisses    int64
+	PageEvictions int64
+}
+
+// Any reports whether the scan did any cache work at all — the CLI
+// prints the cache line only when it did.
+func (c CacheScanStats) Any() bool {
+	return c != CacheScanStats{}
 }
 
 // Scanner streams a projected column set across a dataset's member files
@@ -98,6 +123,12 @@ type Scanner struct {
 		ResilienceStats() storage.ResilienceStats
 	}
 	resBase storage.ResilienceStats
+
+	// cache/cacheBase mirror res/resBase for the artifact cache: the
+	// snapshot at Scan time turns cumulative counters into this
+	// scanner's delta.
+	cache     *cache.Cache
+	cacheBase cache.Stats
 
 	degradedOK bool
 
@@ -173,11 +204,15 @@ func (d *Dataset) Scan(opts ScanOptions) (*Scanner, error) {
 		s.res = res
 		s.resBase = res.ResilienceStats()
 	}
+	if d.cache != nil {
+		s.cache = d.cache
+		s.cacheBase = d.cache.Stats()
+	}
 	prepared := prepareFilters(opts.Filters)
 	for i, m := range gen.members {
 		fileLo, fileHi := gen.starts[i], gen.starts[i]+m.entry.Rows
 		if m.entry.Rows == 0 || m.entry.LiveRows == 0 ||
-			fileHi <= lo || fileLo >= hi || entryExcluded(&m.entry, prepared) {
+			fileHi <= lo || fileLo >= hi || m.excluded(prepared) {
 			s.pruned++
 			continue
 		}
@@ -287,12 +322,14 @@ func prepareFilters(filters []core.ColumnFilter) []manifestFilter {
 	return out
 }
 
-// entryExcluded reports whether the manifest's file-level statistics
-// prove no row of the member can satisfy some filter: int and float zone
-// maps for range predicates, the per-member bloom for membership
-// predicates. Columns without matching-domain statistics never prune
-// (conservative, exactly like page pruning).
-func entryExcluded(e *FileEntry, filters []manifestFilter) bool {
+// excluded reports whether the manifest's file-level statistics prove
+// no row of the member can satisfy some filter: int and float zone maps
+// for range predicates, the per-member bloom for membership predicates.
+// Columns without matching-domain statistics never prune (conservative,
+// exactly like page pruning). Bloom probes go through the member's
+// parse-once memo — repeated scans re-probe without re-parsing.
+func (m *member) excluded(filters []manifestFilter) bool {
+	e := &m.entry
 	for i := range filters {
 		cf := &filters[i].cf
 		z, ok := e.zone(cf.Column)
@@ -309,8 +346,8 @@ func entryExcluded(e *FileEntry, filters []manifestFilter) bool {
 				return true
 			}
 		}
-		if hs := filters[i].hashes; len(hs) > 0 && len(z.Bloom) > 0 {
-			if fl, err := enc.OpenBloom(z.Bloom); err == nil && !bloomAnyHash(fl, hs) {
+		if hs := filters[i].hashes; len(hs) > 0 {
+			if fl := m.manifestBloom(cf.Column); fl != nil && !bloomAnyHash(fl, hs) {
 				return true
 			}
 		}
@@ -465,6 +502,18 @@ func (s *Scanner) Stats() ScanStats {
 		st.Retries = cur.Retries - s.resBase.Retries
 		st.Hedges = cur.Hedges - s.resBase.Hedges
 		st.HedgeWins = cur.HedgeWins - s.resBase.HedgeWins
+	}
+	if s.cache != nil {
+		cur := s.cache.Stats()
+		st.Cache = CacheScanStats{
+			FooterHits:    cur.FooterHits - s.cacheBase.FooterHits,
+			FooterMisses:  cur.FooterMisses - s.cacheBase.FooterMisses,
+			HandleHits:    cur.HandleHits - s.cacheBase.HandleHits,
+			HandleMisses:  cur.HandleMisses - s.cacheBase.HandleMisses,
+			PageHits:      cur.PageHits - s.cacheBase.PageHits,
+			PageMisses:    cur.PageMisses - s.cacheBase.PageMisses,
+			PageEvictions: cur.PageEvictions - s.cacheBase.PageEvictions,
+		}
 	}
 	return st
 }

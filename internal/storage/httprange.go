@@ -269,6 +269,10 @@ func (f *httpFile) ReadAtContext(ctx context.Context, p []byte, off int64) (int,
 	return n, nil
 }
 
+// ETag returns the object version pinned at open ("" when the server
+// emits no ETag or pinning is disabled) — see storage.ETagged.
+func (f *httpFile) ETag() string { return f.pin.etag }
+
 func (f *httpFile) Write([]byte) (int, error)          { return 0, ErrReadOnly }
 func (f *httpFile) WriteAt([]byte, int64) (int, error) { return 0, ErrReadOnly }
 func (f *httpFile) Sync() error                        { return ErrReadOnly }

@@ -444,6 +444,15 @@ func (r *Resilient) hedgeDelay() time.Duration {
 	return p95
 }
 
+// ETag forwards the wrapped handle's pinned object version (see
+// storage.ETagged); "" when the underlying backend has none.
+func (f *resilientFile) ETag() string {
+	if e, ok := f.under.(ETagged); ok {
+		return e.ETag()
+	}
+	return ""
+}
+
 func (f *resilientFile) WriteAt(p []byte, off int64) (int, error) { return f.under.WriteAt(p, off) }
 func (f *resilientFile) Write(p []byte) (int, error)              { return f.under.Write(p) }
 func (f *resilientFile) Sync() error                              { return f.under.Sync() }

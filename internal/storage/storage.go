@@ -64,6 +64,15 @@ type ContextFile interface {
 	ReadAtContext(ctx context.Context, p []byte, off int64) (int, error)
 }
 
+// ETagged is the optional File upgrade for backends that pin an object
+// version at open (the HTTP range backend's HEAD + If-Match pin). A
+// non-empty ETag is a content discriminator: two handles with the same
+// ETag address the same bytes, which lets caches key immutable
+// artifacts by version. Wrappers forward it from the handle they wrap.
+type ETagged interface {
+	ETag() string
+}
+
 // ErrReadOnly is returned by mutation operations on read-only backends
 // (the HTTP range-read backend serves immutable published datasets).
 var ErrReadOnly = errors.New("storage: backend is read-only")
