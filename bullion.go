@@ -339,6 +339,60 @@
 // eagerly drops the entries of files it removes. Scan-visible effect is
 // reported per scanner in DatasetScanStats.Cache and cache-wide via
 // Dataset.CacheStats.
+//
+// # Training loaders and time travel
+//
+// Training jobs need two things a mutable dataset does not naturally
+// give them: a frozen view that survives the days a run takes, and a
+// shuffled epoch stream they can stop and resume exactly. Both are built
+// on manifest generations.
+//
+// Time travel. Dataset.Tag names the current (or any still-present)
+// generation; the tag is stored in the manifest and carried forward by
+// every later commit, so it is as crash-safe as the data itself —
+// creating or deleting a tag is an ordinary CAS commit. OpenDatasetAt
+// opens a read-only handle pinned to a tag (or a numeric generation):
+//
+//	_ = ds.Tag("train-v1", 0)            // freeze the current generation
+//	snap, _ := bullion.OpenDatasetAt("ads.blnds", "train-v1", nil)
+//	defer snap.Close()                   // mutators fail ErrSnapshotReadOnly
+//
+// Vacuum is retention-aware: generations that are tagged, pinned by an
+// open snapshot handle, or pinned by a live scanner in this process keep
+// their manifest and member files, and VacuumWithReport says exactly
+// what was kept and why (Fsck audits the same retained set, so a tagged
+// generation with a missing member fails fsck, not the next training
+// run). Untag and re-vacuum to reclaim. One caveat is deliberate:
+// Dataset.Delete flips deletion bits inside member files that snapshots
+// share, so compliance deletes propagate into tagged history — deletion
+// compliance outranks replay stability (§2.1).
+//
+// Loaders. NewLoader plans a shuffled multi-epoch stream over a handle's
+// generation from the manifest's row counts alone — the plan costs zero
+// data reads. The global row space is cut into ShardRows-sized shards
+// (never straddling a member file), each epoch visits the shards in a
+// seeded pseudorandom order, and batches stream through the dataset scan
+// engine — shared page cache, pruning, parallel decode — with ShardAhead
+// shards decoding ahead of the emission cursor:
+//
+//	ld, _ := bullion.NewLoader(snap, bullion.LoaderOptions{
+//	    Columns: hotFeatures, Seed: 42, Epochs: 3,
+//	    TargetRowsPerSec: 500_000, // optional pacing toward the GPU budget
+//	})
+//	defer ld.Close()
+//	err := ld.Feed(8, func(consumer int, b *bullion.Batch) error {
+//	    return train(consumer, b) // 8 parallel consumers, first error wins
+//	})
+//
+// The stream is a pure function of (generation, seed, shard/batch
+// sizes): two runs with the same identity emit byte-identical batch
+// sequences, on any machine. Loader.Checkpoint captures that identity
+// plus the (epoch, shard, batch) cursor — a few integers — and
+// ResumeLoader continues the exact stream, mid-shard, against a handle
+// opened at the same generation, no matter what was appended, deleted,
+// or vacuumed in between (the tag kept the bytes). Single-consumer
+// iteration uses Next directly; Loader.Stats reports plan cost and
+// progress.
 package bullion
 
 import (
@@ -351,6 +405,7 @@ import (
 	"bullion/internal/core"
 	"bullion/internal/dataset"
 	"bullion/internal/enc"
+	"bullion/internal/loader"
 	"bullion/internal/quant"
 	"bullion/internal/sparse"
 	"bullion/internal/storage"
@@ -736,7 +791,34 @@ type (
 	// DatasetCacheScanStats is the per-scan delta of cache activity,
 	// reported in DatasetScanStats.Cache.
 	DatasetCacheScanStats = dataset.CacheScanStats
+
+	// VacuumReport details a retention-aware Dataset.VacuumWithReport:
+	// files removed, generations retained (tagged or pinned), and the
+	// files kept on their behalf.
+	VacuumReport = dataset.VacuumReport
+	// FsckRetained is one retained (tagged) generation's audit record
+	// within an FsckReport.
+	FsckRetained = dataset.FsckRetained
+
+	// Loader streams a dataset generation as deterministic shuffled
+	// epochs (see "Training loaders and time travel").
+	Loader = loader.Loader
+	// LoaderOptions configures NewLoader: projection, shuffle seed and
+	// granule, epochs, batch size, read-ahead, and pacing.
+	LoaderOptions = loader.Options
+	// LoaderShard is one shuffle granule: global rows [Lo, Hi).
+	LoaderShard = loader.Shard
+	// LoaderCheckpoint is an exact resume point — the plan identity
+	// (generation, seed, sizes) plus the (epoch, shard, batch) cursor.
+	// It marshals to JSON for persisting alongside model checkpoints.
+	LoaderCheckpoint = loader.Checkpoint
+	// LoaderStats snapshots a loader's progress and planning cost.
+	LoaderStats = loader.Stats
 )
+
+// DefaultLoaderShardRows is the shuffle granule when
+// LoaderOptions.ShardRows is 0.
+const DefaultLoaderShardRows = loader.DefaultShardRows
 
 // Sentinel errors surfaced by dataset commits.
 var (
@@ -757,6 +839,12 @@ var (
 	// ErrCircuitOpen reports a read failed fast because the resilience
 	// wrapper's circuit breaker is open after consecutive failures.
 	ErrCircuitOpen = storage.ErrCircuitOpen
+	// ErrSnapshotReadOnly reports a mutation attempted through a handle
+	// opened at a pinned generation (OpenDatasetAt).
+	ErrSnapshotReadOnly = dataset.ErrSnapshotReadOnly
+	// ErrNoSuchTag reports a tag or generation reference the dataset does
+	// not know.
+	ErrNoSuchTag = dataset.ErrNoSuchTag
 )
 
 // CreateDataset initializes a new dataset directory with an empty
@@ -768,6 +856,32 @@ func CreateDataset(dir string, schema *Schema, opts *DatasetOptions) (*Dataset, 
 // OpenDataset opens the dataset at dir at its current manifest generation.
 func OpenDataset(dir string, opts *DatasetOptions) (*Dataset, error) {
 	return dataset.Open(dir, opts)
+}
+
+// OpenDatasetAt opens a read-only handle pinned to the generation ref
+// names: a tag created with Dataset.Tag, or (when ref is all digits) a
+// numeric generation. The pinned generation's files are protected from
+// Vacuum by handles in this process for as long as the handle is open;
+// tagged generations are protected across processes by the tag itself.
+// Mutations through the handle fail with ErrSnapshotReadOnly.
+func OpenDatasetAt(dir, ref string, opts *DatasetOptions) (*Dataset, error) {
+	return dataset.OpenAt(dir, ref, opts)
+}
+
+// NewLoader plans a deterministic shuffled epoch stream over ds's
+// current generation — manifest row counts only, zero data reads (see
+// "Training loaders and time travel"). Open ds via OpenDatasetAt when
+// commits may land while the loader runs.
+func NewLoader(ds *Dataset, opts LoaderOptions) (*Loader, error) {
+	return loader.New(ds, opts)
+}
+
+// ResumeLoader continues the exact batch stream a LoaderCheckpoint was
+// captured from, mid-shard. ds must be opened at the checkpoint's
+// generation (OpenDatasetAt); the checkpoint's identity fields override
+// the corresponding opts.
+func ResumeLoader(ds *Dataset, ck LoaderCheckpoint, opts LoaderOptions) (*Loader, error) {
+	return loader.Resume(ds, ck, opts)
 }
 
 // FsckDataset audits the dataset at dir without mutating it: manifest

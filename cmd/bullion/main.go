@@ -10,6 +10,8 @@
 //	bullion ingest [flags] <path>...     write synthetic tables, report per-file + aggregate iostats
 //	bullion compact [flags] <dir>...     fold deletion-heavy dataset members into fresh files
 //	bullion fsck [flags] <dir>...        audit dataset integrity and crash debris
+//	bullion tag [flags] <dir> [name]     list, create, or delete snapshot tags
+//	bullion epochs [flags] <dir> [col].. stream shuffled training epochs, checkpoint/resume
 //	bullion delete <path> <row>...       delete rows (file or dataset)
 //	bullion demo <file>                  write a small demo ads file
 //
@@ -63,6 +65,10 @@ func main() {
 		err = compact(args)
 	case "fsck":
 		err = fsck(args)
+	case "tag":
+		err = tag(args)
+	case "epochs":
+		err = epochs(args)
 	case "delete":
 		err = deleteRows(args[0], args[1:])
 	case "demo":
@@ -88,6 +94,12 @@ func usage() {
   bullion ingest [-rows N] [-cols N] [-group N] [-workers N] [-shards N] [-no-cache] <file>... | <dir>
   bullion compact [-threshold R] [-vacuum] <dir>...
   bullion fsck [-json] [-deep] [-repair] <dir|url>...
+  bullion tag <dir>                       # list tags
+  bullion tag <dir> <name> [generation]   # tag a generation (default: current)
+  bullion tag -delete <dir> <name>
+  bullion epochs [-at tag|gen] [-seed N] [-epochs N] [-shard-rows N] [-batch N]
+                 [-consumers N] [-rate ROWS/S] [-max-batches N]
+                 [-checkpoint FILE] [-resume FILE] <dir> [column]...
   bullion delete <file|dir> <row>...
   bullion demo <file>`)
 	os.Exit(2)
@@ -1128,6 +1140,199 @@ func printFsckReport(rep *bullion.FsckReport) {
 	if n := len(rep.OrphanManifests); n > 0 {
 		fmt.Printf("  %d superseded manifests (reclaimable via vacuum)\n", n)
 	}
+	for _, rg := range rep.Retained {
+		fmt.Printf("  retained generation %d (tags %s): %d files, %d rows\n",
+			rg.Generation, strings.Join(rg.Tags, ","), rg.Files, rg.Rows)
+		for _, m := range rg.Missing {
+			fmt.Printf("    MISSING %s\n", m)
+		}
+	}
+}
+
+// tag lists, creates, or deletes a dataset's snapshot tags. Creating a
+// tag is an ordinary manifest commit; tagged generations are retained by
+// Vacuum until untagged.
+func tag(args []string) error {
+	fs := flag.NewFlagSet("tag", flag.ExitOnError)
+	del := fs.Bool("delete", false, "delete the named tag instead of creating it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("tag: no dataset directory given")
+	}
+	ds, err := bullion.OpenDataset(rest[0], nil)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+
+	switch {
+	case len(rest) == 1: // list
+		if *del {
+			return fmt.Errorf("tag: -delete needs a tag name")
+		}
+		tags := ds.Tags()
+		names := make([]string, 0, len(tags))
+		for name := range tags {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-32s generation %d\n", name, tags[name])
+		}
+		if len(names) == 0 {
+			fmt.Printf("%s: no tags (current generation %d)\n", rest[0], ds.Generation())
+		}
+		return nil
+	case *del:
+		if len(rest) != 2 {
+			return fmt.Errorf("tag: -delete takes <dir> <name>")
+		}
+		if err := ds.Untag(rest[1]); err != nil {
+			return err
+		}
+		fmt.Printf("deleted tag %s (generation %d); vacuum reclaims the files\n", rest[1], ds.Generation())
+		return nil
+	default:
+		var gen uint64
+		if len(rest) == 3 {
+			if gen, err = strconv.ParseUint(rest[2], 10, 64); err != nil {
+				return fmt.Errorf("tag: bad generation %q", rest[2])
+			}
+		} else if len(rest) != 2 {
+			return fmt.Errorf("tag: want <dir> <name> [generation]")
+		}
+		if err := ds.Tag(rest[1], gen); err != nil {
+			return err
+		}
+		fmt.Printf("tagged %s -> generation %d (commit %d)\n", rest[1], ds.Tags()[rest[1]], ds.Generation())
+		return nil
+	}
+}
+
+// epochs streams shuffled training epochs over a dataset (or a tagged
+// snapshot of one), optionally checkpointing the cursor to a file and
+// resuming from one — the CLI face of the training loader.
+func epochs(args []string) error {
+	fs := flag.NewFlagSet("epochs", flag.ExitOnError)
+	at := fs.String("at", "", "open this tag or generation instead of the live dataset")
+	seed := fs.Int64("seed", 0, "shuffle seed")
+	nEpochs := fs.Int("epochs", 1, "passes over the dataset")
+	shardRows := fs.Int("shard-rows", 0, "shuffle granule in rows (0 = default)")
+	batchRows := fs.Int("batch", 0, "rows per emitted batch (0 = scanner default)")
+	consumers := fs.Int("consumers", 1, "parallel consumers fed via Feed")
+	rate := fs.Float64("rate", 0, "target feed rate in rows/sec (0 = unpaced)")
+	maxBatches := fs.Int("max-batches", 0, "stop after N batches (0 = stream to the end)")
+	ckPath := fs.String("checkpoint", "", "write the final cursor to this JSON file")
+	resume := fs.String("resume", "", "resume from a checkpoint JSON file written by -checkpoint")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("epochs: no dataset directory given")
+	}
+	dir, cols := rest[0], rest[1:]
+
+	var ck bullion.LoaderCheckpoint
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &ck); err != nil {
+			return fmt.Errorf("epochs: bad checkpoint %s: %w", *resume, err)
+		}
+		if *at == "" {
+			// The checkpoint pins the generation; open it directly.
+			*at = strconv.FormatUint(ck.Generation, 10)
+		}
+	}
+
+	var ds *bullion.Dataset
+	var err error
+	if *at != "" {
+		ds, err = bullion.OpenDatasetAt(dir, *at, nil)
+	} else {
+		ds, err = bullion.OpenDataset(dir, nil)
+	}
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+
+	opts := bullion.LoaderOptions{
+		Columns:          cols,
+		ShardRows:        *shardRows,
+		Seed:             *seed,
+		Epochs:           *nEpochs,
+		BatchRows:        *batchRows,
+		TargetRowsPerSec: *rate,
+	}
+	var ld *bullion.Loader
+	if *resume != "" {
+		ld, err = bullion.ResumeLoader(ds, ck, opts)
+	} else {
+		ld, err = bullion.NewLoader(ds, opts)
+	}
+	if err != nil {
+		return err
+	}
+	defer ld.Close()
+
+	start := time.Now()
+	var rows, batches int64
+	if *maxBatches > 0 || *consumers <= 1 {
+		// Single-consumer iteration; -max-batches needs the caller-driven
+		// loop to stop at an exact batch boundary for the checkpoint.
+		for *maxBatches == 0 || batches < int64(*maxBatches) {
+			b, err := ld.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			rows += int64(b.NumRows())
+			batches++
+		}
+	} else {
+		var mu sync.Mutex
+		err = ld.Feed(*consumers, func(_ int, b *bullion.Batch) error {
+			mu.Lock()
+			rows += int64(b.NumRows())
+			batches++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := ld.Stats()
+	fmt.Printf("%s: generation %d, %d shards/epoch, epoch %d\n",
+		dir, st.Generation, st.EpochShards, st.Epoch)
+	fmt.Printf("  streamed:  %d rows in %d batches in %v (%.0f rows/sec)\n",
+		rows, batches, elapsed.Round(time.Microsecond), float64(rows)/elapsed.Seconds())
+	fmt.Printf("  plan cost: %v (manifest only, zero data reads)\n", st.PlanTime.Round(time.Microsecond))
+
+	if *ckPath != "" {
+		cur := ld.Checkpoint()
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*ckPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  checkpoint: %s (epoch %d, shard %d, batch %d)\n",
+			*ckPath, cur.Epoch, cur.Shard, cur.Batch)
+	}
+	return nil
 }
 
 func deleteRows(path string, args []string) error {

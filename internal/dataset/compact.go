@@ -32,6 +32,9 @@ type CompactStats struct {
 // Scans holding the previous generation keep serving: the victims'
 // bytes are untouched on disk until Vacuum reclaims them.
 func (d *Dataset) Compact(threshold float64) (CompactStats, error) {
+	if d.snapshot {
+		return CompactStats{}, ErrSnapshotReadOnly
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	gen := d.generationSnapshot()

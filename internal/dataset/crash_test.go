@@ -118,10 +118,18 @@ func spanRows(lo, hi uint64) []uint64 {
 	return out
 }
 
+// tagRec records the workload's tag commit: which generation the tag
+// pins and that generation's live keys at tag time.
+type tagRec struct {
+	name string
+	gen  uint64
+	live []int64
+}
+
 // crashWorkload drives every mutation kind through fb once — sharded
-// ingest, append, delete, compact, vacuum — recording the shadow state
-// and op count at each successful commit.
-func crashWorkload(t *testing.T, fb *storage.Fault) ([]commitRec, []deleteRec) {
+// ingest, append, tag, delete, compact, vacuum — recording the shadow
+// state and op count at each successful commit.
+func crashWorkload(t *testing.T, fb *storage.Fault) ([]commitRec, []deleteRec, tagRec) {
 	t.Helper()
 	opts := &Options{Backend: fb}
 	sh := &shadowModel{}
@@ -163,6 +171,15 @@ func crashWorkload(t *testing.T, fb *storage.Fault) ([]commitRec, []deleteRec) {
 	sh.addSharded([][]int64{wantKeys(200, 250)}, 1)
 	record(d) // generation 3
 
+	// Tag the pre-delete state: the tag commit is a generation like any
+	// other, and the later compact + vacuum must retain generation 3's
+	// files at every crash point where the tag is durable.
+	tag := tagRec{name: "ckpt", gen: d.Generation(), live: sh.liveKeys()}
+	if err := d.Tag(tag.name, 0); err != nil {
+		t.Fatal(err)
+	}
+	record(d) // generation 4: tag commit
+
 	// Delete rows spanning two members.
 	rows := append(spanRows(5, 25), spanRows(175, 185)...)
 	start := fb.OpCount()
@@ -170,7 +187,7 @@ func crashWorkload(t *testing.T, fb *storage.Fault) ([]commitRec, []deleteRec) {
 	if err := d.Delete(rows); err != nil {
 		t.Fatal(err)
 	}
-	record(d) // generation 4
+	record(d) // generation 5
 	deletes = append(deletes, deleteRec{targets: targets, startOps: start, commitGen: d.Generation()})
 
 	// Compact everything holding deletions.
@@ -178,7 +195,7 @@ func crashWorkload(t *testing.T, fb *storage.Fault) ([]commitRec, []deleteRec) {
 		t.Fatal(err)
 	}
 	sh.compact(0.999)
-	record(d) // generation 5
+	record(d) // generation 6
 
 	if _, err := d.Vacuum(); err != nil {
 		t.Fatal(err)
@@ -189,7 +206,7 @@ func crashWorkload(t *testing.T, fb *storage.Fault) ([]commitRec, []deleteRec) {
 		t.Fatal(err)
 	}
 	sh.addSharded([][]int64{wantKeys(300, 340)}, 1)
-	record(d) // generation 6
+	record(d) // generation 7
 
 	// A second delete over the compacted layout.
 	rows = spanRows(0, 10)
@@ -198,10 +215,10 @@ func crashWorkload(t *testing.T, fb *storage.Fault) ([]commitRec, []deleteRec) {
 	if err := d.Delete(rows); err != nil {
 		t.Fatal(err)
 	}
-	record(d) // generation 7
+	record(d) // generation 8
 	deletes = append(deletes, deleteRec{targets: targets, startOps: start, commitGen: d.Generation()})
 
-	return commits, deletes
+	return commits, deletes, tag
 }
 
 // scanKeyVals drains a key+val scan, verifying the val column's integrity
@@ -267,7 +284,7 @@ func verifyLiveKeys(got, want []int64, allowed map[int64]bool) error {
 func TestCrashMatrix(t *testing.T) {
 	fb := storage.NewFault("crashds")
 	fb.EnableSnapshots()
-	commits, deletes := crashWorkload(t, fb)
+	commits, deletes, tag := crashWorkload(t, fb)
 	snaps := fb.Snapshots()
 	if len(snaps) < 20 {
 		t.Fatalf("only %d snapshots recorded; the matrix is not covering the workload", len(snaps))
@@ -347,10 +364,74 @@ func TestCrashMatrix(t *testing.T) {
 				t.Fatalf("%s: fsck warnings outside any delete window: %v", name, rep.Warnings)
 			}
 
+			// If the tag commit is durable in this snapshot, the tagged
+			// generation must be openable and serve its frozen row set.
+			// Deletes flip footer bits in member files the tagged generation
+			// shares, so any delete that had started by the crash point may
+			// have leaked into the snapshot — but nothing else may differ.
+			tagDurable := d2.Tags()[tag.name] == tag.gen
+			checkSnapshot := func(when string) {
+				sd, err := OpenAt("crashds", tag.name, &Options{Backend: rb})
+				if err != nil {
+					t.Fatalf("%s: OpenAt(%q) %s: %v", name, tag.name, when, err)
+				}
+				defer sd.Close()
+				if sd.Generation() != tag.gen {
+					t.Fatalf("%s: tag %q resolved to generation %d, want %d",
+						name, tag.name, sd.Generation(), tag.gen)
+				}
+				snapAllowed := map[int64]bool{}
+				for _, dr := range deletes {
+					if dr.startOps <= snap.AfterOps {
+						for k := range dr.targets {
+							snapAllowed[k] = true
+						}
+					}
+				}
+				got, err := scanKeyVals(sd)
+				if err != nil {
+					t.Fatalf("%s: tagged snapshot scan %s: %v", name, when, err)
+				}
+				if err := verifyLiveKeys(got, tag.live, snapAllowed); err != nil {
+					t.Fatalf("%s: tagged snapshot %s: %v", name, when, err)
+				}
+			}
+			if tagDurable {
+				checkSnapshot("after reboot")
+			}
+
 			// The rebooted dataset must be fully operable: vacuum away the
 			// debris, append, and scan the new rows back.
 			if _, err := d2.Vacuum(); err != nil {
 				t.Fatalf("%s: vacuum after reboot: %v", name, err)
+			}
+
+			// Vacuum must have reclaimed every untagged superseded manifest
+			// while keeping the tagged generation's (when the tag is durable).
+			listing, err := rb.List()
+			if err != nil {
+				t.Fatalf("%s: list after vacuum: %v", name, err)
+			}
+			present := map[string]bool{}
+			for _, n := range listing {
+				present[n] = true
+			}
+			for i := range commits {
+				cg := commits[i].gen
+				if cg >= g || !present[manifestName(cg)] {
+					continue
+				}
+				if !(tagDurable && cg == tag.gen) {
+					t.Fatalf("%s: vacuum left untagged manifest %s (current gen %d)",
+						name, manifestName(cg), g)
+				}
+			}
+			if tagDurable {
+				if !present[manifestName(tag.gen)] {
+					t.Fatalf("%s: vacuum reclaimed the tagged generation's manifest %s",
+						name, manifestName(tag.gen))
+				}
+				checkSnapshot("after vacuum")
 			}
 			if err := d2.Append(keyBatch(t, d2.Schema(), 9000, 10)); err != nil {
 				t.Fatalf("%s: append after reboot: %v", name, err)
@@ -402,6 +483,9 @@ func TestCommitErrorMatrix(t *testing.T) {
 			}
 			defer d.Close()
 			if err := d.Append(keyBatch(t, d.Schema(), 0, 100)); err != nil {
+				return
+			}
+			if err := d.Tag("pre-delete", 0); err != nil {
 				return
 			}
 			if err := d.Delete(spanRows(10, 20)); err != nil {

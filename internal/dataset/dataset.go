@@ -112,6 +112,13 @@ type Dataset struct {
 	openMu sync.Mutex
 	opened []io.Closer
 	closed bool
+
+	// snapshot marks a handle OpenAt pinned to a fixed generation:
+	// read-only (mutators fail with ErrSnapshotReadOnly) and exempt from
+	// the recovery sweep. unpin releases the handle's generation pin at
+	// Close.
+	snapshot bool
+	unpin    func()
 }
 
 // generation is one immutable snapshot of the dataset: a manifest plus
@@ -412,7 +419,9 @@ func Create(dir string, schema *core.Schema, opts *Options) (*Dataset, error) {
 // handleSeq numbers dataset handles process-wide (see Dataset.handleID).
 var handleSeq atomic.Uint64
 
-func Open(dir string, opts *Options) (*Dataset, error) {
+// newHandle builds the bare handle shared by Open and OpenAt: backend
+// resolution and cache policy, no manifest loaded yet.
+func newHandle(dir string, opts *Options) (*Dataset, error) {
 	d := &Dataset{dir: dir, handleID: handleSeq.Add(1)}
 	if opts != nil {
 		d.opts = *opts
@@ -423,6 +432,15 @@ func Open(dir string, opts *Options) (*Dataset, error) {
 	}
 	d.backend = b
 	d.resolveCache()
+	return d, nil
+}
+
+func Open(dir string, opts *Options) (*Dataset, error) {
+	d, err := newHandle(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	b := d.backend
 	if !d.opts.DisableRecoverySweep {
 		sweepTempDebris(b)
 	}
@@ -534,6 +552,16 @@ func (d *Dataset) commit(publish func() error, mutate func(m *Manifest) error) e
 	next := *prev.manifest
 	next.Generation++
 	next.Files = append([]FileEntry(nil), prev.manifest.Files...)
+	if len(prev.manifest.Tags) > 0 {
+		// Tags ride every commit forward; clone so mutate (and later
+		// commits) never alias the published generation's map.
+		next.Tags = make(map[string]uint64, len(prev.manifest.Tags))
+		for k, v := range prev.manifest.Tags {
+			next.Tags[k] = v
+		}
+	} else {
+		next.Tags = nil
+	}
 	if err := mutate(&next); err != nil {
 		return err
 	}
@@ -629,6 +657,9 @@ func (d *Dataset) Delete(rows []uint64) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	if d.snapshot {
+		return ErrSnapshotReadOnly
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// Exclude scan planning while member bytes change on disk: a scan
@@ -701,31 +732,97 @@ func (d *Dataset) Delete(rows []uint64) error {
 	})
 }
 
+// VacuumReport describes one reclamation pass: what was removed, and
+// which superseded generations (and their files) were retained instead of
+// reclaimed because a tag or a live in-process reader still pins them.
+type VacuumReport struct {
+	// Removed lists the reclaimed file names.
+	Removed []string `json:"removed,omitempty"`
+	// RetainedGenerations are superseded generations whose files were
+	// kept: pinned by a tag in the current manifest, by a live Scanner
+	// still serving them, or by an open OpenAt handle. Ascending.
+	RetainedGenerations []uint64 `json:"retained_generations,omitempty"`
+	// RetainedFiles are the files kept solely for retained generations —
+	// files the current generation does not reference that would have
+	// been reclaimed without retention.
+	RetainedFiles []string `json:"retained_files,omitempty"`
+}
+
 // Vacuum removes member files and manifests no longer referenced by the
 // current generation, plus orphaned temporaries left by a crashed commit
-// or bulk load. It must only be called when no scanner is still serving
-// an older generation and no ShardedWriter is active on any handle —
-// older snapshots read exactly the files Vacuum deletes, and an
-// in-flight bulk load's shards are indistinguishable from crash debris.
-// It returns the removed file names.
+// or bulk load. Reclamation is retention-aware: superseded generations
+// pinned by a tag (see Tag), by a live Scanner, or by an open OpenAt
+// handle keep their manifests and member files. ShardedWriter must still
+// not be active on any handle of the directory — an in-flight bulk
+// load's unrenamed shards are indistinguishable from crash debris. It
+// returns the removed file names; VacuumWithReport additionally reports
+// what was retained and why.
 func (d *Dataset) Vacuum() ([]string, error) {
+	rep, err := d.VacuumWithReport()
+	if rep == nil {
+		return nil, err
+	}
+	return rep.Removed, err
+}
+
+// VacuumWithReport is Vacuum returning the full reclamation report. On a
+// partial failure the report covers the files removed before the error.
+func (d *Dataset) VacuumWithReport() (*VacuumReport, error) {
+	if d.snapshot {
+		return nil, ErrSnapshotReadOnly
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	gen := d.generationSnapshot()
-	live := map[string]bool{
-		currentName:                           true,
-		manifestName(gen.manifest.Generation): true,
+	// The commit lock makes the pass atomic against racing committers on
+	// other handles: liveness is judged from the on-disk CURRENT manifest
+	// (not this handle's possibly stale snapshot), and no commit can
+	// publish files between that read and the removals.
+	lock := commitLock(d.backend.Root())
+	lock.Lock()
+	defer lock.Unlock()
+
+	cur, err := loadManifest(d.backend)
+	if err != nil {
+		return nil, err
 	}
-	for _, e := range gen.manifest.Files {
+	live := map[string]bool{
+		currentName:                  true,
+		manifestName(cur.Generation): true,
+	}
+	for _, e := range cur.Files {
 		live[e.Name] = true
 	}
+	retained, err := retainedGenerations(d.backend, cur.Tags, cur.Generation)
+	if err != nil {
+		return nil, err
+	}
+	// This handle's own snapshot may trail the on-disk CURRENT (another
+	// handle committed past it); its generation is a live read view too.
+	if own := d.generationSnapshot(); own.manifest.Generation != cur.Generation {
+		if _, ok := retained[own.manifest.Generation]; !ok {
+			retained[own.manifest.Generation] = manifestFiles(own.manifest)
+		}
+	}
+	keep := map[string]bool{}
+	for _, files := range retained {
+		for _, name := range files {
+			if !live[name] {
+				keep[name] = true
+			}
+		}
+	}
+
 	names, err := d.backend.List()
 	if err != nil {
 		return nil, err
 	}
-	var removed []string
+	rep := &VacuumReport{RetainedGenerations: sortedGenerations(retained)}
 	for _, name := range names {
 		if live[name] {
+			continue
+		}
+		if keep[name] {
+			rep.RetainedFiles = append(rep.RetainedFiles, name)
 			continue
 		}
 		// Only reclaim files this package writes: member parts, superseded
@@ -736,9 +833,9 @@ func (d *Dataset) Vacuum() ([]string, error) {
 			continue
 		}
 		if err := d.backend.Remove(name); err != nil {
-			return removed, err
+			return rep, err
 		}
-		removed = append(removed, name)
+		rep.Removed = append(rep.Removed, name)
 		if d.cache != nil {
 			// Drop the removed file's cached artifacts: nothing can hit
 			// them again (its name left every manifest), so they would
@@ -746,12 +843,12 @@ func (d *Dataset) Vacuum() ([]string, error) {
 			d.cache.Invalidate(d.backend.Root(), name)
 		}
 	}
-	if removed != nil {
+	if rep.Removed != nil {
 		// Best-effort: reclamation need not be durable for correctness;
 		// resurrected garbage is re-collected by the next sweep.
 		d.backend.SyncDir()
 	}
-	return removed, nil
+	return rep, nil
 }
 
 // Close closes every file handle the dataset opened, including handles
@@ -763,6 +860,10 @@ func (d *Dataset) Close() error {
 		return nil
 	}
 	d.closed = true
+	if d.unpin != nil {
+		d.unpin()
+		d.unpin = nil
+	}
 	var first error
 	for _, f := range d.opened {
 		if err := f.Close(); err != nil && first == nil {

@@ -3,6 +3,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"bullion/internal/core"
@@ -27,6 +28,23 @@ type FsckMember struct {
 	Errors []string `json:"errors,omitempty"`
 }
 
+// FsckRetained is one superseded-but-retained generation: a manifest an
+// older tag still pins, verified shallowly (manifest loads, members exist
+// with the recorded sizes) so `-repair` never mistakes a snapshot for
+// garbage.
+type FsckRetained struct {
+	Generation uint64 `json:"generation"`
+	// Tags lists the tag names pinning this generation, sorted.
+	Tags     []string `json:"tags"`
+	Manifest string   `json:"manifest"`
+	Files    int      `json:"files"`
+	Rows     uint64   `json:"rows"`
+	// Missing lists member files of this generation that are gone from
+	// disk — an integrity error (something reclaimed a retained
+	// generation).
+	Missing []string `json:"missing,omitempty"`
+}
+
 // FsckReport is the result of verifying one dataset directory.
 type FsckReport struct {
 	Dir        string       `json:"dir"`
@@ -35,6 +53,11 @@ type FsckReport struct {
 	Rows       uint64       `json:"rows"`
 	LiveRows   uint64       `json:"live_rows"`
 	Members    []FsckMember `json:"members,omitempty"`
+	// Tags echoes the current manifest's tag set (tag -> generation);
+	// Retained describes each superseded generation those tags pin.
+	// Retained generations' files are referenced, never orphans.
+	Tags     map[string]uint64 `json:"tags,omitempty"`
+	Retained []FsckRetained    `json:"retained,omitempty"`
 	// OrphanTmps are commit temporaries (*.tmp) — crash debris the Open
 	// recovery sweep (or Vacuum) removes. OrphanParts are part files no
 	// longer referenced by the current generation and OrphanManifests are
@@ -99,6 +122,7 @@ func Fsck(dir string, opts *Options, deep bool) (*FsckReport, error) {
 			report.LiveRows += e.LiveRows
 			report.Members = append(report.Members, fsckMember(b, e, deep))
 		}
+		fsckRetained(b, m, report, referenced)
 	}
 	for i := range report.Members {
 		fm := &report.Members[i]
@@ -136,6 +160,71 @@ func Fsck(dir string, opts *Options, deep bool) (*FsckReport, error) {
 		}
 	}
 	return report, nil
+}
+
+// fsckRetained walks the generations the current manifest's tags pin,
+// marking their manifests and member files referenced so orphan
+// classification (and -repair's Vacuum) never treats a retained snapshot
+// as garbage, and shallowly verifying each: the tagged manifest must
+// load, and members exclusive to the retained generation must exist with
+// the recorded size. An unreadable tagged manifest or a missing retained
+// member is an integrity error.
+func fsckRetained(b storage.Backend, m *Manifest, report *FsckReport, referenced map[string]bool) {
+	if len(m.Tags) == 0 {
+		return
+	}
+	report.Tags = make(map[string]uint64, len(m.Tags))
+	tagsByGen := map[uint64][]string{}
+	for name, g := range m.Tags {
+		report.Tags[name] = g
+		if g != m.Generation {
+			tagsByGen[g] = append(tagsByGen[g], name)
+		}
+	}
+	gens := make([]uint64, 0, len(tagsByGen))
+	for g := range tagsByGen {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	for _, g := range gens {
+		names := tagsByGen[g]
+		sort.Strings(names)
+		rm, err := loadManifestGeneration(b, g)
+		if err != nil {
+			report.Errors = append(report.Errors, fmt.Sprintf(
+				"retained generation %d (tags %s): %v", g, strings.Join(names, ", "), err))
+			continue
+		}
+		rg := FsckRetained{
+			Generation: g,
+			Tags:       names,
+			Manifest:   manifestName(g),
+			Files:      len(rm.Files),
+		}
+		referenced[rg.Manifest] = true
+		for _, e := range rm.Files {
+			rg.Rows += e.Rows
+			alreadyChecked := referenced[e.Name]
+			referenced[e.Name] = true
+			if alreadyChecked {
+				continue // shared with the current generation (or an earlier tag)
+			}
+			h, size, err := b.ReadAt(e.Name)
+			if err != nil {
+				rg.Missing = append(rg.Missing, e.Name)
+				report.Errors = append(report.Errors, fmt.Sprintf(
+					"retained generation %d member %s: open: %v", g, e.Name, err))
+				continue
+			}
+			h.Close()
+			if size != e.Bytes {
+				report.Errors = append(report.Errors, fmt.Sprintf(
+					"retained generation %d member %s: size %d, manifest records %d",
+					g, e.Name, size, e.Bytes))
+			}
+		}
+		report.Retained = append(report.Retained, rg)
+	}
 }
 
 // fsckMember verifies one manifest entry against its on-disk file.

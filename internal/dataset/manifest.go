@@ -92,6 +92,14 @@ type Manifest struct {
 	SchemaFP string      `json:"schema_fingerprint"`
 	Schema   []FieldDef  `json:"schema"`
 	Files    []FileEntry `json:"files"`
+	// Tags are named snapshots: tag name -> the manifest generation it
+	// pins. The map lives in the manifest itself, so tag creation and
+	// deletion ride the same CAS commit protocol as every other mutation
+	// (crash-consistent, one winner per generation), and every commit
+	// carries the set forward. Tagged generations are retained: Vacuum
+	// keeps their manifests and member files, Fsck classifies them as
+	// referenced, and OpenAt serves read-only snapshots of them.
+	Tags map[string]uint64 `json:"tags,omitempty"`
 }
 
 // FieldDef is one schema field in manifest form (a stable JSON rendering
@@ -376,6 +384,25 @@ func loadManifest(b storage.Backend) (*Manifest, error) {
 	if name == "" || strings.ContainsAny(name, "/\\") {
 		return nil, fmt.Errorf("dataset: CURRENT names invalid manifest %q", name)
 	}
+	return readManifestFile(b, name)
+}
+
+// loadManifestGeneration reads one specific manifest generation directly,
+// bypassing the CURRENT pointer — how time-travel reads, retention-aware
+// Vacuum, and Fsck reach superseded-but-retained generations.
+func loadManifestGeneration(b storage.Backend, gen uint64) (*Manifest, error) {
+	m, err := readManifestFile(b, manifestName(gen))
+	if err != nil {
+		return nil, err
+	}
+	if m.Generation != gen {
+		return nil, fmt.Errorf("dataset: %s records generation %d", manifestName(gen), m.Generation)
+	}
+	return m, nil
+}
+
+// readManifestFile reads and validates one manifest file by name.
+func readManifestFile(b storage.Backend, name string) (*Manifest, error) {
 	data, err := storage.ReadFile(b, name)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading manifest: %w", err)
@@ -397,4 +424,15 @@ func loadManifest(b storage.Backend) (*Manifest, error) {
 		}
 	}
 	return &m, nil
+}
+
+// manifestFiles returns every file name generation m retains: its own
+// manifest file plus all member parts.
+func manifestFiles(m *Manifest) []string {
+	out := make([]string, 0, len(m.Files)+1)
+	out = append(out, manifestName(m.Generation))
+	for _, e := range m.Files {
+		out = append(out, e.Name)
+	}
+	return out
 }

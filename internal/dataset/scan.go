@@ -132,6 +132,10 @@ type Scanner struct {
 
 	degradedOK bool
 
+	// unpin releases the scanner's generation pin (see pinGeneration);
+	// called once by shutdown.
+	unpin func()
+
 	statsMu  sync.Mutex
 	agg      core.ScanStats
 	done     int
@@ -197,6 +201,10 @@ func (d *Dataset) Scan(opts ScanOptions) (*Scanner, error) {
 		sem:        make(chan struct{}, k),
 		stop:       make(chan struct{}),
 		degradedOK: opts.Degraded,
+		// Pin the snapshotted generation for the scanner's lifetime:
+		// Vacuum retains a superseded generation while a scanner is still
+		// serving it. Released by shutdown (Close, or a failed Next).
+		unpin: pinGeneration(d.backend.Root(), gen.manifest),
 	}
 	if res, ok := d.backend.(interface {
 		ResilienceStats() storage.ResilienceStats
@@ -238,6 +246,7 @@ func (d *Dataset) Scan(opts ScanOptions) (*Scanner, error) {
 				s.degraded = append(s.degraded, m.entry.Name)
 				continue
 			}
+			s.unpin()
 			return nil, err
 		}
 		s.members = append(s.members, &memberScan{
@@ -540,5 +549,8 @@ func (s *Scanner) shutdown() {
 			}(ms.ch)
 		}
 		s.wg.Wait()
+		if s.unpin != nil {
+			s.unpin()
+		}
 	})
 }

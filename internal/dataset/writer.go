@@ -42,6 +42,9 @@ func (d *Dataset) ShardedWriter(n int) (*ShardedWriter, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dataset: sharded writer needs n >= 1, got %d", n)
 	}
+	if d.snapshot {
+		return nil, ErrSnapshotReadOnly
+	}
 	gen := d.generationSnapshot()
 	sw := &ShardedWriter{d: d, shards: make([]*swShard, n)}
 	for i := range sw.shards {
